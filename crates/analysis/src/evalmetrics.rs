@@ -1,0 +1,160 @@
+//! Threshold sweeps over scored candidates.
+//!
+//! The pipeline scores every candidate triplet (by `min w'`, `T`, `w_xyz`, or
+//! `C`); picking the survey cutoff is a precision/recall trade the paper
+//! discusses but cannot quantify without labels. Given `(score, is_positive)`
+//! pairs from a generated scenario's ground truth, these helpers produce the
+//! precision/recall curve and its summary numbers.
+
+/// One point of a precision/recall sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Score threshold: candidates with `score >= threshold` are flagged.
+    pub threshold: f64,
+    /// Candidates flagged at this threshold.
+    pub flagged: usize,
+    /// Flagged candidates that are true positives.
+    pub true_positives: usize,
+    /// `true_positives / flagged` (1.0 when nothing flagged).
+    pub precision: f64,
+    /// `true_positives / total positives` (1.0 when there are no positives).
+    pub recall: f64,
+}
+
+/// Sweep thresholds over scored candidates, descending. Each distinct score
+/// value becomes one threshold.
+pub fn precision_recall_sweep(scored: &[(f64, bool)]) -> Vec<SweepPoint> {
+    let mut sorted: Vec<(f64, bool)> = scored
+        .iter()
+        .copied()
+        .filter(|(s, _)| s.is_finite())
+        .collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let total_pos = sorted.iter().filter(|&&(_, p)| p).count();
+    let mut out = Vec::new();
+    let mut flagged = 0usize;
+    let mut tp = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let threshold = sorted[i].0;
+        // absorb ties: all candidates with this score flip together
+        while i < sorted.len() && sorted[i].0 == threshold {
+            flagged += 1;
+            if sorted[i].1 {
+                tp += 1;
+            }
+            i += 1;
+        }
+        out.push(SweepPoint {
+            threshold,
+            flagged,
+            true_positives: tp,
+            precision: if flagged == 0 { 1.0 } else { tp as f64 / flagged as f64 },
+            recall: if total_pos == 0 { 1.0 } else { tp as f64 / total_pos as f64 },
+        });
+    }
+    out
+}
+
+/// Area under the precision/recall curve (trapezoid over recall). 1.0 means a
+/// threshold exists separating all positives from all negatives.
+pub fn average_precision(scored: &[(f64, bool)]) -> f64 {
+    let sweep = precision_recall_sweep(scored);
+    if sweep.is_empty() {
+        return 1.0;
+    }
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &sweep {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    ap
+}
+
+/// The highest threshold achieving at least `min_recall`, if any — "what
+/// cutoff would have caught the whole botnet?"
+pub fn threshold_for_recall(scored: &[(f64, bool)], min_recall: f64) -> Option<f64> {
+    precision_recall_sweep(scored)
+        .into_iter()
+        .find(|p| p.recall >= min_recall)
+        .map(|p| p.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bots score 10..20, humans 1..9 — perfectly separable.
+    fn separable() -> Vec<(f64, bool)> {
+        let mut v = Vec::new();
+        for i in 10..20 {
+            v.push((i as f64, true));
+        }
+        for i in 1..10 {
+            v.push((i as f64, false));
+        }
+        v
+    }
+
+    #[test]
+    fn separable_data_has_perfect_ap() {
+        assert!((average_precision(&separable()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_flagged_count() {
+        let sweep = precision_recall_sweep(&separable());
+        for pair in sweep.windows(2) {
+            assert!(pair[0].threshold > pair[1].threshold);
+            assert!(pair[0].flagged < pair[1].flagged);
+            assert!(pair[0].recall <= pair[1].recall);
+        }
+        let last = sweep.last().unwrap();
+        assert_eq!(last.flagged, 19);
+        assert_eq!(last.recall, 1.0);
+    }
+
+    #[test]
+    fn precision_degrades_once_negatives_flag() {
+        let sweep = precision_recall_sweep(&separable());
+        let at_10 = sweep.iter().find(|p| p.threshold == 10.0).unwrap();
+        assert_eq!(at_10.precision, 1.0);
+        assert_eq!(at_10.recall, 1.0);
+        let at_5 = sweep.iter().find(|p| p.threshold == 5.0).unwrap();
+        assert!(at_5.precision < 1.0);
+    }
+
+    #[test]
+    fn ties_flip_together() {
+        let scored = vec![(5.0, true), (5.0, false), (1.0, false)];
+        let sweep = precision_recall_sweep(&scored);
+        assert_eq!(sweep[0].flagged, 2);
+        assert_eq!(sweep[0].precision, 0.5);
+    }
+
+    #[test]
+    fn threshold_for_recall_finds_the_knee() {
+        let t = threshold_for_recall(&separable(), 1.0).unwrap();
+        assert_eq!(t, 10.0);
+        assert_eq!(threshold_for_recall(&[], 0.5), None);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(average_precision(&[]), 1.0);
+        let all_neg = vec![(1.0, false), (2.0, false)];
+        let sweep = precision_recall_sweep(&all_neg);
+        assert!(sweep.iter().all(|p| p.recall == 1.0));
+        assert!(sweep.iter().all(|p| p.true_positives == 0));
+        let nan = vec![(f64::NAN, true), (1.0, true)];
+        assert_eq!(precision_recall_sweep(&nan).len(), 1);
+    }
+
+    #[test]
+    fn interleaved_scores_give_partial_ap() {
+        let scored = vec![(4.0, true), (3.0, false), (2.0, true), (1.0, false)];
+        let ap = average_precision(&scored);
+        assert!(ap > 0.5 && ap < 1.0, "ap = {ap}");
+    }
+}

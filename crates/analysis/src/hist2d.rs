@@ -1,0 +1,208 @@
+//! Rectangular 2D histograms — the dense-grid companion to [`crate::hexbin`].
+//!
+//! Hexbins match the paper's plots; a rectangular grid is the right shape for
+//! programmatic consumption (marginals, conditional means, grid diffing
+//! between two runs of the same figure).
+
+/// A dense `nx × ny` count grid over fixed ranges.
+#[derive(Clone, Debug)]
+pub struct Hist2d {
+    nx: usize,
+    ny: usize,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    /// Row-major counts: `counts[iy * nx + ix]`.
+    counts: Vec<u64>,
+    n_points: u64,
+}
+
+impl Hist2d {
+    /// An empty histogram over the given ranges.
+    pub fn new(nx: usize, ny: usize, x_range: (f64, f64), y_range: (f64, f64)) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0, "ranges must be non-degenerate");
+        Hist2d { nx, ny, x_range, y_range, counts: vec![0; nx * ny], n_points: 0 }
+    }
+
+    /// Bin a batch of points; out-of-range or non-finite points are dropped.
+    pub fn fill(&mut self, points: &[(f64, f64)]) {
+        for &(x, y) in points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            if x < self.x_range.0 || x > self.x_range.1 || y < self.y_range.0 || y > self.y_range.1
+            {
+                continue;
+            }
+            let ix = (((x - self.x_range.0) / (self.x_range.1 - self.x_range.0)
+                * self.nx as f64) as usize)
+                .min(self.nx - 1);
+            let iy = (((y - self.y_range.0) / (self.y_range.1 - self.y_range.0)
+                * self.ny as f64) as usize)
+                .min(self.ny - 1);
+            self.counts[iy * self.nx + ix] += 1;
+            self.n_points += 1;
+        }
+    }
+
+    /// Convenience: build and fill in one call.
+    pub fn of(
+        points: &[(f64, f64)],
+        nx: usize,
+        ny: usize,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+    ) -> Self {
+        let mut h = Hist2d::new(nx, ny, x_range, y_range);
+        h.fill(points);
+        h
+    }
+
+    /// Count in cell `(ix, iy)`.
+    pub fn count(&self, ix: usize, iy: usize) -> u64 {
+        self.counts[iy * self.nx + ix]
+    }
+
+    /// Points binned.
+    pub fn n_points(&self) -> u64 {
+        self.n_points
+    }
+
+    /// Grid width.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Marginal distribution over x (column sums).
+    pub fn marginal_x(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.nx];
+        for row in self.counts.chunks(self.nx) {
+            for (o, &c) in out.iter_mut().zip(row) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Marginal distribution over y (row sums).
+    pub fn marginal_y(&self) -> Vec<u64> {
+        self.counts.chunks(self.nx).map(|row| row.iter().sum()).collect()
+    }
+
+    /// Mean y per x column (`None` for empty columns) — the "trend line" the
+    /// paper's eye draws through each hexbin cloud.
+    pub fn conditional_mean_y(&self) -> Vec<Option<f64>> {
+        let cell_h = (self.y_range.1 - self.y_range.0) / self.ny as f64;
+        (0..self.nx)
+            .map(|ix| {
+                let mut total = 0u64;
+                let mut weighted = 0.0f64;
+                for iy in 0..self.ny {
+                    let c = self.count(ix, iy);
+                    total += c;
+                    let center = self.y_range.0 + (iy as f64 + 0.5) * cell_h;
+                    weighted += c as f64 * center;
+                }
+                (total > 0).then(|| weighted / total as f64)
+            })
+            .collect()
+    }
+
+    /// Total absolute cell-count difference against another histogram of the
+    /// same shape — grid distance between two runs of the same figure.
+    pub fn l1_distance(&self, other: &Hist2d) -> u64 {
+        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "shape mismatch");
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| a.abs_diff(b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_and_counts() {
+        let h = Hist2d::of(
+            &[(0.1, 0.1), (0.9, 0.9), (0.9, 0.85), (2.0, 0.5)],
+            10,
+            10,
+            (0.0, 1.0),
+            (0.0, 1.0),
+        );
+        assert_eq!(h.n_points(), 3); // the (2.0, _) point is out of range
+        assert_eq!(h.count(1, 1), 1);
+        assert_eq!(h.count(9, 9), 1);
+        assert_eq!(h.count(9, 8), 1);
+    }
+
+    #[test]
+    fn boundary_points_land_in_the_last_cell() {
+        let h = Hist2d::of(&[(1.0, 1.0)], 4, 4, (0.0, 1.0), (0.0, 1.0));
+        assert_eq!(h.count(3, 3), 1);
+    }
+
+    #[test]
+    fn marginals_sum_to_total() {
+        let pts: Vec<(f64, f64)> =
+            (0..100).map(|i| (i as f64 / 100.0, (i % 10) as f64 / 10.0)).collect();
+        let h = Hist2d::of(&pts, 5, 5, (0.0, 1.0), (0.0, 1.0));
+        assert_eq!(h.marginal_x().iter().sum::<u64>(), h.n_points());
+        assert_eq!(h.marginal_y().iter().sum::<u64>(), h.n_points());
+    }
+
+    #[test]
+    fn conditional_mean_tracks_a_line() {
+        // y = x: column means should increase monotonically
+        let pts: Vec<(f64, f64)> = (0..1000).map(|i| {
+            let x = i as f64 / 1000.0;
+            (x, x)
+        }).collect();
+        let h = Hist2d::of(&pts, 10, 50, (0.0, 1.0), (0.0, 1.0));
+        let means: Vec<f64> = h.conditional_mean_y().into_iter().flatten().collect();
+        assert_eq!(means.len(), 10);
+        for pair in means.windows(2) {
+            assert!(pair[1] > pair[0], "non-monotone: {means:?}");
+        }
+    }
+
+    #[test]
+    fn empty_columns_are_none() {
+        let h = Hist2d::of(&[(0.05, 0.5)], 10, 10, (0.0, 1.0), (0.0, 1.0));
+        let means = h.conditional_mean_y();
+        assert!(means[0].is_some());
+        assert!(means[5].is_none());
+    }
+
+    #[test]
+    fn l1_distance_is_zero_for_identical_fills() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 / 50.0, 0.5)).collect();
+        let a = Hist2d::of(&pts, 8, 8, (0.0, 1.0), (0.0, 1.0));
+        let b = Hist2d::of(&pts, 8, 8, (0.0, 1.0), (0.0, 1.0));
+        assert_eq!(a.l1_distance(&b), 0);
+        let c = Hist2d::of(&pts[..25], 8, 8, (0.0, 1.0), (0.0, 1.0));
+        assert_eq!(a.l1_distance(&c), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn l1_requires_same_shape() {
+        let a = Hist2d::new(2, 2, (0.0, 1.0), (0.0, 1.0));
+        let b = Hist2d::new(3, 2, (0.0, 1.0), (0.0, 1.0));
+        a.l1_distance(&b);
+    }
+
+    #[test]
+    fn nan_points_are_dropped() {
+        let h = Hist2d::of(&[(f64::NAN, 0.5), (0.5, f64::INFINITY)], 4, 4, (0.0, 1.0), (0.0, 1.0));
+        assert_eq!(h.n_points(), 0);
+    }
+}

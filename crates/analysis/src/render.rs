@@ -1,0 +1,154 @@
+//! Terminal and CSV rendering of binned plots.
+//!
+//! The ASCII heatmap stands in for the paper's matplotlib figures: one
+//! character per cell, shaded by log-scaled count, `y = x` marked where it
+//! crosses empty cells (the paper draws the diagonal on every plot).
+
+use crate::hexbin::Hexbin;
+
+/// Shading ramp from sparse to dense.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render a hexbin as an ASCII heatmap of `width × height` character cells.
+/// Bins are resampled onto the character grid; multiple bins per cell sum.
+pub fn ascii_heatmap(hb: &Hexbin, width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "heatmap needs at least 2x2 cells");
+    let mut grid = vec![0u64; width * height];
+    let (xmin, xmax) = hb.x_range;
+    let (ymin, ymax) = hb.y_range;
+    let xw = (xmax - xmin).max(f64::MIN_POSITIVE);
+    let yw = (ymax - ymin).max(f64::MIN_POSITIVE);
+    for b in &hb.bins {
+        let cx = (((b.cx - xmin) / xw) * (width - 1) as f64).round();
+        let cy = (((b.cy - ymin) / yw) * (height - 1) as f64).round();
+        let (cx, cy) = (
+            (cx as usize).min(width - 1),
+            (cy as usize).min(height - 1),
+        );
+        grid[cy * width + cx] += b.count;
+    }
+    let max = grid.iter().copied().max().unwrap_or(0);
+    let level = |c: u64| -> u8 {
+        if c == 0 || max == 0 {
+            return b' ';
+        }
+        let l = ((1 + c) as f64).ln() / ((1 + max) as f64).ln();
+        let i = ((l * (RAMP.len() - 1) as f64).round() as usize).clamp(1, RAMP.len() - 1);
+        RAMP[i]
+    };
+    let mut out = String::with_capacity((width + 4) * (height + 3));
+    out.push_str(&format!(
+        "y: [{:.3}, {:.3}]  x: [{:.3}, {:.3}]  n={} bins={}\n",
+        ymin,
+        ymax,
+        xmin,
+        xmax,
+        hb.n_points,
+        hb.occupied()
+    ));
+    for row in (0..height).rev() {
+        out.push('|');
+        for col in 0..width {
+            let c = grid[row * width + col];
+            let mut ch = level(c) as char;
+            // draw the y = x guide through empty cells (data-space diagonal)
+            if ch == ' ' {
+                let x = xmin + col as f64 / (width - 1) as f64 * xw;
+                let y = ymin + row as f64 / (height - 1) as f64 * yw;
+                let cell_h = yw / (height - 1) as f64;
+                if (y - x).abs() <= cell_h / 2.0 {
+                    ch = '/';
+                }
+            }
+            out.push(ch);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+/// Export occupied bins as CSV: `cx,cy,count` with a header — the portable
+/// form of each figure's underlying data.
+pub fn hexbin_csv(hb: &Hexbin) -> String {
+    let mut out = String::from("cx,cy,count\n");
+    for b in &hb.bins {
+        out.push_str(&format!("{},{},{}\n", b.cx, b.cy, b.count));
+    }
+    out
+}
+
+/// Format an integer with thousands separators (scale reports read better:
+/// `3,280,000,000` vs `3280000000`).
+pub fn with_commas(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hexbin::{Hexbin, HexbinConfig};
+
+    fn sample_hexbin() -> Hexbin {
+        let pts: Vec<(f64, f64)> =
+            (0..300).map(|i| (i as f64 / 300.0, i as f64 / 300.0 + 0.01)).collect();
+        Hexbin::compute(&pts, &HexbinConfig { gridsize: 15, ..Default::default() })
+    }
+
+    #[test]
+    fn heatmap_has_requested_dimensions() {
+        let art = ascii_heatmap(&sample_hexbin(), 30, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 1 + 10 + 1); // header + rows + axis
+        for row in &lines[1..11] {
+            assert_eq!(row.len(), 32, "row {row:?}"); // | + 30 + |
+        }
+    }
+
+    #[test]
+    fn heatmap_shades_where_data_lives() {
+        let art = ascii_heatmap(&sample_hexbin(), 20, 10);
+        let shaded = art.chars().filter(|c| RAMP[1..].contains(&(*c as u8))).count();
+        assert!(shaded >= 10, "only {shaded} shaded cells");
+    }
+
+    #[test]
+    fn empty_hexbin_renders_blank_grid() {
+        let hb = Hexbin::compute(&[], &HexbinConfig::default());
+        let art = ascii_heatmap(&hb, 10, 5);
+        assert!(art.contains("n=0"));
+    }
+
+    #[test]
+    fn csv_lists_every_bin() {
+        let hb = sample_hexbin();
+        let csv = hexbin_csv(&hb);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cx,cy,count");
+        assert_eq!(lines.len(), hb.occupied() + 1);
+        let total: u64 = lines[1..]
+            .iter()
+            .map(|l| l.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, hb.n_points);
+    }
+
+    #[test]
+    fn commas_format() {
+        assert_eq!(with_commas(0), "0");
+        assert_eq!(with_commas(999), "999");
+        assert_eq!(with_commas(1_000), "1,000");
+        assert_eq!(with_commas(3_280_000_000), "3,280,000,000");
+        assert_eq!(with_commas(138_000_000), "138,000,000");
+    }
+}

@@ -1,0 +1,160 @@
+//! Markdown report building — the figure harness and CLI emit their
+//! paper-vs-measured tables through this, so formatting lives in one place.
+
+/// A markdown table under construction.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        assert!(!header.is_empty(), "a table needs at least one column");
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Render as aligned plain text (for terminal output).
+    pub fn to_text(&self) -> String {
+        let widths: Vec<usize> = (0..self.header.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(self.header[c].len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting — callers pass clean cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with fixed decimals, rendering NaN as `-`.
+pub fn fnum(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["figure", "paper", "measured"]);
+        t.row(["fig1", "sparse", "density 0.12"]);
+        t.row(["fig2", "8-clique", "8-clique"]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| figure | paper | measured |");
+        assert_eq!(lines[1], "|---|---|---|");
+        assert!(lines[3].contains("8-clique"));
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let txt = sample().to_text();
+        let lines: Vec<&str> = txt.lines().collect();
+        // "measured" column starts at the same offset in every row
+        let col = lines[0].find("measured").unwrap();
+        assert_eq!(&lines[2][col..col + 7], "density");
+    }
+
+    #[test]
+    fn csv_roundtrips_cells() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("figure,paper,measured\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn fnum_handles_nan() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(f64::NAN, 2), "-");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_markdown().lines().count(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared workload setup for the benches and the figure harness.
+//!
+//! Scenario generation is deterministic but not free; the helpers here build
+//! each preset once per process and hand out references.
+
+use std::sync::OnceLock;
+
+use coordination_core::pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+use coordination_core::records::Dataset;
+use coordination_core::Window;
+use redditgen::{Scenario, ScenarioConfig};
+
+/// Default scale for figure regeneration: fast enough for CI, big enough for
+/// every structural relationship to be visible.
+pub const FIGURE_SCALE: f64 = 0.5;
+
+/// Smaller scale used inside criterion loops.
+pub const BENCH_SCALE: f64 = 0.15;
+
+/// The January 2020 scenario at [`FIGURE_SCALE`], built once.
+pub fn jan2020() -> &'static (Scenario, Dataset) {
+    static CELL: OnceLock<(Scenario, Dataset)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let s = ScenarioConfig::jan2020(FIGURE_SCALE).build();
+        let ds = s.dataset();
+        (s, ds)
+    })
+}
+
+/// The October 2016 scenario at [`FIGURE_SCALE`], built once.
+pub fn oct2016() -> &'static (Scenario, Dataset) {
+    static CELL: OnceLock<(Scenario, Dataset)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let s = ScenarioConfig::oct2016(FIGURE_SCALE).build();
+        let ds = s.dataset();
+        (s, ds)
+    })
+}
+
+/// Small scenarios for criterion loops, built once.
+pub fn jan2020_small() -> &'static (Scenario, Dataset) {
+    static CELL: OnceLock<(Scenario, Dataset)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let s = ScenarioConfig::jan2020(BENCH_SCALE).build();
+        let ds = s.dataset();
+        (s, ds)
+    })
+}
+
+/// Small October 2016 scenario for criterion loops.
+pub fn oct2016_small() -> &'static (Scenario, Dataset) {
+    static CELL: OnceLock<(Scenario, Dataset)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let s = ScenarioConfig::oct2016(BENCH_SCALE).build();
+        let ds = s.dataset();
+        (s, ds)
+    })
+}
+
+/// Run the pipeline with the paper's hexbin-figure parameters (`cutoff 10`).
+pub fn run_figures_config(ds: &Dataset, window: Window) -> PipelineOutput {
+    Pipeline::new(PipelineConfig { window, min_triangle_weight: 10, ..Default::default() })
+        .run_dataset(ds)
+}
+
+/// Run the pipeline with the paper's anecdotal-hunt parameters (`cutoff 25`).
+pub fn run_hunt_config(ds: &Dataset) -> PipelineOutput {
+    Pipeline::new(PipelineConfig {
+        window: Window::zero_to_60s(),
+        min_triangle_weight: 25,
+        ..Default::default()
+    })
+    .run_dataset(ds)
+}
+
+/// Label triplets against ground truth: `(triplet metric set, is_coordinated)`.
+pub fn label_triplets<'a>(
+    out: &'a PipelineOutput,
+    ds: &Dataset,
+    truth: &redditgen::GroundTruth,
+) -> Vec<(&'a coordination_core::TripletMetrics, bool)> {
+    out.triplets
+        .iter()
+        .map(|m| {
+            let names: Vec<&str> =
+                m.authors.iter().map(|a| ds.authors.name(a.0)).collect();
+            let fam0 = truth.family_of(names[0]);
+            let same = fam0.is_some()
+                && names
+                    .iter()
+                    .all(|n| truth.family_of(n).map(|f| f.name.as_str()) == fam0.map(|f| f.name.as_str()));
+            (m, same)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build_and_cache() {
+        let (s1, ds1) = jan2020_small();
+        let (s2, _) = jan2020_small();
+        assert_eq!(s1.len(), s2.len());
+        assert!(ds1.len() > 1_000);
+    }
+
+    #[test]
+    fn labeling_marks_bot_triplets() {
+        let (s, ds) = jan2020_small();
+        let out = run_hunt_config(ds);
+        let labeled = label_triplets(&out, ds, &s.truth);
+        assert!(!labeled.is_empty());
+        assert!(labeled.iter().any(|&(_, pos)| pos), "no bot triplet flagged");
+    }
+}

@@ -1,0 +1,207 @@
+//! The bipartite temporal multigraph (BTM) `B = (U, P, E, t)`.
+//!
+//! Pages map to their time-sorted comment lists (the page *neighborhoods*
+//! Algorithm 1 iterates), and authors map to their deduplicated page lists
+//! (the hypergraph side: `p_x` of Eq. 3 and the inputs to `w_xyz` of Eq. 2).
+//! It is a *multigraph*: one author commenting the same page five times is
+//! five edges, distinguished by timestamp.
+
+use crate::ids::{AuthorId, Event, PageId, Timestamp};
+
+/// In-memory BTM over dense ids. Construct with [`Btm::from_events`].
+#[derive(Clone, Debug)]
+pub struct Btm {
+    /// Per page: comments as `(timestamp, author)`, sorted by timestamp then
+    /// author. Indexed by `PageId`.
+    page_comments: Vec<Vec<(Timestamp, AuthorId)>>,
+    /// Per author: distinct pages commented on, sorted. Indexed by `AuthorId`.
+    author_pages: Vec<Vec<PageId>>,
+    /// Total comments (multigraph edge count |E|).
+    n_comments: u64,
+}
+
+impl Btm {
+    /// Build from raw events. `n_authors`/`n_pages` fix the dense id spaces
+    /// (authors or pages with no events simply have empty lists).
+    pub fn from_events(n_authors: u32, n_pages: u32, events: &[Event]) -> Self {
+        let mut page_comments: Vec<Vec<(Timestamp, AuthorId)>> =
+            vec![Vec::new(); n_pages as usize];
+        let mut author_pages: Vec<Vec<PageId>> = vec![Vec::new(); n_authors as usize];
+        for e in events {
+            assert!(e.author.0 < n_authors, "author id {} out of range", e.author.0);
+            assert!(e.page.0 < n_pages, "page id {} out of range", e.page.0);
+            page_comments[e.page.0 as usize].push((e.ts, e.author));
+            author_pages[e.author.0 as usize].push(e.page);
+        }
+        for comments in &mut page_comments {
+            comments.sort_unstable();
+        }
+        for pages in &mut author_pages {
+            pages.sort_unstable();
+            pages.dedup();
+        }
+        Btm { page_comments, author_pages, n_comments: events.len() as u64 }
+    }
+
+    /// Number of author slots `|U|`.
+    pub fn n_authors(&self) -> u32 {
+        self.author_pages.len() as u32
+    }
+
+    /// Number of page slots `|P|`.
+    pub fn n_pages(&self) -> u32 {
+        self.page_comments.len() as u32
+    }
+
+    /// Total comments `|E|` (the paper reads 138 million for January 2020).
+    pub fn n_comments(&self) -> u64 {
+        self.n_comments
+    }
+
+    /// Number of authors with at least one comment.
+    pub fn active_authors(&self) -> u32 {
+        self.author_pages.iter().filter(|p| !p.is_empty()).count() as u32
+    }
+
+    /// The page's comments, `(timestamp, author)` sorted by time — the
+    /// neighborhood `N` of Algorithm 1 line 4.
+    pub fn page_neighborhood(&self, p: PageId) -> &[(Timestamp, AuthorId)] {
+        &self.page_comments[p.0 as usize]
+    }
+
+    /// The author's distinct pages, sorted — the hypergraph incidence list.
+    pub fn author_pages(&self, a: AuthorId) -> &[PageId] {
+        &self.author_pages[a.0 as usize]
+    }
+
+    /// `p_x`: the number of pages where `x` has at least one comment (Eq. 3).
+    pub fn page_count(&self, a: AuthorId) -> u64 {
+        self.author_pages[a.0 as usize].len() as u64
+    }
+
+    /// Remove all events of the given authors, returning a new BTM over the
+    /// same id spaces. This is the paper's refinement loop (§2.4/§3): ruled-out
+    /// authors (helpful bots, `[deleted]`) are removed and the projection
+    /// rerun.
+    pub fn without_authors(&self, excluded: &[AuthorId]) -> Btm {
+        let mut gone = vec![false; self.author_pages.len()];
+        for a in excluded {
+            gone[a.0 as usize] = true;
+        }
+        let mut page_comments = self.page_comments.clone();
+        let mut removed = 0u64;
+        for comments in &mut page_comments {
+            let before = comments.len();
+            comments.retain(|&(_, a)| !gone[a.0 as usize]);
+            removed += (before - comments.len()) as u64;
+        }
+        let mut author_pages = self.author_pages.clone();
+        for (i, pages) in author_pages.iter_mut().enumerate() {
+            if gone[i] {
+                pages.clear();
+            }
+        }
+        Btm {
+            page_comments,
+            author_pages,
+            n_comments: self.n_comments - removed,
+        }
+    }
+
+    /// Iterate pages with non-empty neighborhoods as `(PageId, comments)`.
+    pub fn pages(&self) -> impl Iterator<Item = (PageId, &[(Timestamp, AuthorId)])> {
+        self.page_comments
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(i, c)| (PageId(i as u32), c.as_slice()))
+    }
+
+    /// The largest page neighborhood (comment count) — the projection's
+    /// worst-case page.
+    pub fn max_page_degree(&self) -> usize {
+        self.page_comments.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(a: u32, p: u32, ts: Timestamp) -> Event {
+        Event::new(AuthorId(a), PageId(p), ts)
+    }
+
+    #[test]
+    fn neighborhoods_are_time_sorted() {
+        let btm = Btm::from_events(
+            2,
+            1,
+            &[ev(0, 0, 30), ev(1, 0, 10), ev(0, 0, 20)],
+        );
+        let n = btm.page_neighborhood(PageId(0));
+        assert_eq!(
+            n,
+            &[(10, AuthorId(1)), (20, AuthorId(0)), (30, AuthorId(0))]
+        );
+        assert_eq!(btm.n_comments(), 3);
+    }
+
+    #[test]
+    fn author_pages_are_deduped_and_sorted() {
+        let btm = Btm::from_events(
+            1,
+            3,
+            &[ev(0, 2, 1), ev(0, 0, 2), ev(0, 2, 3), ev(0, 1, 4)],
+        );
+        assert_eq!(btm.author_pages(AuthorId(0)), &[PageId(0), PageId(1), PageId(2)]);
+        assert_eq!(btm.page_count(AuthorId(0)), 3);
+    }
+
+    #[test]
+    fn multigraph_keeps_repeat_comments() {
+        let btm = Btm::from_events(1, 1, &[ev(0, 0, 1), ev(0, 0, 1), ev(0, 0, 2)]);
+        assert_eq!(btm.page_neighborhood(PageId(0)).len(), 3);
+        assert_eq!(btm.n_comments(), 3);
+        assert_eq!(btm.page_count(AuthorId(0)), 1);
+    }
+
+    #[test]
+    fn active_authors_ignores_empty_slots() {
+        let btm = Btm::from_events(5, 1, &[ev(1, 0, 0), ev(3, 0, 0)]);
+        assert_eq!(btm.n_authors(), 5);
+        assert_eq!(btm.active_authors(), 2);
+    }
+
+    #[test]
+    fn without_authors_strips_events_everywhere() {
+        let btm = Btm::from_events(
+            3,
+            2,
+            &[ev(0, 0, 1), ev(1, 0, 2), ev(2, 0, 3), ev(1, 1, 4)],
+        );
+        let cleaned = btm.without_authors(&[AuthorId(1)]);
+        assert_eq!(cleaned.n_comments(), 2);
+        assert_eq!(cleaned.page_neighborhood(PageId(0)).len(), 2);
+        assert!(cleaned.page_neighborhood(PageId(1)).is_empty());
+        assert_eq!(cleaned.page_count(AuthorId(1)), 0);
+        // untouched authors keep their data
+        assert_eq!(cleaned.page_count(AuthorId(0)), 1);
+        // original is unchanged
+        assert_eq!(btm.n_comments(), 4);
+    }
+
+    #[test]
+    fn pages_iterator_skips_empty() {
+        let btm = Btm::from_events(1, 3, &[ev(0, 1, 0)]);
+        let pages: Vec<PageId> = btm.pages().map(|(p, _)| p).collect();
+        assert_eq!(pages, vec![PageId(1)]);
+        assert_eq!(btm.max_page_degree(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_event_panics() {
+        Btm::from_events(1, 1, &[ev(1, 0, 0)]);
+    }
+}

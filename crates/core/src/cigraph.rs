@@ -1,0 +1,362 @@
+//! The common interaction graph `C = (U, I, w')` produced by projection.
+//!
+//! Edges are pairs of authors weighted by the number of pages on which the two
+//! commented within the delay window of each other (paper Eq. 5); vertices
+//! additionally carry `P'_x`, the count of pages that contributed at least one
+//! projection edge at `x` (Eq. 6), which the normalized triangle score
+//! `T(x,y,z)` (Eq. 7) needs.
+
+use std::collections::HashMap;
+
+use crate::ids::AuthorId;
+
+/// A weighted one-mode author graph plus per-author projection page counts.
+#[derive(Clone, Debug, Default)]
+pub struct CiGraph {
+    n_authors: u32,
+    /// Edge weights `w'` keyed by `(min_id, max_id)`.
+    edges: HashMap<(u32, u32), u64>,
+    /// `P'_x` per author id (0 for authors with no projection edge).
+    page_counts: Vec<u64>,
+}
+
+impl CiGraph {
+    /// An empty graph over `n_authors` vertex slots.
+    pub fn new(n_authors: u32) -> Self {
+        CiGraph {
+            n_authors,
+            edges: HashMap::new(),
+            page_counts: vec![0; n_authors as usize],
+        }
+    }
+
+    /// Construct from parts (the projection drivers use this).
+    pub fn from_parts(
+        n_authors: u32,
+        edges: HashMap<(u32, u32), u64>,
+        page_counts: Vec<u64>,
+    ) -> Self {
+        assert_eq!(page_counts.len(), n_authors as usize, "page_counts length mismatch");
+        debug_assert!(edges.keys().all(|&(a, b)| a < b && b < n_authors));
+        CiGraph { n_authors, edges, page_counts }
+    }
+
+    /// Number of author slots.
+    pub fn n_authors(&self) -> u32 {
+        self.n_authors
+    }
+
+    /// Number of edges (pairs with `w' ≥ 1`).
+    pub fn n_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Number of authors with at least one incident edge.
+    pub fn active_authors(&self) -> u32 {
+        self.page_counts.iter().filter(|&&c| c > 0).count() as u32
+    }
+
+    /// `w'_{xy}` (symmetric); 0 if the pair shares no windowed interaction.
+    pub fn weight(&self, x: AuthorId, y: AuthorId) -> u64 {
+        let key = (x.0.min(y.0), x.0.max(y.0));
+        self.edges.get(&key).copied().unwrap_or(0)
+    }
+
+    /// `P'_x` — pages used to create a projection edge at `x` (Eq. 6).
+    pub fn page_count(&self, x: AuthorId) -> u64 {
+        self.page_counts[x.0 as usize]
+    }
+
+    /// All `P'` values as a dense slice indexed by author id.
+    pub fn page_counts(&self) -> &[u64] {
+        &self.page_counts
+    }
+
+    /// Iterate edges as `(x, y, w')` with `x < y`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+
+    /// Increment `w'_{xy}` by one (used by merge paths; x ≠ y required).
+    pub fn add_edge_count(&mut self, x: u32, y: u32, n: u64) {
+        assert_ne!(x, y, "self-interactions are never projected");
+        let key = (x.min(y), x.max(y));
+        *self.edges.entry(key).or_insert(0) += n;
+    }
+
+    /// Increment `P'_x` by `n`.
+    pub fn add_page_count(&mut self, x: u32, n: u64) {
+        self.page_counts[x as usize] += n;
+    }
+
+    /// Merge another projection's counts into this one (used by the
+    /// distributed driver's shard collection; *not* a semantically valid way
+    /// to combine different windows — see `project::project_bucketed`).
+    pub fn absorb(&mut self, other: CiGraph) {
+        assert_eq!(self.n_authors, other.n_authors);
+        for ((a, b), w) in other.edges {
+            *self.edges.entry((a, b)).or_insert(0) += w;
+        }
+        for (i, c) in other.page_counts.into_iter().enumerate() {
+            self.page_counts[i] += c;
+        }
+    }
+
+    /// Drop edges with `w' < min_weight` (the paper's pre-triangle threshold).
+    /// `P'` counts are kept as computed at projection time — thresholding is a
+    /// search-space reduction, not a re-projection.
+    pub fn threshold(&self, min_weight: u64) -> CiGraph {
+        CiGraph {
+            n_authors: self.n_authors,
+            edges: self
+                .edges
+                .iter()
+                .filter(|&(_, &w)| w >= min_weight)
+                .map(|(&k, &w)| (k, w))
+                .collect(),
+            page_counts: self.page_counts.clone(),
+        }
+    }
+
+    /// Largest edge weight (0 for an edgeless graph).
+    pub fn max_weight(&self) -> u64 {
+        self.edges.values().copied().max().unwrap_or(0)
+    }
+
+    /// Convert to a [`tripoll::WeightedGraph`] over the same dense vertex ids.
+    pub fn to_weighted_graph(&self) -> tripoll::WeightedGraph {
+        tripoll::WeightedGraph::from_edges(self.n_authors, self.edges())
+    }
+
+    /// Connected components over edges with `w' ≥ min_weight` (≥ 2 vertices,
+    /// largest first) — how the paper extracts botnet candidates (Figures 1–2).
+    pub fn components(&self, min_weight: u64) -> Vec<Vec<u32>> {
+        self.to_weighted_graph().components(min_weight)
+    }
+
+    /// Serialize to the versioned TSV format (deterministic row order).
+    /// Projection is by far the most expensive stage, so real deployments
+    /// persist the CI graph and re-survey it at many thresholds; this is that
+    /// interchange format (`coordination project` / `survey` in the CLI).
+    pub fn write_tsv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "#ci-graph\tv1")?;
+        writeln!(w, "#n_authors\t{}", self.n_authors)?;
+        let mut counts: Vec<(u32, u64)> = self
+            .page_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(a, &c)| (a as u32, c))
+            .collect();
+        counts.sort_unstable();
+        for (a, c) in counts {
+            writeln!(w, "P\t{a}\t{c}")?;
+        }
+        let mut edges: Vec<(u32, u32, u64)> = self.edges().collect();
+        edges.sort_unstable();
+        for (a, b, wt) in edges {
+            writeln!(w, "E\t{a}\t{b}\t{wt}")?;
+        }
+        Ok(())
+    }
+
+    /// Parse the TSV format written by [`CiGraph::write_tsv`]. Returns a
+    /// descriptive error string on malformed input.
+    pub fn read_tsv<R: std::io::BufRead>(r: R) -> Result<CiGraph, String> {
+        let mut lines = r.lines().enumerate();
+        let (_, first) = lines.next().ok_or("empty input")?;
+        let first = first.map_err(|e| e.to_string())?;
+        if first.trim() != "#ci-graph\tv1" {
+            return Err(format!("bad magic line: {first:?}"));
+        }
+        let (_, second) = lines.next().ok_or("missing n_authors line")?;
+        let second = second.map_err(|e| e.to_string())?;
+        let n_authors: u32 = second
+            .strip_prefix("#n_authors\t")
+            .ok_or_else(|| format!("bad n_authors line: {second:?}"))?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad n_authors value: {e}"))?;
+        let mut g = CiGraph::new(n_authors);
+        for (lineno, line) in lines {
+            let line = line.map_err(|e| e.to_string())?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let mut f = line.split('\t');
+            let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            match f.next() {
+                Some("P") => {
+                    let a: u32 = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad author id"))?;
+                    let c: u64 = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad page count"))?;
+                    if a >= n_authors {
+                        return Err(err("author id out of range"));
+                    }
+                    g.page_counts[a as usize] = c;
+                }
+                Some("E") => {
+                    let a: u32 = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad endpoint"))?;
+                    let b: u32 = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad endpoint"))?;
+                    let w: u64 = f
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad weight"))?;
+                    if a >= n_authors || b >= n_authors || a == b {
+                        return Err(err("bad edge endpoints"));
+                    }
+                    g.edges.insert((a.min(b), a.max(b)), w);
+                }
+                _ => return Err(err("unknown record kind")),
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AuthorId {
+        AuthorId(i)
+    }
+
+    #[test]
+    fn weights_are_symmetric_and_default_zero() {
+        let mut g = CiGraph::new(3);
+        g.add_edge_count(2, 0, 5);
+        assert_eq!(g.weight(a(0), a(2)), 5);
+        assert_eq!(g.weight(a(2), a(0)), 5);
+        assert_eq!(g.weight(a(0), a(1)), 0);
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-interactions")]
+    fn self_edge_panics() {
+        CiGraph::new(2).add_edge_count(1, 1, 1);
+    }
+
+    #[test]
+    fn page_counts_track_active_authors() {
+        let mut g = CiGraph::new(4);
+        g.add_page_count(1, 3);
+        g.add_page_count(2, 1);
+        assert_eq!(g.page_count(a(1)), 3);
+        assert_eq!(g.page_count(a(0)), 0);
+        assert_eq!(g.active_authors(), 2);
+        assert_eq!(g.page_counts(), &[0, 3, 1, 0]);
+    }
+
+    #[test]
+    fn threshold_keeps_heavy_edges_and_page_counts() {
+        let mut g = CiGraph::new(3);
+        g.add_edge_count(0, 1, 10);
+        g.add_edge_count(1, 2, 2);
+        g.add_page_count(0, 7);
+        let t = g.threshold(5);
+        assert_eq!(t.n_edges(), 1);
+        assert_eq!(t.weight(a(0), a(1)), 10);
+        assert_eq!(t.weight(a(1), a(2)), 0);
+        assert_eq!(t.page_count(a(0)), 7);
+    }
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut g1 = CiGraph::new(3);
+        g1.add_edge_count(0, 1, 2);
+        g1.add_page_count(0, 1);
+        let mut g2 = CiGraph::new(3);
+        g2.add_edge_count(1, 0, 3);
+        g2.add_edge_count(1, 2, 1);
+        g2.add_page_count(0, 2);
+        g1.absorb(g2);
+        assert_eq!(g1.weight(a(0), a(1)), 5);
+        assert_eq!(g1.weight(a(1), a(2)), 1);
+        assert_eq!(g1.page_count(a(0)), 3);
+    }
+
+    #[test]
+    fn to_weighted_graph_preserves_weights() {
+        let mut g = CiGraph::new(4);
+        g.add_edge_count(0, 1, 4);
+        g.add_edge_count(2, 3, 9);
+        let wg = g.to_weighted_graph();
+        assert_eq!(wg.n(), 4);
+        assert_eq!(wg.m(), 2);
+        assert_eq!(wg.edge_weight(0, 1), Some(4));
+        assert_eq!(wg.edge_weight(2, 3), Some(9));
+    }
+
+    #[test]
+    fn tsv_roundtrip_is_identity() {
+        let mut g = CiGraph::new(5);
+        g.add_edge_count(0, 3, 12);
+        g.add_edge_count(4, 1, 7);
+        g.add_page_count(0, 9);
+        g.add_page_count(3, 2);
+        let mut buf = Vec::new();
+        g.write_tsv(&mut buf).unwrap();
+        let back = CiGraph::read_tsv(&buf[..]).unwrap();
+        assert_eq!(back.n_authors(), 5);
+        assert_eq!(back.weight(a(0), a(3)), 12);
+        assert_eq!(back.weight(a(1), a(4)), 7);
+        assert_eq!(back.page_counts(), g.page_counts());
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = back.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn tsv_write_is_deterministic() {
+        let mut g = CiGraph::new(4);
+        g.add_edge_count(2, 1, 3);
+        g.add_edge_count(0, 3, 5);
+        let render = |g: &CiGraph| {
+            let mut b = Vec::new();
+            g.write_tsv(&mut b).unwrap();
+            String::from_utf8(b).unwrap()
+        };
+        assert_eq!(render(&g), render(&g.clone()));
+        assert!(render(&g).starts_with("#ci-graph\tv1\n#n_authors\t4\n"));
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_input() {
+        assert!(CiGraph::read_tsv("".as_bytes()).is_err());
+        assert!(CiGraph::read_tsv("#wrong\n".as_bytes()).is_err());
+        let bad_edge = "#ci-graph\tv1\n#n_authors\t2\nE\t0\t5\t1\n";
+        assert!(CiGraph::read_tsv(bad_edge.as_bytes()).unwrap_err().contains("endpoints"));
+        let self_edge = "#ci-graph\tv1\n#n_authors\t2\nE\t1\t1\t1\n";
+        assert!(CiGraph::read_tsv(self_edge.as_bytes()).is_err());
+        let junk = "#ci-graph\tv1\n#n_authors\t2\nX\t1\n";
+        assert!(CiGraph::read_tsv(junk.as_bytes()).unwrap_err().contains("unknown record"));
+    }
+
+    #[test]
+    fn components_use_threshold() {
+        let mut g = CiGraph::new(4);
+        g.add_edge_count(0, 1, 10);
+        g.add_edge_count(1, 2, 1);
+        g.add_edge_count(2, 3, 10);
+        let comps = g.components(5);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(g.components(1).len(), 1);
+        assert_eq!(g.max_weight(), 10);
+    }
+}

@@ -1,0 +1,154 @@
+//! Pre-projection exclusion of known accounts.
+//!
+//! The paper (§3) removes 'helpful' bots such as `AutoModerator` and the
+//! `[deleted]` placeholder before projecting: the former's interaction pattern
+//! is known and uninteresting, and the latter aggregates arbitrarily many real
+//! users into one name. Both would otherwise dominate the common interaction
+//! graph (AutoModerator comments on a large fraction of all new pages within
+//! seconds — the exact signature the projection hunts for).
+
+use std::collections::HashSet;
+
+use crate::ids::AuthorId;
+use crate::records::Dataset;
+
+/// A set of author names excluded from projection.
+#[derive(Clone, Debug, Default)]
+pub struct ExclusionList {
+    names: HashSet<String>,
+}
+
+impl ExclusionList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's defaults: platform-role bots and the deleted-user
+    /// placeholder.
+    pub fn reddit_defaults() -> Self {
+        let mut l = Self::new();
+        l.add("AutoModerator");
+        l.add("[deleted]");
+        l
+    }
+
+    /// Add a name.
+    pub fn add(&mut self, name: impl Into<String>) -> &mut Self {
+        self.names.insert(name.into());
+        self
+    }
+
+    /// Add many names.
+    pub fn extend<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, names: I) -> &mut Self {
+        self.names.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Whether `name` is excluded.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Number of excluded names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Resolve to dense author ids present in `ds` (unknown names are
+    /// silently fine — the archive month may simply not contain them).
+    pub fn resolve(&self, ds: &Dataset) -> Vec<AuthorId> {
+        let mut ids: Vec<AuthorId> = self
+            .names
+            .iter()
+            .filter_map(|n| ds.authors.get(n))
+            .map(AuthorId)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Heuristic from §2.4's refinement loop: accounts whose comment volume
+/// exceeds `threshold` comments in the dataset are candidate platform
+/// utilities worth reviewing for exclusion. Returns names sorted by volume,
+/// heaviest first.
+pub fn high_volume_accounts(ds: &Dataset, threshold: u64) -> Vec<(String, u64)> {
+    let counts = crate::records::comment_counts(ds);
+    let mut out: Vec<(String, u64)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= threshold)
+        .map(|(n, c)| (n.to_owned(), c))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::CommentRecord;
+
+    #[test]
+    fn defaults_cover_the_papers_cases() {
+        let l = ExclusionList::reddit_defaults();
+        assert!(l.contains("AutoModerator"));
+        assert!(l.contains("[deleted]"));
+        assert!(!l.contains("alice"));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn resolve_maps_names_to_ids_and_ignores_absent() {
+        let ds = Dataset::from_records([
+            CommentRecord::new("alice", "p", 1),
+            CommentRecord::new("AutoModerator", "p", 1),
+        ]);
+        let l = ExclusionList::reddit_defaults();
+        let ids = l.resolve(&ds);
+        assert_eq!(ids, vec![AuthorId(ds.authors.get("AutoModerator").unwrap())]);
+    }
+
+    #[test]
+    fn exclusion_removes_comments_via_btm() {
+        let ds = Dataset::from_records([
+            CommentRecord::new("alice", "p", 1),
+            CommentRecord::new("AutoModerator", "p", 2),
+            CommentRecord::new("bob", "p", 3),
+        ]);
+        let btm = ds.btm();
+        let cleaned = btm.without_authors(&ExclusionList::reddit_defaults().resolve(&ds));
+        assert_eq!(cleaned.n_comments(), 2);
+    }
+
+    #[test]
+    fn extend_and_custom_names() {
+        let mut l = ExclusionList::new();
+        l.extend(["bot1", "bot2"]).add("bot3");
+        assert_eq!(l.len(), 3);
+        assert!(l.contains("bot2"));
+    }
+
+    #[test]
+    fn high_volume_heuristic_sorts_desc() {
+        let mut recs = Vec::new();
+        for i in 0..50 {
+            recs.push(CommentRecord::new("heavy", format!("p{i}"), i as i64));
+        }
+        for i in 0..10 {
+            recs.push(CommentRecord::new("medium", format!("p{i}"), i as i64));
+        }
+        recs.push(CommentRecord::new("light", "p0", 0));
+        let ds = Dataset::from_records(recs);
+        let heavy = high_volume_accounts(&ds, 10);
+        assert_eq!(
+            heavy,
+            vec![("heavy".to_string(), 50), ("medium".to_string(), 10)]
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Step 3: hypergraph validation of candidate triplets.
+//!
+//! Once steps 1–2 have pruned the `O(|U|³)` triplet space to a short list of
+//! high-weight triangles, the pipeline returns to the original bipartite data
+//! and computes the *true* multiway interaction counts: `w_xyz` (Eq. 2) is the
+//! size of the three-way intersection of the authors' page lists, and the
+//! normalized score `C(x,y,z)` (Eq. 4) divides by their total page counts.
+//! Note there is deliberately no time bound here — the paper validates spatial
+//! coordination only (its §4.2 names time-windowed hyperedges as future work).
+
+use rayon::prelude::*;
+
+use crate::btm::Btm;
+use crate::ids::{AuthorId, PageId};
+use crate::metrics::{c_score, TripletMetrics};
+use tripoll::survey::t_score;
+use tripoll::Triangle;
+
+/// Size of the intersection of three sorted, deduplicated page lists —
+/// `w_xyz`, the number of pages where all three authors commented.
+pub fn triple_intersection_count(a: &[PageId], b: &[PageId], c: &[PageId]) -> u64 {
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    let mut n = 0u64;
+    while i < a.len() && j < b.len() && k < c.len() {
+        let (x, y, z) = (a[i], b[j], c[k]);
+        let m = x.min(y).min(z);
+        if x == y && y == z {
+            n += 1;
+            i += 1;
+            j += 1;
+            k += 1;
+        } else {
+            if x == m {
+                i += 1;
+            }
+            if y == m {
+                j += 1;
+            }
+            if z == m {
+                k += 1;
+            }
+        }
+    }
+    n
+}
+
+/// `w_xyz` for three authors straight from the BTM.
+pub fn hyperedge_weight(btm: &Btm, x: AuthorId, y: AuthorId, z: AuthorId) -> u64 {
+    triple_intersection_count(btm.author_pages(x), btm.author_pages(y), btm.author_pages(z))
+}
+
+/// Validate one surveyed triangle: combine its CI metadata (weights and `P'`)
+/// with the hypergraph measures computed from `btm`.
+pub fn validate_triangle(btm: &Btm, ci_page_counts: &[u64], t: &Triangle) -> TripletMetrics {
+    let [a, b, c] = t.vertices();
+    let (xa, xb, xc) = (AuthorId(a), AuthorId(b), AuthorId(c));
+    let w_xyz = hyperedge_weight(btm, xa, xb, xc);
+    let (pa, pb, pc) = (btm.page_count(xa), btm.page_count(xb), btm.page_count(xc));
+    let min_w = t.min_weight();
+    TripletMetrics {
+        authors: [xa, xb, xc],
+        ci_weights: t.edge_weights(),
+        min_ci_weight: min_w,
+        t: t_score(
+            min_w,
+            ci_page_counts[a as usize],
+            ci_page_counts[b as usize],
+            ci_page_counts[c as usize],
+        ),
+        hyper_weight: w_xyz,
+        c: c_score(w_xyz, pa, pb, pc),
+        page_counts: [pa, pb, pc],
+    }
+}
+
+/// Validate a batch of triangles in parallel, returning metrics in the same
+/// order.
+pub fn validate_all(
+    btm: &Btm,
+    ci_page_counts: &[u64],
+    triangles: &[Triangle],
+) -> Vec<TripletMetrics> {
+    triangles
+        .par_iter()
+        .map(|t| validate_triangle(btm, ci_page_counts, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Event;
+
+    fn p(i: u32) -> PageId {
+        PageId(i)
+    }
+
+    fn pages(ids: &[u32]) -> Vec<PageId> {
+        ids.iter().map(|&i| p(i)).collect()
+    }
+
+    #[test]
+    fn triple_intersection_basics() {
+        assert_eq!(
+            triple_intersection_count(&pages(&[1, 2, 3]), &pages(&[2, 3, 4]), &pages(&[3, 4, 5])),
+            1
+        );
+        assert_eq!(
+            triple_intersection_count(&pages(&[1, 2]), &pages(&[1, 2]), &pages(&[1, 2])),
+            2
+        );
+        assert_eq!(
+            triple_intersection_count(&pages(&[1]), &pages(&[2]), &pages(&[3])),
+            0
+        );
+        assert_eq!(triple_intersection_count(&[], &pages(&[1]), &pages(&[1])), 0);
+    }
+
+    #[test]
+    fn triple_intersection_matches_hashset_reference() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashSet;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            let mk = |rng: &mut rand_chacha::ChaCha8Rng| {
+                let mut v: Vec<u32> =
+                    (0..rng.gen_range(0..40)).map(|_| rng.gen_range(0..60)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+            let sa: HashSet<u32> = a.iter().copied().collect();
+            let sb: HashSet<u32> = b.iter().copied().collect();
+            let expect = c.iter().filter(|x| sa.contains(x) && sb.contains(x)).count() as u64;
+            assert_eq!(
+                triple_intersection_count(&pages(&a), &pages(&b), &pages(&c)),
+                expect
+            );
+        }
+    }
+
+    fn coordinated_btm() -> Btm {
+        // authors 0,1,2 comment together on pages 0..4; author 0 also roams
+        // pages 4..10 alone.
+        let mut events = Vec::new();
+        for page in 0..4u32 {
+            for a in 0..3u32 {
+                events.push(Event::new(AuthorId(a), PageId(page), (page * 100 + a) as i64));
+            }
+        }
+        for page in 4..10u32 {
+            events.push(Event::new(AuthorId(0), PageId(page), page as i64 * 1000));
+        }
+        Btm::from_events(3, 10, &events)
+    }
+
+    #[test]
+    fn hyperedge_weight_counts_shared_pages() {
+        let btm = coordinated_btm();
+        assert_eq!(hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2)), 4);
+    }
+
+    #[test]
+    fn validate_combines_both_layers() {
+        let btm = coordinated_btm();
+        let tri = Triangle::new(0, 1, 2, 4, 4, 4);
+        let ci_pages = vec![4u64, 4, 4];
+        let m = validate_triangle(&btm, &ci_pages, &tri);
+        assert_eq!(m.hyper_weight, 4);
+        assert_eq!(m.min_ci_weight, 4);
+        // T = 3*4/(4+4+4) = 1
+        assert!((m.t - 1.0).abs() < 1e-12);
+        // p_0 = 10, p_1 = p_2 = 4 → C = 3*4/18
+        assert_eq!(m.page_counts, [10, 4, 4]);
+        assert!((m.c - 12.0 / 18.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&m.c));
+        assert!((0.0..=1.0).contains(&m.t));
+    }
+
+    #[test]
+    fn validate_all_preserves_order() {
+        let btm = coordinated_btm();
+        let t1 = Triangle::new(0, 1, 2, 4, 4, 4);
+        let t2 = Triangle::new(0, 1, 2, 1, 2, 3);
+        let ci_pages = vec![4u64, 4, 4];
+        let ms = validate_all(&btm, &ci_pages, &[t1, t2]);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].min_ci_weight, 4);
+        assert_eq!(ms[1].min_ci_weight, 1);
+    }
+
+    #[test]
+    fn hyper_weight_bounded_by_min_page_count() {
+        let btm = coordinated_btm();
+        let w = hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2));
+        let min_p = btm
+            .page_count(AuthorId(0))
+            .min(btm.page_count(AuthorId(1)))
+            .min(btm.page_count(AuthorId(2)));
+        assert!(w <= min_p);
+    }
+}

@@ -1,0 +1,545 @@
+//! Step 1: projecting the BTM to the common interaction graph (Algorithm 1).
+//!
+//! For each page, the time-sorted comment list is scanned with two cursors:
+//! every ordered comment pair whose delay falls in `[δ1, δ2]` contributes its
+//! (unordered, distinct) author pair to the page's pair set `S_I`; after the
+//! scan, each pair in `S_I` increments the edge weight `w'` once and each
+//! author incident to `S_I` increments its page count `P'` once. Pages are
+//! independent, so the parallel drivers fan out over pages:
+//!
+//! * [`project`] — rayon fold/reduce with per-worker partial maps (the default);
+//! * [`project_sequential`] — the literal Algorithm 1 loop (reference and
+//!   baseline for the scaling bench);
+//! * [`project_bucketed`] — the paper's time-bucket decomposition of a long
+//!   window, kept exact by unioning each page's pair sets across buckets
+//!   before counting (naively summing per-bucket projections would double
+//!   count pairs that interact in several sub-windows of the same page);
+//! * [`project_distributed`] — the YGM formulation: pages are distributed by
+//!   hash, pair counts are pushed to distributed counting sets, matching the
+//!   communication structure of the paper's cluster implementation.
+
+use std::collections::{HashMap, HashSet};
+
+use rayon::prelude::*;
+
+use crate::btm::Btm;
+use crate::cigraph::CiGraph;
+use crate::ids::{AuthorId, Timestamp};
+use crate::window::Window;
+
+/// Collect the deduplicated author pairs of one page under `window` into
+/// `pairs`. `comments` must be sorted by timestamp (BTM guarantees this).
+fn page_pairs(
+    comments: &[(Timestamp, AuthorId)],
+    window: &Window,
+    pairs: &mut HashSet<(u32, u32)>,
+) {
+    pairs.clear();
+    let n = comments.len();
+    for i in 0..n {
+        let (ti, ai) = comments[i];
+        for &(tj, aj) in &comments[i + 1..] {
+            let dt = tj - ti;
+            if dt > window.d2() {
+                break; // sorted: later comments are only farther away
+            }
+            if dt >= window.d1() && ai != aj {
+                pairs.insert((ai.0.min(aj.0), ai.0.max(aj.0)));
+            }
+        }
+    }
+}
+
+/// Fold one page's pair set into partial edge/page-count maps.
+fn accumulate_page(
+    pairs: &HashSet<(u32, u32)>,
+    edges: &mut HashMap<(u32, u32), u64>,
+    page_counts: &mut HashMap<u32, u64>,
+    authors_scratch: &mut HashSet<u32>,
+) {
+    if pairs.is_empty() {
+        return;
+    }
+    authors_scratch.clear();
+    for &(x, y) in pairs {
+        *edges.entry((x, y)).or_insert(0) += 1;
+        authors_scratch.insert(x);
+        authors_scratch.insert(y);
+    }
+    for &a in authors_scratch.iter() {
+        *page_counts.entry(a).or_insert(0) += 1;
+    }
+}
+
+fn finish(n_authors: u32, edges: HashMap<(u32, u32), u64>, counts: HashMap<u32, u64>) -> CiGraph {
+    let mut page_counts = vec![0u64; n_authors as usize];
+    for (a, c) in counts {
+        page_counts[a as usize] = c;
+    }
+    CiGraph::from_parts(n_authors, edges, page_counts)
+}
+
+/// Algorithm 1, sequential reference implementation.
+pub fn project_sequential(btm: &Btm, window: Window) -> CiGraph {
+    let mut edges = HashMap::new();
+    let mut counts = HashMap::new();
+    let mut pairs = HashSet::new();
+    let mut scratch = HashSet::new();
+    for (_, comments) in btm.pages() {
+        page_pairs(comments, &window, &mut pairs);
+        accumulate_page(&pairs, &mut edges, &mut counts, &mut scratch);
+    }
+    finish(btm.n_authors(), edges, counts)
+}
+
+/// Algorithm 1 parallelized over pages with rayon (the default driver).
+pub fn project(btm: &Btm, window: Window) -> CiGraph {
+    type Partial = (HashMap<(u32, u32), u64>, HashMap<u32, u64>);
+    let pages: Vec<_> = btm.pages().collect();
+    let (edges, counts) = pages
+        .par_iter()
+        .fold(
+            || (HashMap::new(), HashMap::new()),
+            |(mut edges, mut counts): Partial, (_, comments)| {
+                let mut pairs = HashSet::new();
+                let mut scratch = HashSet::new();
+                page_pairs(comments, &window, &mut pairs);
+                accumulate_page(&pairs, &mut edges, &mut counts, &mut scratch);
+                (edges, counts)
+            },
+        )
+        .reduce(
+            || (HashMap::new(), HashMap::new()),
+            |(mut e1, mut c1), (e2, c2)| {
+                if e1.len() < e2.len() {
+                    return reduce_into(e2, c2, e1, c1);
+                }
+                for (k, v) in e2 {
+                    *e1.entry(k).or_insert(0) += v;
+                }
+                for (k, v) in c2 {
+                    *c1.entry(k).or_insert(0) += v;
+                }
+                (e1, c1)
+            },
+        );
+    return finish(btm.n_authors(), edges, counts);
+
+    fn reduce_into(
+        mut big_e: HashMap<(u32, u32), u64>,
+        mut big_c: HashMap<u32, u64>,
+        small_e: HashMap<(u32, u32), u64>,
+        small_c: HashMap<u32, u64>,
+    ) -> (HashMap<(u32, u32), u64>, HashMap<u32, u64>) {
+        for (k, v) in small_e {
+            *big_e.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in small_c {
+            *big_c.entry(k).or_insert(0) += v;
+        }
+        (big_e, big_c)
+    }
+}
+
+/// The paper's time-bucket strategy for long windows: split `window` into
+/// `n_buckets` contiguous sub-windows, scan each page once per bucket, and
+/// union the page's pair sets before counting. Produces exactly the same
+/// CI graph as [`project`] on the full window, while each scan's working pair
+/// set stays bounded by the sub-window's density.
+pub fn project_bucketed(btm: &Btm, window: Window, n_buckets: usize) -> CiGraph {
+    let buckets = window.buckets(n_buckets);
+    let pages: Vec<_> = btm.pages().collect();
+    let (edges, counts) = pages
+        .par_iter()
+        .fold(
+            || (HashMap::new(), HashMap::new()),
+            |(mut edges, mut counts), (_, comments)| {
+                let mut union: HashSet<(u32, u32)> = HashSet::new();
+                let mut pairs = HashSet::new();
+                for b in &buckets {
+                    page_pairs(comments, b, &mut pairs);
+                    union.extend(pairs.iter().copied());
+                }
+                let mut scratch = HashSet::new();
+                accumulate_page(&union, &mut edges, &mut counts, &mut scratch);
+                (edges, counts)
+            },
+        )
+        .reduce(
+            || (HashMap::new(), HashMap::new()),
+            |(mut e1, mut c1), (e2, c2)| {
+                for (k, v) in e2 {
+                    *e1.entry(k).or_insert(0) += v;
+                }
+                for (k, v) in c2 {
+                    *c1.entry(k).or_insert(0) += v;
+                }
+                (e1, c1)
+            },
+        );
+    finish(btm.n_authors(), edges, counts)
+}
+
+/// The YGM-style distributed projection: pages are hash-distributed across
+/// `nranks` ranks; each rank scans its pages and pushes `w'`/`P'` increments
+/// to distributed counting sets **through send-side aggregation**
+/// ([`ygm::Aggregator`]), exactly the communication pattern of the paper's
+/// implementation. Results match [`project`] bit for bit.
+pub fn project_distributed(btm: &Btm, window: Window, nranks: usize) -> CiGraph {
+    use ygm::container::DistCountingSet;
+    use ygm::partition::owner_of;
+    use ygm::{Aggregator, World};
+
+    const FLUSH_THRESHOLD: usize = 1024;
+
+    let edge_counts: DistCountingSet<(u32, u32)> = DistCountingSet::new(nranks);
+    let page_counts: DistCountingSet<u32> = DistCountingSet::new(nranks);
+
+    {
+        let ec = edge_counts.clone();
+        let pc = page_counts.clone();
+        let btm_ref = &btm;
+        World::run(nranks, move |ctx| {
+            let mut pairs = HashSet::new();
+            let mut authors = HashSet::new();
+            // batch the fine-grained increments into per-destination buffers;
+            // the apply side runs on the owner and mutates its shard directly
+            let ec_apply = ec.clone();
+            let mut edge_agg =
+                Aggregator::new(ctx, FLUSH_THRESHOLD, move |inner, pair: (u32, u32)| {
+                    ec_apply.local_add(inner, pair, 1);
+                });
+            let pc_apply = pc.clone();
+            let mut page_agg =
+                Aggregator::new(ctx, FLUSH_THRESHOLD, move |inner, author: u32| {
+                    pc_apply.local_add(inner, author, 1);
+                });
+            for (pid, comments) in btm_ref.pages() {
+                // owner-computes: the rank owning the page scans it
+                if owner_of(&pid.0, ctx.nranks()) != ctx.rank() {
+                    continue;
+                }
+                page_pairs(comments, &window, &mut pairs);
+                if pairs.is_empty() {
+                    continue;
+                }
+                authors.clear();
+                for &(x, y) in &pairs {
+                    edge_agg.push(ctx, owner_of(&(x, y), ctx.nranks()), (x, y));
+                    authors.insert(x);
+                    authors.insert(y);
+                }
+                for &a in &authors {
+                    page_agg.push(ctx, owner_of(&a, ctx.nranks()), a);
+                }
+            }
+            edge_agg.flush_all(ctx);
+            page_agg.flush_all(ctx);
+            ctx.barrier();
+        });
+    }
+
+    let edges = edge_counts.drain_into_local();
+    let counts = page_counts.drain_into_local();
+    finish(btm.n_authors(), edges, counts)
+}
+
+/// Targeted reprojection (paper §2.2): project only the pairs drawn from a
+/// given author subset, typically with a *longer* window than the discovery
+/// pass — "reproject the original BTM for just this smaller group of users
+/// with a longer time window". Equivalent to filtering [`project`]'s output
+/// to subset-internal edges (and recomputing `P'` over those pages), but runs
+/// in time proportional to the subset's comment volume.
+pub fn project_subset(btm: &Btm, subset: &[AuthorId], window: Window) -> CiGraph {
+    let mut in_subset = vec![false; btm.n_authors() as usize];
+    for a in subset {
+        in_subset[a.0 as usize] = true;
+    }
+    let pages: Vec<_> = btm.pages().collect();
+    let (edges, counts) = pages
+        .par_iter()
+        .fold(
+            || (HashMap::new(), HashMap::new()),
+            |(mut edges, mut counts), (_, comments)| {
+                // restrict the neighborhood to subset members up front
+                let filtered: Vec<(Timestamp, AuthorId)> = comments
+                    .iter()
+                    .copied()
+                    .filter(|&(_, a)| in_subset[a.0 as usize])
+                    .collect();
+                if filtered.len() >= 2 {
+                    let mut pairs = HashSet::new();
+                    let mut scratch = HashSet::new();
+                    page_pairs(&filtered, &window, &mut pairs);
+                    accumulate_page(&pairs, &mut edges, &mut counts, &mut scratch);
+                }
+                (edges, counts)
+            },
+        )
+        .reduce(
+            || (HashMap::new(), HashMap::new()),
+            |(mut e1, mut c1), (e2, c2)| {
+                for (k, v) in e2 {
+                    *e1.entry(k).or_insert(0) += v;
+                }
+                for (k, v) in c2 {
+                    *c1.entry(k).or_insert(0) += v;
+                }
+                (e1, c1)
+            },
+        );
+    finish(btm.n_authors(), edges, counts)
+}
+
+/// Summary statistics of one projection run, for scale reporting
+/// (paper §3.2.3: "2.95 million authors and 3.28 billion edges").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProjectionStats {
+    /// Comments reviewed (BTM edge count).
+    pub comments_reviewed: u64,
+    /// Authors with at least one projection edge.
+    pub active_authors: u32,
+    /// Edges in the CI graph.
+    pub ci_edges: u64,
+    /// Largest `w'`.
+    pub max_weight: u64,
+}
+
+/// Compute [`ProjectionStats`] for a projection of `btm`.
+pub fn stats(btm: &Btm, ci: &CiGraph) -> ProjectionStats {
+    ProjectionStats {
+        comments_reviewed: btm.n_comments(),
+        active_authors: ci.active_authors(),
+        ci_edges: ci.n_edges(),
+        max_weight: ci.max_weight(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Event, PageId};
+
+    fn ev(a: u32, p: u32, ts: Timestamp) -> Event {
+        Event::new(AuthorId(a), PageId(p), ts)
+    }
+
+    fn btm(n_authors: u32, n_pages: u32, events: &[Event]) -> Btm {
+        Btm::from_events(n_authors, n_pages, events)
+    }
+
+    #[test]
+    fn basic_pairing_within_window() {
+        // authors 0,1 comment 30s apart; 2 comments 300s later
+        let b = btm(3, 1, &[ev(0, 0, 0), ev(1, 0, 30), ev(2, 0, 330)]);
+        let ci = project(&b, Window::new(0, 60));
+        assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 1);
+        assert_eq!(ci.weight(AuthorId(1), AuthorId(2)), 0);
+        assert_eq!(ci.weight(AuthorId(0), AuthorId(2)), 0);
+        assert_eq!(ci.page_count(AuthorId(0)), 1);
+        assert_eq!(ci.page_count(AuthorId(2)), 0);
+    }
+
+    #[test]
+    fn window_bounds_are_inclusive() {
+        let b = btm(2, 3, &[
+            ev(0, 0, 0), ev(1, 0, 10), // dt = d1 exactly
+            ev(0, 1, 0), ev(1, 1, 20), // dt = d2 exactly
+            ev(0, 2, 0), ev(1, 2, 21), // dt just past d2
+        ]);
+        let ci = project(&b, Window::new(10, 20));
+        assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 2);
+    }
+
+    #[test]
+    fn same_page_counted_once_per_pair() {
+        // x and y alternate comments rapidly: many qualifying pairs, one page
+        let events: Vec<Event> =
+            (0..10).map(|i| ev((i % 2) as u32, 0, i as i64)).collect();
+        let b = btm(2, 1, &events);
+        let ci = project(&b, Window::new(0, 60));
+        assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 1);
+        assert_eq!(ci.page_count(AuthorId(0)), 1);
+    }
+
+    #[test]
+    fn self_interactions_ignored() {
+        let b = btm(2, 1, &[ev(0, 0, 0), ev(0, 0, 5), ev(0, 0, 10)]);
+        let ci = project(&b, Window::new(0, 60));
+        assert_eq!(ci.n_edges(), 0);
+        assert_eq!(ci.page_count(AuthorId(0)), 0);
+    }
+
+    #[test]
+    fn d1_greater_than_zero_excludes_immediate_pairs() {
+        let b = btm(2, 2, &[
+            ev(0, 0, 0), ev(1, 0, 2),  // too close for d1=5
+            ev(0, 1, 0), ev(1, 1, 7),  // inside (5, 10)
+        ]);
+        let ci = project(&b, Window::new(5, 10));
+        assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 1);
+    }
+
+    #[test]
+    fn weights_count_distinct_pages() {
+        let mut events = Vec::new();
+        for p in 0..5 {
+            events.push(ev(0, p, 0));
+            events.push(ev(1, p, 1));
+        }
+        let b = btm(2, 5, &events);
+        let ci = project(&b, Window::new(0, 60));
+        assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 5);
+        assert_eq!(ci.page_count(AuthorId(0)), 5);
+    }
+
+    #[test]
+    fn equal_timestamps_pair_once() {
+        let b = btm(2, 1, &[ev(0, 0, 100), ev(1, 0, 100)]);
+        let ci = project(&b, Window::new(0, 60));
+        assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 1);
+    }
+
+    fn random_btm(seed: u64, n_authors: u32, n_pages: u32, n_events: usize) -> Btm {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let events: Vec<Event> = (0..n_events)
+            .map(|_| {
+                ev(
+                    rng.gen_range(0..n_authors),
+                    rng.gen_range(0..n_pages),
+                    rng.gen_range(0..5_000),
+                )
+            })
+            .collect();
+        btm(n_authors, n_pages, &events)
+    }
+
+    fn assert_ci_eq(a: &CiGraph, b: &CiGraph) {
+        let mut ea: Vec<_> = a.edges().collect();
+        let mut eb: Vec<_> = b.edges().collect();
+        ea.sort_unstable();
+        eb.sort_unstable();
+        assert_eq!(ea, eb);
+        assert_eq!(a.page_counts(), b.page_counts());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for seed in 0..5 {
+            let b = random_btm(seed, 40, 30, 600);
+            let w = Window::new(0, 120);
+            assert_ci_eq(&project(&b, w), &project_sequential(&b, w));
+        }
+    }
+
+    #[test]
+    fn bucketed_matches_direct() {
+        for seed in 0..5 {
+            let b = random_btm(seed + 100, 30, 20, 500);
+            let w = Window::new(0, 600);
+            let direct = project(&b, w);
+            for n_buckets in [1, 2, 5, 10] {
+                assert_ci_eq(&direct, &project_bucketed(&b, w, n_buckets));
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_with_nonzero_d1() {
+        let b = random_btm(7, 20, 15, 400);
+        let w = Window::new(30, 600);
+        assert_ci_eq(&project(&b, w), &project_bucketed(&b, w, 4));
+    }
+
+    #[test]
+    fn distributed_matches_shared_memory() {
+        for seed in 0..3 {
+            let b = random_btm(seed + 50, 30, 25, 500);
+            let w = Window::new(0, 90);
+            let shared = project(&b, w);
+            for nranks in [1, 3, 5] {
+                assert_ci_eq(&shared, &project_distributed(&b, w, nranks));
+            }
+        }
+    }
+
+    #[test]
+    fn window_nesting_is_monotone() {
+        // paper §3: projection for (0,60) ⊆ projection for (0,3600)
+        let b = random_btm(11, 30, 20, 800);
+        let small = project(&b, Window::new(0, 60));
+        let large = project(&b, Window::new(0, 3600));
+        for (x, y, w) in small.edges() {
+            assert!(
+                large.weight(AuthorId(x), AuthorId(y)) >= w,
+                "edge ({x},{y}) shrank from {w}"
+            );
+        }
+        assert!(large.n_edges() >= small.n_edges());
+    }
+
+    #[test]
+    fn subset_projection_matches_filtered_full_projection() {
+        let b = random_btm(21, 30, 20, 700);
+        let w = Window::new(0, 300);
+        let subset: Vec<AuthorId> = [2u32, 5, 9, 11, 20].iter().map(|&i| AuthorId(i)).collect();
+        let sub = project_subset(&b, &subset, w);
+        let full = project(&b, w);
+        let in_subset: std::collections::HashSet<u32> =
+            subset.iter().map(|a| a.0).collect();
+        // edges: exactly the subset-internal edges of the full projection
+        let mut expect: Vec<(u32, u32, u64)> = full
+            .edges()
+            .filter(|(x, y, _)| in_subset.contains(x) && in_subset.contains(y))
+            .collect();
+        let mut got: Vec<(u32, u32, u64)> = sub.edges().collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        // non-members have no presence at all
+        for a in 0..30u32 {
+            if !in_subset.contains(&a) {
+                assert_eq!(sub.page_count(AuthorId(a)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_projection_with_longer_window_reveals_slower_coordination() {
+        // two authors co-comment ~5 minutes apart on many pages: invisible at
+        // (0,60), visible when the flagged pair is reprojected at (0,600)
+        let mut events = Vec::new();
+        for p in 0..15u32 {
+            events.push(ev(0, p, p as i64 * 10_000));
+            events.push(ev(1, p, p as i64 * 10_000 + 300));
+        }
+        let b = btm(3, 15, &events);
+        let narrow = project_subset(&b, &[AuthorId(0), AuthorId(1)], Window::new(0, 60));
+        assert_eq!(narrow.weight(AuthorId(0), AuthorId(1)), 0);
+        let wide = project_subset(&b, &[AuthorId(0), AuthorId(1)], Window::new(0, 600));
+        assert_eq!(wide.weight(AuthorId(0), AuthorId(1)), 15);
+    }
+
+    #[test]
+    fn empty_btm_projects_to_empty_graph() {
+        let b = btm(5, 5, &[]);
+        let ci = project(&b, Window::new(0, 60));
+        assert_eq!(ci.n_edges(), 0);
+        assert_eq!(ci.active_authors(), 0);
+        let s = stats(&b, &ci);
+        assert_eq!(s.comments_reviewed, 0);
+        assert_eq!(s.ci_edges, 0);
+    }
+
+    #[test]
+    fn stats_report_scale() {
+        let b = random_btm(3, 20, 10, 300);
+        let ci = project(&b, Window::new(0, 300));
+        let s = stats(&b, &ci);
+        assert_eq!(s.comments_reviewed, 300);
+        assert_eq!(s.ci_edges, ci.n_edges());
+        assert_eq!(s.active_authors, ci.active_authors());
+        assert_eq!(s.max_weight, ci.max_weight());
+    }
+}

@@ -1,0 +1,352 @@
+//! Pushshift-style comment records and NDJSON ingestion.
+//!
+//! The paper's raw input is the pushshift.io Reddit comment archive: one JSON
+//! object per line with (among much else) an `author`, a `link_id` naming the
+//! submission at the root of the comment tree, and an integer `created_utc`.
+//! Those three fields are exactly what the BTM needs (paper §2.1.1); everything
+//! else is ignored on read.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AuthorId, Event, Interner, PageId, Timestamp};
+
+/// One comment record in the pushshift-compatible schema.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommentRecord {
+    /// Account name.
+    pub author: String,
+    /// Submission (page) id the comment tree roots at, e.g. `"t3_abc123"`.
+    pub link_id: String,
+    /// Seconds since the epoch.
+    pub created_utc: Timestamp,
+}
+
+impl CommentRecord {
+    /// Construct a record.
+    pub fn new(author: impl Into<String>, link_id: impl Into<String>, created_utc: Timestamp) -> Self {
+        CommentRecord { author: author.into(), link_id: link_id.into(), created_utc }
+    }
+}
+
+/// A dataset of comments with dense author/page id spaces.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    /// Author-name interner; `AuthorId(i)` ↔ `authors.name(i)`.
+    pub authors: Interner,
+    /// Page-name interner; `PageId(i)` ↔ `pages.name(i)`.
+    pub pages: Interner,
+    /// The interned events.
+    pub events: Vec<Event>,
+}
+
+impl Dataset {
+    /// Intern an iterator of records into dense events.
+    pub fn from_records<I: IntoIterator<Item = CommentRecord>>(records: I) -> Self {
+        let mut ds = Dataset::default();
+        for r in records {
+            ds.push(&r);
+        }
+        ds
+    }
+
+    /// Intern and append one record.
+    pub fn push(&mut self, r: &CommentRecord) {
+        let a = AuthorId(self.authors.intern(&r.author));
+        let p = PageId(self.pages.intern(&r.link_id));
+        self.events.push(Event::new(a, p, r.created_utc));
+    }
+
+    /// Build the BTM over this dataset's full id spaces.
+    pub fn btm(&self) -> crate::btm::Btm {
+        crate::btm::Btm::from_events(
+            self.authors.len() as u32,
+            self.pages.len() as u32,
+            &self.events,
+        )
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the dataset has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Author names for a dense-id triplet — for presenting results.
+    pub fn author_names(&self, ids: &[u32]) -> Vec<&str> {
+        ids.iter().map(|&i| self.authors.name(i)).collect()
+    }
+}
+
+/// Errors from NDJSON ingestion.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse; carries the 1-based line number.
+    Parse { line: usize, source: serde_json::Error },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse { line, source } => {
+                write!(f, "parse error on line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read NDJSON comment records from `reader`, one JSON object per line.
+/// Blank lines are skipped. Unknown fields are ignored (pushshift records
+/// carry dozens).
+pub fn read_ndjson<R: BufRead>(reader: R) -> Result<Vec<CommentRecord>, ReadError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let rec: CommentRecord = serde_json::from_str(trimmed)
+            .map_err(|source| ReadError::Parse { line: i + 1, source })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Write records as NDJSON.
+pub fn write_ndjson<W: Write>(mut w: W, records: &[CommentRecord]) -> std::io::Result<()> {
+    for r in records {
+        serde_json::to_writer(&mut w, r)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Stream NDJSON into a [`Dataset`] without materializing the record list —
+/// the allocation-light path for month-scale archives.
+pub fn read_ndjson_into_dataset<R: BufRead>(mut reader: R) -> Result<Dataset, ReadError> {
+    let mut ds = Dataset::default();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let rec: CommentRecord = serde_json::from_str(trimmed)
+            .map_err(|source| ReadError::Parse { line: lineno, source })?;
+        ds.push(&rec);
+    }
+    Ok(ds)
+}
+
+/// Count events per author name — handy for the exclusion-list heuristics.
+pub fn comment_counts(ds: &Dataset) -> HashMap<&str, u64> {
+    let mut out: HashMap<&str, u64> = HashMap::new();
+    for e in &ds.events {
+        *out.entry(ds.authors.name(e.author.0)).or_insert(0) += 1;
+    }
+    out
+}
+
+impl Dataset {
+    /// The `[min, max]` timestamp range of the events, or `None` if empty.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        self.events.iter().fold(None, |acc, e| match acc {
+            None => Some((e.ts, e.ts)),
+            Some((lo, hi)) => Some((lo.min(e.ts), hi.max(e.ts))),
+        })
+    }
+
+    /// A view restricted to events with `ts ∈ [from, to)`. Id spaces (and
+    /// interners) are shared with the parent so results remain comparable —
+    /// the paper's per-month analyses over a multi-month archive are exactly
+    /// this operation.
+    pub fn slice_time(&self, from: Timestamp, to: Timestamp) -> Dataset {
+        assert!(from < to, "empty or inverted time range [{from}, {to})");
+        Dataset {
+            authors: self.authors.clone(),
+            pages: self.pages.clone(),
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| e.ts >= from && e.ts < to)
+                .collect(),
+        }
+    }
+
+    /// Split into consecutive windows of `width` seconds covering the event
+    /// range, in time order (empty windows included). The building block for
+    /// longitudinal studies — e.g. does a botnet's coordination score drift
+    /// week over week?
+    pub fn split_time(&self, width: i64) -> Vec<Dataset> {
+        assert!(width > 0, "window width must be positive");
+        let Some((lo, hi)) = self.time_range() else { return Vec::new() };
+        let mut out = Vec::new();
+        let mut start = lo;
+        while start <= hi {
+            out.push(self.slice_time(start, start + width));
+            start += width;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ndjson() {
+        let recs = vec![
+            CommentRecord::new("alice", "t3_x", 100),
+            CommentRecord::new("bob", "t3_y", 200),
+        ];
+        let mut buf = Vec::new();
+        write_ndjson(&mut buf, &recs).unwrap();
+        let back = read_ndjson(&buf[..]).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let line = br#"{"author":"a","link_id":"t3_z","created_utc":5,"score":12,"body":"hi"}"#;
+        let recs = read_ndjson(&line[..]).unwrap();
+        assert_eq!(recs, vec![CommentRecord::new("a", "t3_z", 5)]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "\n{\"author\":\"a\",\"link_id\":\"p\",\"created_utc\":1}\n\n";
+        let recs = read_ndjson(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "{\"author\":\"a\",\"link_id\":\"p\",\"created_utc\":1}\nnot json\n";
+        let err = read_ndjson(text.as_bytes()).unwrap_err();
+        match err {
+            ReadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dataset_interns_densely() {
+        let ds = Dataset::from_records([
+            CommentRecord::new("a", "p1", 1),
+            CommentRecord::new("b", "p1", 2),
+            CommentRecord::new("a", "p2", 3),
+        ]);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.authors.len(), 2);
+        assert_eq!(ds.pages.len(), 2);
+        assert_eq!(ds.events[0], Event::new(AuthorId(0), PageId(0), 1));
+        assert_eq!(ds.events[2], Event::new(AuthorId(0), PageId(1), 3));
+        assert_eq!(ds.author_names(&[0, 1]), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn streaming_reader_matches_batch_reader() {
+        let text = "{\"author\":\"x\",\"link_id\":\"p\",\"created_utc\":9}\n\
+                    {\"author\":\"y\",\"link_id\":\"p\",\"created_utc\":10}\n";
+        let ds = read_ndjson_into_dataset(text.as_bytes()).unwrap();
+        let batch = Dataset::from_records(read_ndjson(text.as_bytes()).unwrap());
+        assert_eq!(ds.events, batch.events);
+        assert_eq!(ds.authors.len(), batch.authors.len());
+    }
+
+    #[test]
+    fn btm_from_dataset() {
+        let ds = Dataset::from_records([
+            CommentRecord::new("a", "p", 1),
+            CommentRecord::new("b", "p", 2),
+        ]);
+        let btm = ds.btm();
+        assert_eq!(btm.n_authors(), 2);
+        assert_eq!(btm.n_pages(), 1);
+        assert_eq!(btm.page_neighborhood(PageId(0)).len(), 2);
+    }
+
+    #[test]
+    fn time_slicing_preserves_id_spaces() {
+        let ds = Dataset::from_records([
+            CommentRecord::new("a", "p", 10),
+            CommentRecord::new("b", "q", 20),
+            CommentRecord::new("a", "q", 30),
+        ]);
+        assert_eq!(ds.time_range(), Some((10, 30)));
+        let early = ds.slice_time(0, 25);
+        assert_eq!(early.len(), 2);
+        // interners are shared: 'a' has the same id in every slice
+        assert_eq!(early.authors.get("a"), ds.authors.get("a"));
+        assert_eq!(early.authors.len(), ds.authors.len());
+        let empty = ds.slice_time(100, 200);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn split_time_covers_all_events_once() {
+        let ds = Dataset::from_records(
+            (0..50).map(|i| CommentRecord::new("u", format!("p{i}"), i * 7)),
+        );
+        let windows = ds.split_time(100);
+        assert_eq!(windows.iter().map(Dataset::len).sum::<usize>(), 50);
+        // boundaries are half-open: no event appears twice
+        assert_eq!(windows.len(), 4); // range [0, 343] at width 100
+        for w in &windows {
+            if let Some((lo, hi)) = w.time_range() {
+                assert!(hi - lo < 100);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn slice_rejects_bad_range() {
+        Dataset::default().slice_time(5, 5);
+    }
+
+    #[test]
+    fn comment_counts_by_name() {
+        let ds = Dataset::from_records([
+            CommentRecord::new("a", "p", 1),
+            CommentRecord::new("a", "q", 2),
+            CommentRecord::new("b", "p", 3),
+        ]);
+        let counts = comment_counts(&ds);
+        assert_eq!(counts["a"], 2);
+        assert_eq!(counts["b"], 1);
+    }
+}

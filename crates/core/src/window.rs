@@ -1,0 +1,155 @@
+//! The projection's temporal delay window `(δ1, δ2)`.
+//!
+//! Two comments on the same page are counted as a common interaction when
+//! their time difference `Δt` satisfies `δ1 ≤ Δt ≤ δ2` (paper §2.2, Algorithm 1
+//! line 7 — both bounds inclusive). Short windows target share–reshare bursts;
+//! long windows capture slower generation bots at much greater projection cost
+//! (paper §3.2.3 reports a 3.28-billion-edge graph for a one-hour window).
+
+/// An inclusive delay window `[δ1, δ2]` in seconds, with `0 ≤ δ1 < δ2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    d1: i64,
+    d2: i64,
+}
+
+impl Window {
+    /// Construct a window; validates `0 ≤ d1 < d2` (the paper requires
+    /// `δ2 > δ1 ≥ 0`).
+    pub fn new(d1: i64, d2: i64) -> Self {
+        assert!(d1 >= 0, "δ1 must be non-negative, got {d1}");
+        assert!(d2 > d1, "δ2 ({d2}) must exceed δ1 ({d1})");
+        Window { d1, d2 }
+    }
+
+    /// The `(0, 60s)` window used for every January-2020 result and the first
+    /// October-2016 projection.
+    pub fn zero_to_60s() -> Self {
+        Window::new(0, 60)
+    }
+
+    /// The `(0, 10 min)` window of paper §3.2.2.
+    pub fn zero_to_10m() -> Self {
+        Window::new(0, 600)
+    }
+
+    /// The `(0, 1 hr)` window of paper §3.2.3 (the largest projection).
+    pub fn zero_to_1h() -> Self {
+        Window::new(0, 3600)
+    }
+
+    /// Lower delay bound δ1 (inclusive).
+    #[inline]
+    pub fn d1(&self) -> i64 {
+        self.d1
+    }
+
+    /// Upper delay bound δ2 (inclusive).
+    #[inline]
+    pub fn d2(&self) -> i64 {
+        self.d2
+    }
+
+    /// Whether a non-negative delay `dt` falls in the window.
+    #[inline]
+    pub fn contains(&self, dt: i64) -> bool {
+        dt >= self.d1 && dt <= self.d2
+    }
+
+    /// Split into `n` contiguous sub-windows covering `[d1, d2]` — the
+    /// paper's time-'bucket' workaround for the memory cost of long windows
+    /// (§3, opening). Bucket `i` covers `[d1 + i·len, d1 + (i+1)·len - 1]`
+    /// except the last, which extends to `d2`; together they partition the
+    /// integer delays of `self`.
+    pub fn buckets(&self, n: usize) -> Vec<Window> {
+        assert!(n > 0, "need at least one bucket");
+        let span = self.d2 - self.d1 + 1; // inclusive integer delays
+        let n = (n as i64).min(span).max(1);
+        let per = span / n;
+        let rem = span % n;
+        let mut out = Vec::with_capacity(n as usize);
+        let mut lo = self.d1;
+        for i in 0..n {
+            let len = per + if i < rem { 1 } else { 0 };
+            let hi = lo + len - 1;
+            // Window requires d2 > d1 strictly; widen one-delay buckets by
+            // half-openness is impossible, so we carry them as (lo, hi) with
+            // lo == hi via the raw constructor below.
+            out.push(Window { d1: lo, d2: hi });
+            lo = hi + 1;
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}s, {}s)", self.d1, self.d2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(Window::zero_to_60s(), Window::new(0, 60));
+        assert_eq!(Window::zero_to_10m(), Window::new(0, 600));
+        assert_eq!(Window::zero_to_1h(), Window::new(0, 3600));
+    }
+
+    #[test]
+    fn contains_is_inclusive_on_both_ends() {
+        let w = Window::new(5, 10);
+        assert!(!w.contains(4));
+        assert!(w.contains(5));
+        assert!(w.contains(10));
+        assert!(!w.contains(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn degenerate_window_rejected() {
+        Window::new(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_d1_rejected() {
+        Window::new(-1, 5);
+    }
+
+    #[test]
+    fn buckets_partition_the_delay_range() {
+        let w = Window::new(0, 3600);
+        for n in [1usize, 2, 3, 7, 60] {
+            let bs = w.buckets(n);
+            assert_eq!(bs.len(), n);
+            assert_eq!(bs[0].d1(), 0);
+            assert_eq!(bs.last().unwrap().d2(), 3600);
+            for pair in bs.windows(2) {
+                assert_eq!(pair[0].d2() + 1, pair[1].d1(), "gap or overlap");
+            }
+            // every delay in exactly one bucket
+            for dt in [0i64, 1, 59, 60, 61, 600, 3599, 3600] {
+                assert_eq!(bs.iter().filter(|b| b.contains(dt)).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn more_buckets_than_delays_clamps() {
+        let w = Window::new(0, 2); // delays {0,1,2}
+        let bs = w.buckets(10);
+        assert_eq!(bs.len(), 3);
+        for dt in 0..=2 {
+            assert_eq!(bs.iter().filter(|b| b.contains(dt)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        assert_eq!(Window::zero_to_60s().to_string(), "(0s, 60s)");
+    }
+}

@@ -1,0 +1,332 @@
+//! Time-windowed hyperedges — the paper's first "future research" direction
+//! (§4.3), implemented.
+//!
+//! The paper's step 3 counts a hyperedge whenever three authors share a page
+//! *at any time*, which breaks any provable relationship with the windowed
+//! CI-graph triangles (§4.2, third shortcoming). Restricting the hyperedge to
+//! a window fixes that: define
+//!
+//! > `w_xyz^(δ2)` = number of pages `p` where `x`, `y`, `z` each have a
+//! > comment on `p` and some choice of one comment per author has all three
+//! > timestamps within a span of at most `δ2` seconds.
+//!
+//! **Theorem (the bound the paper wanted).** For `δ1 = 0`,
+//! `w_xyz^(δ2) ≤ min{w'_xy, w'_xz, w'_yz}` computed at window `(0, δ2)`:
+//! if all three comments fit in a span of `δ2`, then *every pair* of them is
+//! within `δ2` of each other, so each page counted by `w_xyz^(δ2)` is also
+//! counted by each pairwise weight. The property test in this module and the
+//! cross-crate suite exercise this.
+//!
+//! The scan is a sliding window over each page's time-sorted comments: advance
+//! the right cursor one comment at a time, retract the left cursor to keep the
+//! span ≤ δ2, and check whether the window covers all three authors.
+
+use rayon::prelude::*;
+
+use crate::btm::Btm;
+use crate::ids::{AuthorId, Timestamp};
+use crate::metrics::c_score;
+use tripoll::Triangle;
+
+/// Count pages where `x`, `y`, `z` all comment within a span of `max_span`
+/// seconds — `w_xyz^(δ2)`.
+pub fn windowed_hyperedge_weight(
+    btm: &Btm,
+    x: AuthorId,
+    y: AuthorId,
+    z: AuthorId,
+    max_span: i64,
+) -> u64 {
+    assert!(max_span >= 0, "span must be non-negative");
+    assert!(x != y && y != z && x != z, "authors must be distinct");
+    // Only pages all three touch can qualify; intersect their page lists
+    // first so the per-page scan runs on a short list.
+    let (pa, pb, pc) = (btm.author_pages(x), btm.author_pages(y), btm.author_pages(z));
+    let mut count = 0u64;
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < pa.len() && j < pb.len() && k < pc.len() {
+        let (a, b, c) = (pa[i], pb[j], pc[k]);
+        let m = a.min(b).min(c);
+        if a == b && b == c {
+            if page_has_windowed_triple(btm.page_neighborhood(a), x, y, z, max_span) {
+                count += 1;
+            }
+            i += 1;
+            j += 1;
+            k += 1;
+        } else {
+            if a == m {
+                i += 1;
+            }
+            if b == m {
+                j += 1;
+            }
+            if c == m {
+                k += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Does a sliding window of span `max_span` over `comments` (time-sorted)
+/// ever cover all three authors?
+fn page_has_windowed_triple(
+    comments: &[(Timestamp, AuthorId)],
+    x: AuthorId,
+    y: AuthorId,
+    z: AuthorId,
+    max_span: i64,
+) -> bool {
+    let mut left = 0usize;
+    let (mut nx, mut ny, mut nz) = (0u32, 0u32, 0u32);
+    let bump = |a: AuthorId, delta: i32, nx: &mut u32, ny: &mut u32, nz: &mut u32| {
+        let slot = if a == x {
+            nx
+        } else if a == y {
+            ny
+        } else if a == z {
+            nz
+        } else {
+            return;
+        };
+        *slot = slot.wrapping_add(delta as u32);
+    };
+    for right in 0..comments.len() {
+        bump(comments[right].1, 1, &mut nx, &mut ny, &mut nz);
+        while comments[right].0 - comments[left].0 > max_span {
+            bump(comments[left].1, -1, &mut nx, &mut ny, &mut nz);
+            left += 1;
+        }
+        if nx > 0 && ny > 0 && nz > 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// A triplet's windowed validation record: both the unbounded and the
+/// windowed hyperedge weights plus the windowed coordination score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowedTriplet {
+    /// The three authors, ascending.
+    pub authors: [AuthorId; 3],
+    /// `min{w'}` from the surveyed triangle.
+    pub min_ci_weight: u64,
+    /// Unbounded `w_xyz` (the paper's Eq. 2).
+    pub hyper_weight: u64,
+    /// Windowed `w_xyz^(δ2)`.
+    pub windowed_weight: u64,
+    /// `C` computed with the windowed weight — still in `[0, 1]`.
+    pub windowed_c: f64,
+}
+
+/// Validate surveyed triangles with the windowed hyperedge count, in parallel.
+/// `max_span` should equal the projection window's `δ2` for the bound
+/// `windowed_weight ≤ min_ci_weight` to hold.
+pub fn validate_windowed(btm: &Btm, triangles: &[Triangle], max_span: i64) -> Vec<WindowedTriplet> {
+    triangles
+        .par_iter()
+        .map(|t| {
+            let [a, b, c] = t.vertices();
+            let (xa, xb, xc) = (AuthorId(a), AuthorId(b), AuthorId(c));
+            let ww = windowed_hyperedge_weight(btm, xa, xb, xc, max_span);
+            let unbounded =
+                crate::hypergraph::hyperedge_weight(btm, xa, xb, xc);
+            WindowedTriplet {
+                authors: [xa, xb, xc],
+                min_ci_weight: t.min_weight(),
+                hyper_weight: unbounded,
+                windowed_weight: ww,
+                windowed_c: c_score(
+                    ww,
+                    btm.page_count(xa),
+                    btm.page_count(xb),
+                    btm.page_count(xc),
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Event, PageId};
+    use crate::project::project;
+    use crate::window::Window;
+
+    fn ev(a: u32, p: u32, ts: Timestamp) -> Event {
+        Event::new(AuthorId(a), PageId(p), ts)
+    }
+
+    #[test]
+    fn tight_triple_counts_loose_does_not() {
+        let btm = Btm::from_events(
+            3,
+            2,
+            &[
+                // page 0: all three within 30s
+                ev(0, 0, 0),
+                ev(1, 0, 10),
+                ev(2, 0, 30),
+                // page 1: pairwise close but triple spans 90s
+                ev(0, 1, 0),
+                ev(1, 1, 50),
+                ev(2, 1, 90),
+            ],
+        );
+        let w = |span| {
+            windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2), span)
+        };
+        assert_eq!(w(30), 1);
+        assert_eq!(w(89), 1);
+        assert_eq!(w(90), 2);
+        assert_eq!(w(9), 0);
+    }
+
+    #[test]
+    fn repeat_comments_let_late_windows_qualify() {
+        // author 0 comments twice; the second copy is close to 1 and 2
+        let btm = Btm::from_events(
+            3,
+            1,
+            &[ev(0, 0, 0), ev(1, 0, 500), ev(2, 0, 510), ev(0, 0, 505)],
+        );
+        assert_eq!(
+            windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2), 20),
+            1
+        );
+    }
+
+    #[test]
+    fn windowed_weight_monotone_in_span() {
+        let btm = Btm::from_events(
+            3,
+            4,
+            &[
+                ev(0, 0, 0),
+                ev(1, 0, 100),
+                ev(2, 0, 200),
+                ev(0, 1, 0),
+                ev(1, 1, 5),
+                ev(2, 1, 10),
+                ev(0, 2, 0),
+                ev(1, 2, 1000),
+                ev(2, 2, 2000),
+                ev(0, 3, 7),
+                ev(1, 3, 8),
+                ev(2, 3, 9),
+            ],
+        );
+        let mut prev = 0;
+        for span in [0i64, 10, 200, 2000, 10_000] {
+            let w = windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2), span);
+            assert!(w >= prev, "span {span}: {w} < {prev}");
+            prev = w;
+        }
+        assert_eq!(prev, 4);
+    }
+
+    #[test]
+    fn windowed_bounded_by_unbounded() {
+        let btm = Btm::from_events(
+            3,
+            3,
+            &[
+                ev(0, 0, 0),
+                ev(1, 0, 10),
+                ev(2, 0, 20),
+                ev(0, 1, 0),
+                ev(1, 1, 10_000),
+                ev(2, 1, 20_000),
+                ev(0, 2, 5),
+            ],
+        );
+        let unbounded =
+            crate::hypergraph::hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2));
+        let windowed =
+            windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2), 60);
+        assert_eq!(unbounded, 2);
+        assert_eq!(windowed, 1);
+        assert!(windowed <= unbounded);
+    }
+
+    /// The theorem: w_xyz^(δ2) ≤ min pairwise w' at window (0, δ2), on random
+    /// data.
+    #[test]
+    fn windowed_weight_bounded_by_min_triangle_weight() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        for trial in 0..20 {
+            let events: Vec<Event> = (0..400)
+                .map(|_| {
+                    ev(
+                        rng.gen_range(0..8),
+                        rng.gen_range(0..10),
+                        rng.gen_range(0..3_000),
+                    )
+                })
+                .collect();
+            let btm = Btm::from_events(8, 10, &events);
+            let span = rng.gen_range(1..500i64);
+            let ci = project(&btm, Window::new(0, span));
+            for a in 0..8u32 {
+                for b in (a + 1)..8 {
+                    for c in (b + 1)..8 {
+                        let ww = windowed_hyperedge_weight(
+                            &btm,
+                            AuthorId(a),
+                            AuthorId(b),
+                            AuthorId(c),
+                            span,
+                        );
+                        let min_w = ci
+                            .weight(AuthorId(a), AuthorId(b))
+                            .min(ci.weight(AuthorId(a), AuthorId(c)))
+                            .min(ci.weight(AuthorId(b), AuthorId(c)));
+                        assert!(
+                            ww <= min_w,
+                            "trial {trial}: w^({span})={ww} > min w'={min_w} for ({a},{b},{c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_windowed_batch() {
+        let btm = Btm::from_events(
+            3,
+            3,
+            &[
+                ev(0, 0, 0),
+                ev(1, 0, 5),
+                ev(2, 0, 10),
+                ev(0, 1, 0),
+                ev(1, 1, 5),
+                ev(2, 1, 9_999),
+                ev(0, 2, 0),
+                ev(1, 2, 3),
+                ev(2, 2, 6),
+            ],
+        );
+        let tri = Triangle::new(0, 1, 2, 2, 2, 2);
+        let out = validate_windowed(&btm, &[tri], 60);
+        assert_eq!(out.len(), 1);
+        let w = out[0];
+        assert_eq!(w.windowed_weight, 2);
+        assert_eq!(w.hyper_weight, 3);
+        assert!(w.windowed_weight <= w.min_ci_weight);
+        assert!((w.windowed_c - c_score(2, 3, 3, 3)).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&w.windowed_c));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn degenerate_authors_rejected() {
+        let btm = Btm::from_events(2, 1, &[ev(0, 0, 0)]);
+        windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(0), AuthorId(1), 10);
+    }
+}

@@ -1,0 +1,14 @@
+//! Botnet injectors — one module per coordination mechanism the paper found.
+//!
+//! Each injector produces plain [`CommentRecord`]s plus the list of member
+//! account names for the ground truth. Injectors know nothing about each
+//! other; [`crate::scenario`] merges them with organic traffic.
+//!
+//! [`CommentRecord`]: coordination_core::records::CommentRecord
+
+pub mod camouflage;
+pub mod gpt2;
+pub mod helpful;
+pub mod reply_trigger;
+pub mod reshare;
+pub mod slow_burn;

@@ -1,0 +1,146 @@
+//! The share–reshare network (paper §3.1.2: restream link distribution).
+//!
+//! One member posts the "trigger" page (a stream link); within seconds, most
+//! other members pile on. Because nearly the whole network responds to nearly
+//! every trigger, pairwise weights climb with the number of triggers and the
+//! CI component is a dense near-clique — the paper found an 8-clique with edge
+//! weights 27–91 at a (0, 60s) window.
+
+use coordination_core::records::CommentRecord;
+use rand::Rng;
+
+use super::gpt2::Injection;
+
+/// Configuration of a share–reshare network.
+#[derive(Clone, Debug)]
+pub struct ReshareConfig {
+    /// Core members (the paper's main group formed an 8-clique).
+    pub n_members: usize,
+    /// Trigger pages posted during the month (≈ events, e.g. one per game).
+    pub n_triggers: usize,
+    /// Probability each member responds to a given trigger.
+    pub participation: f64,
+    /// Response delay after the trigger, in seconds.
+    pub response_delay: std::ops::Range<i64>,
+    /// Month start.
+    pub t0: i64,
+    /// Month length in seconds.
+    pub span: i64,
+    /// Account-name prefix.
+    pub name_prefix: String,
+}
+
+impl Default for ReshareConfig {
+    fn default() -> Self {
+        ReshareConfig {
+            n_members: 8,
+            n_triggers: 60,
+            participation: 0.85,
+            response_delay: 1..45,
+            t0: 0,
+            span: crate::MONTH_SECS,
+            name_prefix: "stream_bot_".to_string(),
+        }
+    }
+}
+
+/// Generate the month's trigger/response activity.
+pub fn generate<R: Rng + ?Sized>(cfg: &ReshareConfig, rng: &mut R) -> Injection {
+    assert!(cfg.n_members >= 2, "need at least two members");
+    assert!(!cfg.response_delay.is_empty() && cfg.response_delay.start >= 0);
+    let members: Vec<String> =
+        (0..cfg.n_members).map(|i| format!("{}{}", cfg.name_prefix, i)).collect();
+    let mut records = Vec::new();
+    for trig in 0..cfg.n_triggers {
+        let page_id = format!("t3_{}link{trig}", cfg.name_prefix);
+        let birth = cfg.t0 + rng.gen_range(0..cfg.span.max(1));
+        let poster = rng.gen_range(0..cfg.n_members);
+        records.push(CommentRecord::new(&members[poster], &page_id, birth));
+        for (i, m) in members.iter().enumerate() {
+            if i == poster || !rng.gen_bool(cfg.participation) {
+                continue;
+            }
+            let ts = birth + rng.gen_range(cfg.response_delay.clone());
+            records.push(CommentRecord::new(m, &page_id, ts));
+        }
+    }
+    Injection { records, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coordination_core::records::Dataset;
+    use coordination_core::{project, AuthorId, Window};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn inject(seed: u64, cfg: &ReshareConfig) -> Injection {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generate(cfg, &mut rng)
+    }
+
+    #[test]
+    fn responses_land_within_the_delay_window() {
+        let inj = inject(1, &ReshareConfig::default());
+        let mut per_page: std::collections::HashMap<&str, Vec<i64>> =
+            std::collections::HashMap::new();
+        for r in &inj.records {
+            per_page.entry(r.link_id.as_str()).or_default().push(r.created_utc);
+        }
+        for ts in per_page.values_mut() {
+            ts.sort_unstable();
+            let first = ts[0];
+            for &t in &ts[1..] {
+                assert!((1..45).contains(&(t - first)), "delay {}", t - first);
+            }
+        }
+    }
+
+    #[test]
+    fn ci_component_is_a_dense_heavy_clique() {
+        let inj = inject(2, &ReshareConfig::default());
+        let ds = Dataset::from_records(inj.records);
+        let ci = project::project(&ds.btm(), Window::zero_to_60s());
+        // everyone co-responds to most triggers → near-complete graph with
+        // weights scaling like participation² · n_triggers ≈ 43
+        let comps = ci.components(25);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 8, "the whole network exceeds the cutoff");
+        let wg = ci.threshold(25).to_weighted_graph();
+        let sub = tripoll::clique::Subgraph::induce(&wg, &comps[0]);
+        assert_eq!(sub.max_clique().len(), 8, "share–reshare yields a clique");
+        let (lo, hi) = sub.weight_range().unwrap();
+        assert!(lo >= 25 && hi <= 60, "weights ({lo},{hi}) off the expected scale");
+    }
+
+    #[test]
+    fn weights_scale_with_trigger_count() {
+        let few = inject(3, &ReshareConfig { n_triggers: 20, ..Default::default() });
+        let many = inject(3, &ReshareConfig { n_triggers: 80, ..Default::default() });
+        let w = |inj: Injection| {
+            let ds = Dataset::from_records(inj.records);
+            let ci = project::project(&ds.btm(), Window::zero_to_60s());
+            let a = ds.authors.get("stream_bot_0").unwrap();
+            let b = ds.authors.get("stream_bot_1").unwrap();
+            ci.weight(AuthorId(a), AuthorId(b))
+        };
+        assert!(w(many) > w(few) * 2);
+    }
+
+    #[test]
+    fn partial_participation_thins_the_graph() {
+        let inj = inject(4, &ReshareConfig { participation: 0.3, ..Default::default() });
+        let ds = Dataset::from_records(inj.records);
+        let ci = project::project(&ds.btm(), Window::zero_to_60s());
+        // pairwise expectation ≈ 0.3² (both respond) · 60 plus poster terms —
+        // far below the 0.85 network's weights
+        assert!(ci.max_weight() < 25, "max {}", ci.max_weight());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ReshareConfig::default();
+        assert_eq!(inject(9, &cfg).records, inject(9, &cfg).records);
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic samplers for the traffic models.
+//!
+//! Implemented here rather than pulling `rand_distr` to keep the dependency
+//! set to the pre-approved crates: Zipf by inverse-CDF over a precomputed
+//! table, log-normal via Box–Muller, exponential by inversion, and Poisson by
+//! Knuth's product method (the rates used here are small).
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(k) ∝ (k+1)^-s`. Sampling is a binary search over the precomputed CDF —
+/// O(log n) per draw, exact, and cheap to build for the ~10⁴–10⁶ element
+/// ranges the generator uses.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // guard against fp slop at the tail
+        *cdf.last_mut().expect("nonempty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample a rank in `0..n` (rank 0 most likely).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Log-normal distribution: `exp(μ + σ·Z)` with `Z ~ N(0,1)` via Box–Muller.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Log-normal with log-space mean `mu` and log-space std-dev `sigma ≥ 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Draw one value (always > 0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln is finite
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Exponential with the given mean, by inversion.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// Poisson draw by Knuth's product method (fine for `lambda ≲ 30`, which is
+/// all the generator needs).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            // numerically impossible for sane lambda; avoid infinite loops
+            return k;
+        }
+    }
+}
+
+/// Weighted index sampler over arbitrary non-negative weights (CDF inversion).
+#[derive(Clone, Debug)]
+pub struct WeightedIndex {
+    cdf: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Build from weights; at least one must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        *cdf.last_mut().expect("nonempty") = 1.0;
+        WeightedIndex { cdf }
+    }
+
+    /// Sample an index proportional to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(100, 1.1);
+        let mut r = rng(1);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10], "{} vs {}", counts[0], counts[10]);
+        assert!(counts[0] > counts[50]);
+        // all samples in range is implied by indexing; top rank gets ≥ 10%
+        assert!(counts[0] as f64 / 20_000.0 > 0.10);
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut r = rng(2);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn lognormal_moments_are_plausible() {
+        let ln = LogNormal::new(0.0, 0.5);
+        let mut r = rng(3);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| ln.sample(&mut r)).sum::<f64>() / n as f64;
+        // E[lognormal(0, 0.5)] = exp(0.125) ≈ 1.133
+        assert!((mean - 1.133).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let ln = LogNormal::new(-2.0, 2.0);
+        let mut r = rng(4);
+        for _ in 0..1000 {
+            assert!(ln.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 42.0)).sum::<f64>() / n as f64;
+        assert!((mean - 42.0).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut r = rng(6);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut r, 3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let w = WeightedIndex::new(&[1.0, 0.0, 3.0]);
+        let mut r = rng(7);
+        let mut counts = [0u64; 3];
+        for _ in 0..40_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let z = Zipf::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut r = rng(9);
+            (0..20).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = rng(9);
+            (0..20).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight")]
+    fn weighted_index_rejects_all_zero() {
+        WeightedIndex::new(&[0.0, 0.0]);
+    }
+}

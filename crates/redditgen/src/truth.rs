@@ -1,0 +1,248 @@
+//! Ground-truth labels and detection-quality evaluation.
+//!
+//! The paper validated its findings by manually inspecting components; with a
+//! generator we know exactly which accounts coordinate, so flagged triplets
+//! can be scored. A triplet is a *true positive* when all three authors belong
+//! to the same coordinated family.
+
+use std::collections::{HashMap, HashSet};
+
+/// The kind of coordination a family exhibits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BotKind {
+    /// GPT-2-style generation subreddit (paper §3.1.1).
+    Gpt2,
+    /// Share–reshare / link distribution (paper §3.1.2).
+    ShareReshare,
+    /// Minute-scale coordinated responses (window-targeting study).
+    SlowBurn,
+    /// Reply-trigger utility bots (paper §3.1.4).
+    ReplyTrigger,
+    /// Platform-role accounts (excluded pre-projection).
+    Helpful,
+}
+
+/// One coordinated family.
+#[derive(Clone, Debug)]
+pub struct BotFamily {
+    /// Family label, e.g. `"gpt2"`.
+    pub name: String,
+    /// Member account names.
+    pub members: Vec<String>,
+    /// Mechanism.
+    pub kind: BotKind,
+}
+
+/// The full ground truth of a generated scenario.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    families: Vec<BotFamily>,
+    member_to_family: HashMap<String, usize>,
+}
+
+impl GroundTruth {
+    /// Empty truth (all traffic organic).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a family. Member names must be globally unique.
+    pub fn add_family(&mut self, family: BotFamily) {
+        let idx = self.families.len();
+        for m in &family.members {
+            let prev = self.member_to_family.insert(m.clone(), idx);
+            assert!(prev.is_none(), "account {m} belongs to two families");
+        }
+        self.families.push(family);
+    }
+
+    /// All families.
+    pub fn families(&self) -> &[BotFamily] {
+        &self.families
+    }
+
+    /// The family containing `name`, if any.
+    pub fn family_of(&self, name: &str) -> Option<&BotFamily> {
+        self.member_to_family.get(name).map(|&i| &self.families[i])
+    }
+
+    /// Whether `name` is any kind of bot.
+    pub fn is_bot(&self, name: &str) -> bool {
+        self.member_to_family.contains_key(name)
+    }
+
+    /// Total coordinated accounts, excluding `Helpful` (which the pipeline
+    /// removes before projection and should never flag).
+    pub fn n_coordinated_accounts(&self) -> usize {
+        self.families
+            .iter()
+            .filter(|f| f.kind != BotKind::Helpful)
+            .map(|f| f.members.len())
+            .sum()
+    }
+
+    /// Score a set of flagged triplets (author names).
+    pub fn evaluate<'a, I>(&self, flagged: I) -> Evaluation
+    where
+        I: IntoIterator<Item = [&'a str; 3]>,
+    {
+        let mut flagged_total = 0usize;
+        let mut true_positives = 0usize;
+        let mut detected_families: HashSet<usize> = HashSet::new();
+        let mut flagged_members: HashSet<&str> = HashSet::new();
+        for t in flagged {
+            flagged_total += 1;
+            let fams: Vec<Option<&usize>> =
+                t.iter().map(|n| self.member_to_family.get(*n)).collect();
+            let same_family = match (fams[0], fams[1], fams[2]) {
+                (Some(a), Some(b), Some(c)) if a == b && b == c => {
+                    self.families[*a].kind != BotKind::Helpful
+                }
+                _ => false,
+            };
+            if same_family {
+                true_positives += 1;
+                let fam = *fams[0].expect("checked above");
+                detected_families.insert(fam);
+                for n in t {
+                    flagged_members.insert(n);
+                }
+            }
+        }
+        let coordinated_families = self
+            .families
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.kind != BotKind::Helpful)
+            .count();
+        let members_in_detected: usize = flagged_members.len();
+        Evaluation {
+            flagged_total,
+            true_positives,
+            precision: if flagged_total == 0 {
+                1.0
+            } else {
+                true_positives as f64 / flagged_total as f64
+            },
+            families_detected: detected_families.len(),
+            families_total: coordinated_families,
+            family_recall: if coordinated_families == 0 {
+                1.0
+            } else {
+                detected_families.len() as f64 / coordinated_families as f64
+            },
+            members_flagged: members_in_detected,
+            member_recall: if self.n_coordinated_accounts() == 0 {
+                1.0
+            } else {
+                members_in_detected as f64 / self.n_coordinated_accounts() as f64
+            },
+        }
+    }
+}
+
+/// Detection-quality metrics for one pipeline run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Triplets flagged by the pipeline.
+    pub flagged_total: usize,
+    /// Flagged triplets fully inside one coordinated family.
+    pub true_positives: usize,
+    /// `true_positives / flagged_total` (1.0 when nothing was flagged).
+    pub precision: f64,
+    /// Coordinated families hit by at least one true-positive triplet.
+    pub families_detected: usize,
+    /// Coordinated families in the ground truth.
+    pub families_total: usize,
+    /// `families_detected / families_total`.
+    pub family_recall: f64,
+    /// Distinct coordinated accounts appearing in true-positive triplets.
+    pub members_flagged: usize,
+    /// `members_flagged / coordinated accounts`.
+    pub member_recall: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        let mut gt = GroundTruth::new();
+        gt.add_family(BotFamily {
+            name: "gpt2".into(),
+            members: (0..5).map(|i| format!("g{i}")).collect(),
+            kind: BotKind::Gpt2,
+        });
+        gt.add_family(BotFamily {
+            name: "stream".into(),
+            members: (0..4).map(|i| format!("s{i}")).collect(),
+            kind: BotKind::ShareReshare,
+        });
+        gt.add_family(BotFamily {
+            name: "helpful".into(),
+            members: vec!["AutoModerator".into()],
+            kind: BotKind::Helpful,
+        });
+        gt
+    }
+
+    #[test]
+    fn lookup_and_membership() {
+        let gt = truth();
+        assert!(gt.is_bot("g0"));
+        assert!(!gt.is_bot("alice"));
+        assert_eq!(gt.family_of("s2").unwrap().name, "stream");
+        assert_eq!(gt.n_coordinated_accounts(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two families")]
+    fn duplicate_membership_panics() {
+        let mut gt = truth();
+        gt.add_family(BotFamily {
+            name: "dup".into(),
+            members: vec!["g0".into()],
+            kind: BotKind::Gpt2,
+        });
+    }
+
+    #[test]
+    fn evaluation_scores_mixed_flags() {
+        let gt = truth();
+        let eval = gt.evaluate([
+            ["g0", "g1", "g2"],      // TP (gpt2)
+            ["s0", "s1", "s2"],      // TP (stream)
+            ["g0", "s0", "s1"],      // FP: cross-family
+            ["g0", "g1", "alice"],   // FP: organic member
+        ]);
+        assert_eq!(eval.flagged_total, 4);
+        assert_eq!(eval.true_positives, 2);
+        assert!((eval.precision - 0.5).abs() < 1e-12);
+        assert_eq!(eval.families_detected, 2);
+        assert_eq!(eval.families_total, 2);
+        assert_eq!(eval.family_recall, 1.0);
+        assert_eq!(eval.members_flagged, 6);
+        assert!((eval.member_recall - 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn helpful_triplets_are_never_true_positives() {
+        let mut gt = GroundTruth::new();
+        gt.add_family(BotFamily {
+            name: "helpful".into(),
+            members: vec!["a".into(), "b".into(), "c".into()],
+            kind: BotKind::Helpful,
+        });
+        let eval = gt.evaluate([["a", "b", "c"]]);
+        assert_eq!(eval.true_positives, 0);
+        assert_eq!(eval.families_total, 0);
+    }
+
+    #[test]
+    fn empty_flag_set_is_vacuously_precise() {
+        let gt = truth();
+        let eval = gt.evaluate(std::iter::empty());
+        assert_eq!(eval.precision, 1.0);
+        assert_eq!(eval.family_recall, 0.0);
+    }
+}

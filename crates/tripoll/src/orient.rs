@@ -1,0 +1,232 @@
+//! Degree-order edge orientation.
+//!
+//! Orienting every undirected edge from the endpoint that is *lower* in a
+//! total degree order (`(degree, id)` lexicographic) to the higher one turns
+//! the graph into a DAG in which every triangle appears exactly once — as a
+//! wedge at its lowest-order vertex closed by one edge check. Out-degrees in
+//! the oriented graph are bounded by O(√m) for any graph, which is what makes
+//! intersection-based enumeration fast on skewed social graphs; this is the
+//! standard trick TriPoll builds on.
+
+use crate::graph::WeightedGraph;
+
+/// How edges are oriented. Degree order is the default and the right choice
+/// for skewed graphs; id order exists as the ablation baseline (it degrades
+/// to O(Δ²) wedge work at hubs, which the `orientation_ablation` bench
+/// quantifies on a hub-heavy graph).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrientationStrategy {
+    /// `(degree, id)` lexicographic — bounds out-degrees by O(√m).
+    #[default]
+    DegreeOrder,
+    /// Plain vertex-id order — simple, hub-hostile.
+    IdOrder,
+}
+
+/// A degree-order-oriented view of a [`WeightedGraph`].
+///
+/// `out(u)` holds only neighbors above `u` in degree order, sorted by id, so
+/// two out-lists can be intersected with a linear merge.
+#[derive(Clone, Debug)]
+pub struct OrientedGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<u64>,
+}
+
+impl OrientedGraph {
+    /// Orient `g` by degree order.
+    pub fn from_graph(g: &WeightedGraph) -> Self {
+        Self::with_strategy(g, OrientationStrategy::DegreeOrder)
+    }
+
+    /// Orient `g` with an explicit strategy.
+    pub fn with_strategy(g: &WeightedGraph, strategy: OrientationStrategy) -> Self {
+        match strategy {
+            OrientationStrategy::DegreeOrder => Self::build(g, |g, u, v| {
+                (g.degree(u), u) < (g.degree(v), v)
+            }),
+            OrientationStrategy::IdOrder => Self::build(g, |_, u, v| u < v),
+        }
+    }
+
+    fn build(g: &WeightedGraph, points_up: impl Fn(&WeightedGraph, u32, u32) -> bool) -> Self {
+        let n = g.n() as usize;
+        let mut offsets = vec![0usize; n + 1];
+        // First pass: count surviving out-edges.
+        for u in 0..g.n() {
+            let (nbrs, _) = g.neighbors(u);
+            let cnt = nbrs.iter().filter(|&&v| points_up(g, u, v)).count();
+            offsets[u as usize + 1] = cnt;
+        }
+        for k in 0..n {
+            offsets[k + 1] += offsets[k];
+        }
+        let total = offsets[n];
+        let mut targets = vec![0u32; total];
+        let mut weights = vec![0u64; total];
+        let mut cursor = offsets.clone();
+        for u in 0..g.n() {
+            let (nbrs, ws) = g.neighbors(u);
+            for (&v, &w) in nbrs.iter().zip(ws) {
+                if points_up(g, u, v) {
+                    let c = cursor[u as usize];
+                    targets[c] = v;
+                    weights[c] = w;
+                    cursor[u as usize] += 1;
+                }
+            }
+            // CSR adjacency was sorted by id, and we preserved order, so the
+            // out-list is sorted by id too.
+            debug_assert!(
+                targets[offsets[u as usize]..cursor[u as usize]].windows(2).all(|p| p[0] < p[1])
+            );
+        }
+        OrientedGraph { offsets, targets, weights }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of oriented (= undirected) edges.
+    #[inline]
+    pub fn m(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-degree of `u` in the orientation.
+    #[inline]
+    pub fn out_degree(&self, u: u32) -> u32 {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as u32
+    }
+
+    /// Out-neighbors of `u` (sorted by id) with edge weights.
+    #[inline]
+    pub fn out(&self, u: u32) -> (&[u32], &[u64]) {
+        let lo = self.offsets[u as usize];
+        let hi = self.offsets[u as usize + 1];
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Weight of oriented edge `(u, v)` if present.
+    pub fn out_weight(&self, u: u32, v: u32) -> Option<u64> {
+        let (nbrs, ws) = self.out(u);
+        nbrs.binary_search(&v).ok().map(|i| ws[i])
+    }
+
+    /// Maximum out-degree — the quantity the √m bound constrains.
+    pub fn max_out_degree(&self) -> u32 {
+        (0..self.n()).map(|u| self.out_degree(u)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_edge_oriented_exactly_once() {
+        let g = WeightedGraph::from_edges(
+            5,
+            [(0, 1, 1), (0, 2, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5)],
+        );
+        let o = OrientedGraph::from_graph(&g);
+        assert_eq!(o.m(), g.m());
+        // each undirected edge appears in exactly one out-list
+        for (u, v, w) in g.edges() {
+            let fwd = o.out_weight(u, v);
+            let bwd = o.out_weight(v, u);
+            assert!(fwd.is_some() ^ bwd.is_some(), "edge ({u},{v}) oriented twice or never");
+            assert_eq!(fwd.or(bwd), Some(w));
+        }
+    }
+
+    #[test]
+    fn orientation_points_up_the_degree_order() {
+        // star: center 0 has degree 4, leaves degree 1 → all edges leaf→center
+        let g = WeightedGraph::from_edges(5, (1..5).map(|v| (0u32, v, 1u64)));
+        let o = OrientedGraph::from_graph(&g);
+        assert_eq!(o.out_degree(0), 0);
+        for v in 1..5 {
+            assert_eq!(o.out_degree(v), 1);
+            assert_eq!(o.out(v).0, &[0]);
+        }
+    }
+
+    #[test]
+    fn ties_break_by_vertex_id() {
+        // single edge: equal degrees, lower id points to higher id
+        let g = WeightedGraph::from_edges(2, [(1, 0, 9)]);
+        let o = OrientedGraph::from_graph(&g);
+        assert_eq!(o.out_weight(0, 1), Some(9));
+        assert_eq!(o.out_weight(1, 0), None);
+    }
+
+    #[test]
+    fn out_lists_are_sorted() {
+        let g = WeightedGraph::from_edges(
+            6,
+            [(0, 5, 1), (0, 3, 1), (0, 4, 1), (0, 1, 1), (1, 3, 1), (3, 4, 1)],
+        );
+        let o = OrientedGraph::from_graph(&g);
+        for u in 0..o.n() {
+            let (nbrs, _) = o.out(u);
+            assert!(nbrs.windows(2).all(|p| p[0] < p[1]), "out({u}) unsorted: {nbrs:?}");
+        }
+    }
+
+    #[test]
+    fn max_out_degree_is_bounded_on_a_star() {
+        // A hub with 1000 leaves: undirected max degree 1000, but oriented
+        // max out-degree must be 1 (leaves point at the hub).
+        let g = WeightedGraph::from_edges(1001, (1..=1000).map(|v| (0u32, v, 1u64)));
+        assert_eq!(g.max_degree(), 1000);
+        let o = OrientedGraph::from_graph(&g);
+        assert_eq!(o.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn id_order_strategy_counts_the_same_triangles() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let n = 60u32;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(0.15) {
+                    edges.push((a, b, 1u64));
+                }
+            }
+        }
+        let g = WeightedGraph::from_edges(n, edges);
+        let deg = OrientedGraph::with_strategy(&g, OrientationStrategy::DegreeOrder);
+        let id = OrientedGraph::with_strategy(&g, OrientationStrategy::IdOrder);
+        assert_eq!(
+            crate::enumerate::count_triangles(&deg),
+            crate::enumerate::count_triangles(&id)
+        );
+        assert_eq!(deg.m(), id.m());
+    }
+
+    #[test]
+    fn id_order_hurts_on_hubs() {
+        // a low-id hub: id order gives it out-degree n-1; degree order gives 0
+        let g = WeightedGraph::from_edges(500, (1..500).map(|v| (0u32, v, 1u64)));
+        let id = OrientedGraph::with_strategy(&g, OrientationStrategy::IdOrder);
+        assert_eq!(id.max_out_degree(), 499);
+        let deg = OrientedGraph::with_strategy(&g, OrientationStrategy::DegreeOrder);
+        assert_eq!(deg.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = WeightedGraph::from_edges(1, std::iter::empty());
+        let o = OrientedGraph::from_graph(&g);
+        assert_eq!(o.n(), 1);
+        assert_eq!(o.m(), 0);
+        assert_eq!(o.max_out_degree(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Triangle surveys: thresholded collection with metadata, TriPoll-style.
+//!
+//! A *survey* streams every triangle past a set of predicates and accumulates
+//! both the survivors and summary statistics. The two predicates the paper
+//! uses are:
+//!
+//! * minimum edge weight `min{w'_xy, w'_xz, w'_yz} ≥ θ` (step 2's cutoff —
+//!   25 for the anecdotal hunts, 10 for the hexbin figures);
+//! * normalized CI coordination score `T(x,y,z) = 3·min{w'}/(P'_x+P'_y+P'_z)
+//!   ≥ τ`, which needs per-vertex metadata (`P'` page counts) supplied
+//!   alongside the graph.
+
+use rayon::prelude::*;
+
+use crate::enumerate::{par_triangles, Triangle};
+use crate::orient::OrientedGraph;
+
+/// Survey thresholds and options.
+#[derive(Clone, Debug)]
+pub struct SurveyConfig {
+    /// Keep triangles with `min_weight() >= min_edge_weight`.
+    pub min_edge_weight: u64,
+    /// Keep triangles with `T(x,y,z) >= min_t_score` (requires `vertex_pages`
+    /// to have been passed to [`survey`]). `0.0` disables the predicate.
+    pub min_t_score: f64,
+    /// If set, retain only the `k` triangles with the largest minimum edge
+    /// weight (ties broken by vertex ids for determinism).
+    pub top_k: Option<usize>,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig { min_edge_weight: 1, min_t_score: 0.0, top_k: None }
+    }
+}
+
+impl SurveyConfig {
+    /// Survey with a minimum-edge-weight cutoff only.
+    pub fn with_min_weight(min_edge_weight: u64) -> Self {
+        SurveyConfig { min_edge_weight, ..Default::default() }
+    }
+}
+
+/// A surviving triangle plus the survey-time metadata computed for it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurveyedTriangle {
+    /// The triangle and its per-edge weights.
+    pub triangle: Triangle,
+    /// `min{w'}` — the paper's triangle statistic.
+    pub min_weight: u64,
+    /// `T(x,y,z)` if vertex page counts were provided, else `NaN`.
+    pub t_score: f64,
+}
+
+/// Aggregate results of a survey.
+#[derive(Clone, Debug, Default)]
+pub struct SurveyReport {
+    /// Triangles passing all predicates.
+    pub triangles: Vec<SurveyedTriangle>,
+    /// Total triangles examined (before thresholds).
+    pub total_examined: u64,
+    /// Largest minimum-edge-weight seen anywhere in the graph.
+    pub max_min_weight: u64,
+    /// Histogram of `log2(min_weight)` buckets over *all* triangles:
+    /// `hist[i]` counts triangles with `min_weight in [2^i, 2^(i+1))`.
+    pub min_weight_log_hist: Vec<u64>,
+}
+
+impl SurveyReport {
+    /// Triangles that passed, as vertex triples.
+    pub fn triplets(&self) -> Vec<[u32; 3]> {
+        self.triangles.iter().map(|s| s.triangle.vertices()).collect()
+    }
+
+    /// Number of surviving triangles.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Whether no triangle survived.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+}
+
+/// `T(x,y,z) = 3·min{w'} / (P'_x + P'_y + P'_z)`, the paper's Eq. (7).
+/// Returns 0 when all three `P'` are 0 (no projection pages — can only happen
+/// with inconsistent metadata, but stays in range).
+#[inline]
+pub fn t_score(min_weight: u64, px: u64, py: u64, pz: u64) -> f64 {
+    let denom = px + py + pz;
+    if denom == 0 {
+        return 0.0;
+    }
+    3.0 * min_weight as f64 / denom as f64
+}
+
+/// Run a survey over every triangle of `oriented`.
+///
+/// `vertex_pages`, when given, must map vertex id → `P'` (the number of pages
+/// that contributed a projection edge at that vertex, paper Eq. (6)); it is
+/// required if `config.min_t_score > 0`.
+pub fn survey(
+    oriented: &OrientedGraph,
+    config: &SurveyConfig,
+    vertex_pages: Option<&[u64]>,
+) -> SurveyReport {
+    assert!(
+        config.min_t_score <= 0.0 || vertex_pages.is_some(),
+        "min_t_score requires vertex_pages metadata"
+    );
+    if let Some(vp) = vertex_pages {
+        assert_eq!(vp.len(), oriented.n() as usize, "vertex_pages length mismatch");
+    }
+
+    // Per-apex partial reports, merged associatively.
+    #[derive(Default)]
+    struct Partial {
+        kept: Vec<SurveyedTriangle>,
+        examined: u64,
+        max_min: u64,
+        hist: Vec<u64>,
+    }
+    let merge = |mut a: Partial, mut b: Partial| {
+        a.kept.append(&mut b.kept);
+        a.examined += b.examined;
+        a.max_min = a.max_min.max(b.max_min);
+        if a.hist.len() < b.hist.len() {
+            std::mem::swap(&mut a.hist, &mut b.hist);
+        }
+        for (x, y) in a.hist.iter_mut().zip(b.hist) {
+            *x += y;
+        }
+        a
+    };
+
+    let partial = (0..oriented.n())
+        .into_par_iter()
+        .fold(Partial::default, |mut acc, u| {
+            crate::enumerate::for_each_apex_triangle(oriented, u, &mut |t: Triangle| {
+                let mw = t.min_weight();
+                acc.examined += 1;
+                acc.max_min = acc.max_min.max(mw);
+                let bucket = 64 - mw.max(1).leading_zeros() as usize - 1;
+                if acc.hist.len() <= bucket {
+                    acc.hist.resize(bucket + 1, 0);
+                }
+                acc.hist[bucket] += 1;
+                if mw < config.min_edge_weight {
+                    return;
+                }
+                let ts = match vertex_pages {
+                    Some(vp) => t_score(
+                        mw,
+                        vp[t.a as usize],
+                        vp[t.b as usize],
+                        vp[t.c as usize],
+                    ),
+                    None => f64::NAN,
+                };
+                if config.min_t_score > 0.0 && ts < config.min_t_score {
+                    return;
+                }
+                acc.kept.push(SurveyedTriangle { triangle: t, min_weight: mw, t_score: ts });
+            });
+            acc
+        })
+        .reduce(Partial::default, merge);
+
+    let mut triangles = partial.kept;
+    if let Some(k) = config.top_k {
+        triangles.sort_unstable_by(|x, y| {
+            y.min_weight
+                .cmp(&x.min_weight)
+                .then_with(|| x.triangle.vertices().cmp(&y.triangle.vertices()))
+        });
+        triangles.truncate(k);
+    } else {
+        triangles.sort_unstable_by_key(|s| s.triangle.vertices());
+    }
+
+    SurveyReport {
+        triangles,
+        total_examined: partial.examined,
+        max_min_weight: partial.max_min,
+        min_weight_log_hist: partial.hist,
+    }
+}
+
+/// Convenience: the `k` triangles with the largest minimum edge weight.
+pub fn top_k_by_min_weight(oriented: &OrientedGraph, k: usize) -> Vec<SurveyedTriangle> {
+    survey(
+        oriented,
+        &SurveyConfig { min_edge_weight: 1, min_t_score: 0.0, top_k: Some(k) },
+        None,
+    )
+    .triangles
+}
+
+/// Convenience: all triangles with `min_weight >= cutoff`, sorted by vertices.
+pub fn triangles_above(oriented: &OrientedGraph, cutoff: u64) -> Vec<Triangle> {
+    par_triangles(oriented, |t| (t.min_weight() >= cutoff).then_some(t))
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WeightedGraph;
+
+    /// Two triangles: one heavy (min 10), one light (min 2), sharing vertex 2.
+    fn two_triangle_graph() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            5,
+            [
+                (0, 1, 10),
+                (0, 2, 12),
+                (1, 2, 15),
+                (2, 3, 2),
+                (2, 4, 3),
+                (3, 4, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn min_weight_cutoff_filters() {
+        let g = two_triangle_graph();
+        let o = OrientedGraph::from_graph(&g);
+        let rep = survey(&o, &SurveyConfig::with_min_weight(5), None);
+        assert_eq!(rep.total_examined, 2);
+        assert_eq!(rep.len(), 1);
+        assert_eq!(rep.triangles[0].triangle.vertices(), [0, 1, 2]);
+        assert_eq!(rep.triangles[0].min_weight, 10);
+        assert!(rep.triangles[0].t_score.is_nan());
+        assert_eq!(rep.max_min_weight, 10);
+    }
+
+    #[test]
+    fn t_score_matches_formula_and_range() {
+        assert_eq!(t_score(5, 5, 5, 5), 1.0);
+        assert_eq!(t_score(0, 5, 5, 5), 0.0);
+        assert!((t_score(2, 4, 4, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(t_score(1, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn t_score_threshold_uses_vertex_metadata() {
+        let g = two_triangle_graph();
+        let o = OrientedGraph::from_graph(&g);
+        // P' such that heavy triangle scores 3*10/(12+12+12)=0.833,
+        // light scores 3*2/(12+12+12)=0.167
+        let pages = vec![12u64; 5];
+        let rep = survey(
+            &o,
+            &SurveyConfig { min_edge_weight: 1, min_t_score: 0.5, top_k: None },
+            Some(&pages),
+        );
+        assert_eq!(rep.len(), 1);
+        assert_eq!(rep.triangles[0].triangle.vertices(), [0, 1, 2]);
+        assert!((rep.triangles[0].t_score - 10.0 * 3.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires vertex_pages")]
+    fn t_threshold_without_metadata_panics() {
+        let g = two_triangle_graph();
+        let o = OrientedGraph::from_graph(&g);
+        survey(
+            &o,
+            &SurveyConfig { min_edge_weight: 1, min_t_score: 0.5, top_k: None },
+            None,
+        );
+    }
+
+    #[test]
+    fn top_k_orders_by_min_weight_desc() {
+        let g = two_triangle_graph();
+        let o = OrientedGraph::from_graph(&g);
+        let top = top_k_by_min_weight(&o, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].min_weight, 10);
+        let top2 = top_k_by_min_weight(&o, 10);
+        assert_eq!(top2.len(), 2);
+        assert!(top2[0].min_weight >= top2[1].min_weight);
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_power_of_two() {
+        let g = two_triangle_graph();
+        let o = OrientedGraph::from_graph(&g);
+        let rep = survey(&o, &SurveyConfig::default(), None);
+        // min weights are 10 (bucket 3: [8,16)) and 2 (bucket 1: [2,4))
+        assert_eq!(rep.min_weight_log_hist.len(), 4);
+        assert_eq!(rep.min_weight_log_hist[1], 1);
+        assert_eq!(rep.min_weight_log_hist[3], 1);
+        assert_eq!(rep.min_weight_log_hist.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn triangles_above_matches_survey() {
+        let g = two_triangle_graph();
+        let o = OrientedGraph::from_graph(&g);
+        let ts = triangles_above(&o, 2);
+        assert_eq!(ts.len(), 2);
+        let ts = triangles_above(&o, 11);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn empty_graph_survey_is_empty() {
+        let g = WeightedGraph::from_edges(3, std::iter::empty());
+        let o = OrientedGraph::from_graph(&g);
+        let rep = survey(&o, &SurveyConfig::default(), None);
+        assert!(rep.is_empty());
+        assert_eq!(rep.total_examined, 0);
+        assert_eq!(rep.max_min_weight, 0);
+        assert!(rep.min_weight_log_hist.is_empty());
+    }
+}

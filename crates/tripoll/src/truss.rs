@@ -1,0 +1,222 @@
+//! k-truss decomposition — a principled "backbone" extraction for the common
+//! interaction graph.
+//!
+//! The paper cites Neal (2014) on extracting the backbone of bipartite
+//! projections and thresholds raw edge weights; a k-truss sharpens that: the
+//! *k-truss* is the maximal subgraph in which every edge participates in at
+//! least `k − 2` triangles. Coordinated groups — which are triangle-rich by
+//! construction — survive high-k trusses while incidental co-occurrence
+//! edges, however heavy, are peeled away. `trussness(e)` (the largest k whose
+//! truss contains `e`) is computed for every edge by the standard
+//! support-peeling algorithm.
+
+use std::collections::HashMap;
+
+use crate::graph::WeightedGraph;
+
+/// Per-edge trussness: for each undirected edge `(u, v)` (with `u < v`), the
+/// largest `k` such that the k-truss contains it. Edges in no triangle get
+/// trussness 2.
+pub fn edge_trussness(g: &WeightedGraph) -> HashMap<(u32, u32), u32> {
+    // support = number of triangles through each edge
+    let mut support: HashMap<(u32, u32), u32> = g.edges().map(|(u, v, _)| ((u, v), 0)).collect();
+    let key = |a: u32, b: u32| (a.min(b), a.max(b));
+    let oriented = crate::orient::OrientedGraph::from_graph(g);
+    crate::enumerate::for_each_triangle(&oriented, |t| {
+        *support.get_mut(&key(t.a, t.b)).expect("edge exists") += 1;
+        *support.get_mut(&key(t.a, t.c)).expect("edge exists") += 1;
+        *support.get_mut(&key(t.b, t.c)).expect("edge exists") += 1;
+    });
+
+    // adjacency sets for triangle queries during peeling
+    let mut adj: Vec<std::collections::HashSet<u32>> =
+        vec![std::collections::HashSet::new(); g.n() as usize];
+    for (u, v, _) in g.edges() {
+        adj[u as usize].insert(v);
+        adj[v as usize].insert(u);
+    }
+
+    // peel edges in order of current support (bucket queue)
+    let mut trussness: HashMap<(u32, u32), u32> = HashMap::with_capacity(support.len());
+    let mut remaining: Vec<(u32, u32)> = support.keys().copied().collect();
+    let mut k = 2u32;
+    while !remaining.is_empty() {
+        // repeatedly remove edges whose support < k - 1 (they are not in the
+        // (k+1)-truss); their trussness is k
+        loop {
+            let to_remove: Vec<(u32, u32)> = remaining
+                .iter()
+                .copied()
+                .filter(|e| support[e] + 2 <= k)
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for (u, v) in to_remove {
+                trussness.insert((u, v), k);
+                // removing (u,v) decrements the support of every edge pair
+                // (u,w), (v,w) closing a triangle with it
+                let (small, large) = if adj[u as usize].len() <= adj[v as usize].len() {
+                    (u, v)
+                } else {
+                    (v, u)
+                };
+                let commons: Vec<u32> = adj[small as usize]
+                    .iter()
+                    .copied()
+                    .filter(|w| adj[large as usize].contains(w))
+                    .collect();
+                for w in commons {
+                    for e in [key(u, w), key(v, w)] {
+                        if let Some(s) = support.get_mut(&e) {
+                            if !trussness.contains_key(&e) && *s > 0 {
+                                *s -= 1;
+                            }
+                        }
+                    }
+                }
+                adj[u as usize].remove(&v);
+                adj[v as usize].remove(&u);
+                support.remove(&(u, v));
+            }
+            remaining.retain(|e| support.contains_key(e));
+        }
+        k += 1;
+    }
+    trussness
+}
+
+/// The maximum trussness over all edges (2 for a triangle-free graph, 0 for
+/// an edgeless one).
+pub fn max_trussness(g: &WeightedGraph) -> u32 {
+    edge_trussness(g).values().copied().max().unwrap_or(0)
+}
+
+/// The k-truss as a subgraph: edges with trussness ≥ k, original weights.
+pub fn k_truss(g: &WeightedGraph, k: u32) -> WeightedGraph {
+    let t = edge_trussness(g);
+    WeightedGraph::from_edges(
+        g.n(),
+        g.edges().filter(|&(u, v, _)| t.get(&(u, v)).copied().unwrap_or(0) >= k),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: u32) -> WeightedGraph {
+        WeightedGraph::from_edges(
+            n,
+            (0..n).flat_map(move |i| ((i + 1)..n).map(move |j| (i, j, 1u64))),
+        )
+    }
+
+    #[test]
+    fn clique_trussness_is_n() {
+        // every edge of K_n lies in n-2 triangles → trussness n
+        for n in [3u32, 4, 5, 6] {
+            let g = clique(n);
+            let t = edge_trussness(&g);
+            assert!(t.values().all(|&k| k == n), "K{n}: {t:?}");
+            assert_eq!(max_trussness(&g), n);
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_has_trussness_two() {
+        let g = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let t = edge_trussness(&g);
+        assert_eq!(t.len(), 4);
+        assert!(t.values().all(|&k| k == 2));
+    }
+
+    #[test]
+    fn pendant_edges_peel_before_the_core() {
+        // K5 plus a pendant path: the path edges are 2-truss, the clique is 5
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j, 1));
+            }
+        }
+        edges.push((4, 5, 1));
+        edges.push((5, 6, 1));
+        let g = WeightedGraph::from_edges(7, edges);
+        let t = edge_trussness(&g);
+        assert_eq!(t[&(4, 5)], 2);
+        assert_eq!(t[&(5, 6)], 2);
+        assert_eq!(t[&(0, 1)], 5);
+        let core = k_truss(&g, 5);
+        assert_eq!(core.m(), 10, "only the K5 survives");
+        assert_eq!(core.edge_weight(4, 5), None);
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        // bowtie on an edge: shared edge has support 2, others 1 → all peel
+        // at k=4? shared edge (1,2) is in 2 triangles; edges (0,1),(0,2) in 1.
+        // 4-truss needs support ≥ 2 on *every* edge of the subgraph.
+        let g = WeightedGraph::from_edges(
+            4,
+            [(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+        );
+        let t = edge_trussness(&g);
+        // all edges are in the 3-truss; none survive to 4 (peeling the
+        // support-1 edges destroys both triangles)
+        assert!(t.values().all(|&k| k == 3), "{t:?}");
+        assert_eq!(k_truss(&g, 3).m(), 5);
+        assert_eq!(k_truss(&g, 4).m(), 0);
+    }
+
+    #[test]
+    fn truss_separates_coordination_from_heavy_noise() {
+        // a 5-clique (the botnet) plus a very heavy star around vertex 5
+        // (an AutoModerator-like hub: heavy edges, no triangles)
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j, 10));
+            }
+        }
+        for leaf in 6..12u32 {
+            edges.push((5, leaf, 1000)); // heavy but triangle-free
+        }
+        let g = WeightedGraph::from_edges(12, edges);
+        let core = k_truss(&g, 4);
+        assert_eq!(core.m(), 10, "the clique survives");
+        assert_eq!(core.degree(5), 0, "the hub is peeled despite its weight");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::from_edges(3, std::iter::empty());
+        assert!(edge_trussness(&g).is_empty());
+        assert_eq!(max_trussness(&g), 0);
+        assert_eq!(k_truss(&g, 3).m(), 0);
+    }
+
+    #[test]
+    fn k_truss_nesting() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let n = 30u32;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(0.25) {
+                    edges.push((a, b, rng.gen_range(1..10u64)));
+                }
+            }
+        }
+        let g = WeightedGraph::from_edges(n, edges);
+        let kmax = max_trussness(&g);
+        let mut prev = g.m();
+        for k in 2..=kmax {
+            let t = k_truss(&g, k);
+            assert!(t.m() <= prev, "truss not nested at k={k}");
+            prev = t.m();
+        }
+        assert!(k_truss(&g, kmax + 1).m() == 0);
+    }
+}

@@ -1,0 +1,489 @@
+//! The SPMD communication world: ranks, active messages, and quiescent barriers.
+//!
+//! A [`World`] owns the shared state for `n` ranks. [`World::run`] spawns one
+//! thread per rank, hands each a [`RankCtx`], and runs the same user function on
+//! every rank — exactly the SPMD shape of an `ygm::comm_world` program.
+//!
+//! Active messages are `FnOnce(&RankCtx)` closures. Message counting (a global
+//! sent counter and a global processed counter) gives the barrier its
+//! termination-detection property: the counters only agree when every queue in
+//! the world is empty and no handler is mid-flight.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use crate::stats::WorldStats;
+
+/// An active message: a closure executed on the destination rank's thread.
+pub type Message = Box<dyn FnOnce(&RankCtx) + Send>;
+
+/// Slot storage for one matched collective: one `Any` box per rank.
+type CollectiveSlots = Vec<Option<Box<dyn std::any::Any + Send>>>;
+
+/// Shared world state visible to every rank.
+pub(crate) struct Shared {
+    pub(crate) nranks: usize,
+    /// Total messages sent, world-wide. Incremented *before* enqueue so that
+    /// `sent == processed` proves quiescence.
+    pub(crate) sent: AtomicU64,
+    /// Total messages fully processed (handler returned), world-wide.
+    pub(crate) processed: AtomicU64,
+    /// Centralized sense-reversing barrier: count of ranks yet to arrive.
+    barrier_count: AtomicUsize,
+    /// The barrier sense bit; flipped by the last arriver once quiescent.
+    barrier_sense: AtomicBool,
+    /// Slots for matched collectives (all_gather etc.), keyed by sequence id.
+    pub(crate) collectives: parking_lot::Mutex<std::collections::HashMap<u64, CollectiveSlots>>,
+    pub(crate) stats: WorldStats,
+}
+
+/// A fixed-size group of ranks that run SPMD functions.
+///
+/// The number of ranks is independent of the number of physical cores; it plays
+/// the role of the MPI world size in real YGM. Sixteen ranks on a four-core
+/// machine is perfectly legal (threads simply time-share), which keeps the
+/// partitioning behaviour of cluster-scale runs reproducible on a laptop.
+pub struct World {
+    shared: Arc<Shared>,
+    senders: Arc<Vec<Sender<Message>>>,
+    receivers: Vec<Receiver<Message>>,
+}
+
+impl World {
+    /// Create a world with `nranks` ranks.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0`.
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0, "a World needs at least one rank");
+        let mut senders = Vec::with_capacity(nranks);
+        let mut receivers = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        World {
+            shared: Arc::new(Shared {
+                nranks,
+                sent: AtomicU64::new(0),
+                processed: AtomicU64::new(0),
+                barrier_count: AtomicUsize::new(nranks),
+                barrier_sense: AtomicBool::new(false),
+                collectives: parking_lot::Mutex::new(std::collections::HashMap::new()),
+                stats: WorldStats::new(nranks),
+            }),
+            senders: Arc::new(senders),
+            receivers,
+        }
+    }
+
+    /// Number of ranks in this world.
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// Run `f` as an SPMD region: one thread per rank, every thread executing
+    /// `f` with its own [`RankCtx`]. Returns the per-rank results, indexed by
+    /// rank. An implicit final barrier guarantees all in-flight messages have
+    /// been processed before this returns.
+    pub fn launch<R, F>(mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Send + Sync,
+    {
+        let nranks = self.shared.nranks;
+        let shared = &self.shared;
+        let senders = &self.senders;
+        let receivers: Vec<Receiver<Message>> = std::mem::take(&mut self.receivers);
+        let f = &f;
+        let mut out: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for (rank, receiver) in receivers.into_iter().enumerate() {
+                let shared = Arc::clone(shared);
+                let senders = Arc::clone(senders);
+                handles.push(scope.spawn(move || {
+                    let ctx = RankCtx {
+                        rank,
+                        shared,
+                        senders,
+                        receiver,
+                        sense: Cell::new(false),
+                        coll_seq: Cell::new(0),
+                    };
+                    let r = f(&ctx);
+                    // Final implicit barrier: drain stragglers so no message is
+                    // dropped when the receivers are torn down.
+                    ctx.barrier();
+                    r
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                out[rank] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        out.into_iter().map(|r| r.expect("rank produced no result")).collect()
+    }
+
+    /// Convenience constructor + [`World::launch`] in one call.
+    pub fn run<R, F>(nranks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Send + Sync,
+    {
+        World::new(nranks).launch(f)
+    }
+}
+
+/// Per-rank execution context handed to the SPMD function.
+///
+/// A `RankCtx` never moves between threads (it is deliberately `!Sync` via its
+/// channel receiver); message handlers run on the destination rank's thread and
+/// receive that rank's context.
+pub struct RankCtx {
+    rank: usize,
+    shared: Arc<Shared>,
+    senders: Arc<Vec<Sender<Message>>>,
+    receiver: Receiver<Message>,
+    /// Local barrier sense (flips every barrier).
+    sense: Cell<bool>,
+    /// Per-rank collective sequence number; matched calls share a number.
+    coll_seq: Cell<u64>,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..nranks`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// Send an active message to `dest`; the closure runs on `dest`'s thread.
+    ///
+    /// Messages to `self` are also enqueued (never run inline), matching YGM's
+    /// behaviour and bounding handler recursion depth.
+    ///
+    /// Handlers may freely send further messages; they must **not** call
+    /// [`RankCtx::barrier`] or any collective.
+    pub fn async_exec<F>(&self, dest: usize, f: F)
+    where
+        F: FnOnce(&RankCtx) + Send + 'static,
+    {
+        debug_assert!(dest < self.shared.nranks, "destination rank out of range");
+        // `sent` must be visible before the message can possibly be counted as
+        // processed, so quiescence (`sent == processed`) is never observed
+        // spuriously while a message is in a queue.
+        self.shared.sent.fetch_add(1, Ordering::SeqCst);
+        self.shared.stats.record_send(self.rank, dest);
+        self.senders[dest]
+            .send(Box::new(f))
+            .expect("rank receiver dropped while world is running");
+    }
+
+    /// Process every message currently queued at this rank. Returns the number
+    /// of messages processed. Called automatically inside barriers; exposed so
+    /// long local compute loops can make progress on incoming traffic.
+    pub fn drain(&self) -> usize {
+        let mut n = 0;
+        while let Ok(msg) = self.receiver.try_recv() {
+            msg(self);
+            // Count *after* the handler finished (and after any sends it made),
+            // preserving the quiescence invariant.
+            self.shared.processed.fetch_add(1, Ordering::SeqCst);
+            n += 1;
+        }
+        n
+    }
+
+    /// Barrier with termination detection.
+    ///
+    /// Returns once (a) every rank has entered the barrier and (b) every
+    /// message sent anywhere in the world has been processed — including
+    /// messages generated by handlers while the barrier was waiting. On return,
+    /// all distributed-container operations issued before the barrier are
+    /// visible on their owner ranks.
+    pub fn barrier(&self) {
+        let shared = &self.shared;
+        let local_sense = !self.sense.get();
+        self.sense.set(local_sense);
+        if shared.barrier_count.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last arriver: every other rank is draining in its wait loop. We
+            // keep draining until the counters agree, which proves global
+            // quiescence (handlers bump `sent` before `processed`).
+            loop {
+                self.drain();
+                let sent = shared.sent.load(Ordering::SeqCst);
+                let processed = shared.processed.load(Ordering::SeqCst);
+                if sent == processed {
+                    shared.barrier_count.store(shared.nranks, Ordering::SeqCst);
+                    shared.barrier_sense.store(local_sense, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        } else {
+            while shared.barrier_sense.load(Ordering::SeqCst) != local_sense {
+                if self.drain() == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Send the same closure to every rank (including self) — the broadcast
+    /// form of [`RankCtx::async_exec`].
+    pub fn async_exec_all<F>(&self, f: F)
+    where
+        F: Fn(&RankCtx) + Clone + Send + 'static,
+    {
+        for dest in 0..self.shared.nranks {
+            let f = f.clone();
+            self.async_exec(dest, move |ctx| f(ctx));
+        }
+    }
+
+    /// Gather one value from every rank; returns the values indexed by rank.
+    /// Collective: every rank must call with the same sequence of collectives.
+    pub fn all_gather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        {
+            let mut slots = self.shared.collectives.lock();
+            let slot = slots
+                .entry(seq)
+                .or_insert_with(|| (0..self.shared.nranks).map(|_| None).collect());
+            slot[self.rank] = Some(Box::new(value));
+        }
+        self.barrier();
+        let gathered: Vec<T> = {
+            let slots = self.shared.collectives.lock();
+            let slot = slots.get(&seq).expect("collective slot vanished");
+            slot.iter()
+                .map(|v| {
+                    v.as_ref()
+                        .expect("rank missed collective")
+                        .downcast_ref::<T>()
+                        .expect("collective type mismatch across ranks")
+                        .clone()
+                })
+                .collect()
+        };
+        self.barrier();
+        if self.rank == 0 {
+            self.shared.collectives.lock().remove(&seq);
+        }
+        gathered
+    }
+
+    /// Reduce one value per rank with `op`; every rank receives the result.
+    pub fn all_reduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let mut vals = self.all_gather(value).into_iter();
+        let first = vals.next().expect("world has at least one rank");
+        vals.fold(first, op)
+    }
+
+    /// Sum a `u64` across all ranks.
+    pub fn all_reduce_sum(&self, value: u64) -> u64 {
+        self.all_reduce(value, |a, b| a + b)
+    }
+
+    /// Max a `u64` across all ranks.
+    pub fn all_reduce_max(&self, value: u64) -> u64 {
+        self.all_reduce(value, |a, b| a.max(b))
+    }
+
+    /// Snapshot of world-wide message statistics.
+    pub fn stats(&self) -> &WorldStats {
+        &self.shared.stats
+    }
+
+    /// Total messages sent so far, world-wide.
+    pub fn messages_sent(&self) -> u64 {
+        self.shared.sent.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_returns_per_rank_results_in_rank_order() {
+        let out = World::run(5, |ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = World::run(1, |ctx| {
+            ctx.barrier();
+            ctx.nranks()
+        });
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = World::new(0);
+    }
+
+    #[test]
+    fn async_exec_delivers_to_destination_rank() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        World::run(4, move |ctx| {
+            let h = Arc::clone(&h);
+            if ctx.rank() == 0 {
+                for dest in 0..ctx.nranks() {
+                    let h = Arc::clone(&h);
+                    ctx.async_exec(dest, move |inner| {
+                        // handler runs on the destination's thread
+                        h.fetch_add(inner.rank() as u64 + 1, Ordering::SeqCst);
+                    });
+                }
+            }
+            ctx.barrier();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn async_exec_all_reaches_every_rank() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        World::run(5, move |ctx| {
+            if ctx.rank() == 2 {
+                let h = Arc::clone(&h);
+                ctx.async_exec_all(move |inner| {
+                    h.fetch_add(1 << inner.rank(), Ordering::SeqCst);
+                });
+            }
+            ctx.barrier();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0b11111);
+    }
+
+    #[test]
+    fn barrier_waits_for_cascading_messages() {
+        // Rank 0 sends a message that itself sends messages, three levels deep.
+        // The barrier must not release until the whole cascade has settled.
+        let total = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&total);
+        World::run(3, move |ctx| {
+            if ctx.rank() == 0 {
+                let t1 = Arc::clone(&t);
+                ctx.async_exec(1, move |c1| {
+                    let t2 = Arc::clone(&t1);
+                    c1.async_exec(2, move |c2| {
+                        let t3 = Arc::clone(&t2);
+                        c2.async_exec(0, move |_| {
+                            t3.fetch_add(1, Ordering::SeqCst);
+                        });
+                    });
+                });
+            }
+            ctx.barrier();
+            // After the barrier the cascade is complete on every rank.
+            assert_eq!(t.load(Ordering::SeqCst), 1);
+        });
+    }
+
+    #[test]
+    fn many_barriers_in_sequence_do_not_deadlock() {
+        World::run(4, |ctx| {
+            for i in 0..100u64 {
+                let dest = (ctx.rank() + 1) % ctx.nranks();
+                ctx.async_exec(dest, move |_| {
+                    std::hint::black_box(i);
+                });
+                ctx.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn all_gather_returns_values_in_rank_order() {
+        let out = World::run(4, |ctx| ctx.all_gather(ctx.rank() as u64 * 2));
+        for v in out {
+            assert_eq!(v, vec![0, 2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_and_max() {
+        let out = World::run(4, |ctx| {
+            let s = ctx.all_reduce_sum(ctx.rank() as u64 + 1);
+            let m = ctx.all_reduce_max(ctx.rank() as u64 + 1);
+            (s, m)
+        });
+        for (s, m) in out {
+            assert_eq!(s, 10);
+            assert_eq!(m, 4);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_use_fresh_slots() {
+        let out = World::run(3, |ctx| {
+            let a = ctx.all_reduce_sum(1);
+            let b = ctx.all_reduce_sum(10);
+            let c = ctx.all_gather(ctx.rank());
+            (a, b, c)
+        });
+        for (a, b, c) in out {
+            assert_eq!(a, 3);
+            assert_eq!(b, 30);
+            assert_eq!(c, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn message_flood_is_fully_processed_before_barrier_release() {
+        const PER_RANK: u64 = 5_000;
+        let total = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&total);
+        let nranks = 6;
+        World::run(nranks, move |ctx| {
+            let t = Arc::clone(&t);
+            for i in 0..PER_RANK {
+                let dest = (i as usize) % ctx.nranks();
+                let t = Arc::clone(&t);
+                ctx.async_exec(dest, move |_| {
+                    t.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            ctx.barrier();
+            assert_eq!(t.load(Ordering::SeqCst), PER_RANK * nranks as u64);
+        });
+    }
+
+    #[test]
+    fn stats_count_sends() {
+        let out = World::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.async_exec(1, |_| {});
+                ctx.async_exec(1, |_| {});
+            }
+            ctx.barrier();
+            ctx.messages_sent()
+        });
+        // 2 explicit messages; collectives in barrier send none.
+        assert!(out.iter().all(|&s| s >= 2));
+    }
+}

@@ -1,0 +1,191 @@
+//! `DistArray`: a fixed-size, block-partitioned distributed array
+//! (`ygm::container::array`).
+//!
+//! Used where the key space is a dense integer range — e.g. per-vertex degree
+//! or component-label arrays once authors have been renumbered `0..n`.
+
+use std::sync::Arc;
+
+use crate::comm::RankCtx;
+use crate::partition::{block_owner, block_range};
+
+use super::{new_shards, Shards};
+
+/// A distributed fixed-length array of `T`, block-partitioned across ranks.
+pub struct DistArray<T> {
+    shards: Shards<Vec<T>>,
+    len: usize,
+    nranks: usize,
+}
+
+impl<T> Clone for DistArray<T> {
+    fn clone(&self) -> Self {
+        DistArray { shards: Arc::clone(&self.shards), len: self.len, nranks: self.nranks }
+    }
+}
+
+impl<T> DistArray<T>
+where
+    T: Clone + Send + 'static,
+{
+    /// Create an array of `len` copies of `init`, block-partitioned over
+    /// `nranks` ranks.
+    pub fn new(nranks: usize, len: usize, init: T) -> Self {
+        let shards = new_shards::<Vec<T>>(nranks);
+        for rank in 0..nranks {
+            let r = block_range(rank, len, nranks);
+            *shards[rank].0.lock() = vec![init.clone(); r.len()];
+        }
+        DistArray { shards, len, nranks }
+    }
+
+    /// Global length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, ctx: &RankCtx) {
+        debug_assert_eq!(self.nranks, ctx.nranks(), "container/world size mismatch");
+    }
+
+    #[inline]
+    fn local_offset(&self, rank: usize, i: usize) -> usize {
+        i - block_range(rank, self.len, self.nranks).start
+    }
+
+    /// Set `a[i] = v` on the owner rank.
+    pub fn async_set(&self, ctx: &RankCtx, i: usize, v: T) {
+        self.check(ctx);
+        let owner = block_owner(i, self.len, self.nranks);
+        let off = self.local_offset(owner, i);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            shards[owner].0.lock()[off] = v;
+        });
+    }
+
+    /// Visit `a[i]` mutably on the owner rank.
+    pub fn async_visit<F>(&self, ctx: &RankCtx, i: usize, f: F)
+    where
+        F: FnOnce(usize, &mut T) + Send + 'static,
+    {
+        self.check(ctx);
+        let owner = block_owner(i, self.len, self.nranks);
+        let off = self.local_offset(owner, i);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            f(i, &mut shards[owner].0.lock()[off]);
+        });
+    }
+
+    /// Iterate this rank's `(global_index, value)` pairs.
+    pub fn local_for_each<F>(&self, ctx: &RankCtx, mut f: F)
+    where
+        F: FnMut(usize, &T),
+    {
+        self.check(ctx);
+        let r = block_range(ctx.rank(), self.len, self.nranks);
+        for (off, v) in self.shards[ctx.rank()].0.lock().iter().enumerate() {
+            f(r.start + off, v);
+        }
+    }
+
+    /// Read `a[i]` through shared memory. Quiescent-state only.
+    pub fn global_get(&self, i: usize) -> T {
+        let owner = block_owner(i, self.len, self.nranks);
+        let off = self.local_offset(owner, i);
+        self.shards[owner].0.lock()[off].clone()
+    }
+
+    /// Clone the full array into a local `Vec`. Quiescent-state only.
+    pub fn gather(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for shard in self.shards.iter() {
+            out.extend(shard.0.lock().iter().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn new_fills_with_init_value() {
+        let arr = DistArray::<u32>::new(3, 10, 7);
+        assert_eq!(arr.len(), 10);
+        assert_eq!(arr.gather(), vec![7; 10]);
+    }
+
+    #[test]
+    fn set_and_visit_route_to_owners() {
+        let arr = DistArray::<u64>::new(4, 17, 0);
+        {
+            let arr = arr.clone();
+            World::run(4, move |ctx| {
+                if ctx.rank() == 0 {
+                    for i in 0..17 {
+                        arr.async_set(ctx, i, i as u64);
+                    }
+                }
+                ctx.barrier();
+                // every rank increments every slot
+                for i in 0..17 {
+                    arr.async_visit(ctx, i, |_, v| *v += 1);
+                }
+                ctx.barrier();
+            });
+        }
+        let got = arr.gather();
+        for (i, v) in got.into_iter().enumerate() {
+            assert_eq!(v, i as u64 + 4);
+        }
+    }
+
+    #[test]
+    fn local_for_each_sees_only_owned_block() {
+        let arr = DistArray::<u8>::new(3, 10, 1);
+        let owned = {
+            let arr = arr.clone();
+            World::run(3, move |ctx| {
+                let mut idx = Vec::new();
+                arr.local_for_each(ctx, |i, _| idx.push(i));
+                idx
+            })
+        };
+        let mut all: Vec<usize> = owned.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_array_is_fine() {
+        let arr = DistArray::<u8>::new(2, 0, 0);
+        assert!(arr.is_empty());
+        assert!(arr.gather().is_empty());
+    }
+
+    #[test]
+    fn global_get_reads_any_slot() {
+        let arr = DistArray::<i32>::new(2, 5, -1);
+        {
+            let arr = arr.clone();
+            World::run(2, move |ctx| {
+                if ctx.rank() == 1 {
+                    arr.async_set(ctx, 4, 42);
+                }
+                ctx.barrier();
+            });
+        }
+        assert_eq!(arr.global_get(4), 42);
+        assert_eq!(arr.global_get(0), -1);
+    }
+}

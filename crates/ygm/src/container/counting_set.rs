@@ -1,0 +1,244 @@
+//! `DistCountingSet`: a hash-partitioned multiset with per-key counters
+//! (`ygm::container::counting_set`).
+//!
+//! This is the natural container for the projection's edge weights `w'` and
+//! page counts `P'`: every co-interaction event becomes an `async_add` routed
+//! to the key's owner.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::comm::RankCtx;
+use crate::partition::owner_of;
+
+use super::{new_shards, Shards};
+
+/// A distributed counting set: `key → u64` with increment-only updates plus
+/// local iteration and top-k extraction.
+pub struct DistCountingSet<K> {
+    shards: Shards<HashMap<K, u64>>,
+    nranks: usize,
+}
+
+impl<K> Clone for DistCountingSet<K> {
+    fn clone(&self) -> Self {
+        DistCountingSet { shards: Arc::clone(&self.shards), nranks: self.nranks }
+    }
+}
+
+impl<K> DistCountingSet<K>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+{
+    /// Create a counting set partitioned over `nranks` ranks.
+    pub fn new(nranks: usize) -> Self {
+        DistCountingSet { shards: new_shards(nranks), nranks }
+    }
+
+    #[inline]
+    fn check(&self, ctx: &RankCtx) {
+        debug_assert_eq!(self.nranks, ctx.nranks(), "container/world size mismatch");
+    }
+
+    /// Increment `k`'s count by one.
+    pub fn async_add(&self, ctx: &RankCtx, k: K) {
+        self.async_add_many(ctx, k, 1);
+    }
+
+    /// Increment `k`'s count by `n`. Batching increments at the sender (e.g.
+    /// one message per page rather than one per pair occurrence) is the
+    /// standard YGM aggregation trick and is how the projection driver uses it.
+    pub fn async_add_many(&self, ctx: &RankCtx, k: K, n: u64) {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            *shards[owner].0.lock().entry(k).or_insert(0) += n;
+        });
+    }
+
+    /// Increment `k` by `n` directly in this rank's shard — for use inside
+    /// aggregated-message apply handlers running on the owner, where routing
+    /// another message would defeat the batching.
+    ///
+    /// # Panics
+    /// Panics (debug) if this rank does not own `k`.
+    pub fn local_add(&self, ctx: &RankCtx, k: K, n: u64) {
+        self.check(ctx);
+        debug_assert_eq!(
+            owner_of(&k, self.nranks),
+            ctx.rank(),
+            "local_add on a non-owner rank would corrupt partitioning"
+        );
+        *self.shards[ctx.rank()].0.lock().entry(k).or_insert(0) += n;
+    }
+
+    /// Iterate this rank's `(key, count)` pairs.
+    pub fn local_for_each<F>(&self, ctx: &RankCtx, mut f: F)
+    where
+        F: FnMut(&K, u64),
+    {
+        self.check(ctx);
+        for (k, &c) in self.shards[ctx.rank()].0.lock().iter() {
+            f(k, c);
+        }
+    }
+
+    /// Distinct keys on this rank.
+    pub fn local_len(&self, ctx: &RankCtx) -> usize {
+        self.check(ctx);
+        self.shards[ctx.rank()].0.lock().len()
+    }
+
+    /// Collective: distinct keys across ranks.
+    pub fn global_len(&self, ctx: &RankCtx) -> u64 {
+        self.check(ctx);
+        ctx.all_reduce_sum(self.local_len(ctx) as u64)
+    }
+
+    /// Collective: sum of all counts across ranks.
+    pub fn global_total(&self, ctx: &RankCtx) -> u64 {
+        self.check(ctx);
+        let local: u64 = self.shards[ctx.rank()].0.lock().values().sum();
+        ctx.all_reduce_sum(local)
+    }
+
+    /// `k`'s count (0 if absent) through shared memory. Quiescent-state only.
+    pub fn global_count(&self, k: &K) -> u64 {
+        let owner = owner_of(k, self.nranks);
+        self.shards[owner].0.lock().get(k).copied().unwrap_or(0)
+    }
+
+    /// The `k` entries with the largest counts, descending (ties broken
+    /// arbitrarily). Quiescent-state only.
+    pub fn global_top_k(&self, k: usize) -> Vec<(K, u64)> {
+        let mut all: Vec<(K, u64)> = Vec::new();
+        for shard in self.shards.iter() {
+            all.extend(shard.0.lock().iter().map(|(key, &c)| (key.clone(), c)));
+        }
+        all.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
+        all.truncate(k);
+        all
+    }
+
+    /// Clone everything into a local `HashMap`. Quiescent-state only.
+    pub fn gather(&self) -> HashMap<K, u64> {
+        let mut out = HashMap::new();
+        for shard in self.shards.iter() {
+            for (k, &c) in shard.0.lock().iter() {
+                out.insert(k.clone(), c);
+            }
+        }
+        out
+    }
+
+    /// Drain everything into a local `HashMap`, leaving the set empty.
+    pub fn drain_into_local(&self) -> HashMap<K, u64> {
+        let mut out = HashMap::new();
+        for shard in self.shards.iter() {
+            out.extend(std::mem::take(&mut *shard.0.lock()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn counts_accumulate_across_ranks() {
+        let cs = DistCountingSet::<u32>::new(4);
+        {
+            let cs = cs.clone();
+            World::run(4, move |ctx| {
+                for k in 0..10u32 {
+                    cs.async_add(ctx, k);
+                    cs.async_add_many(ctx, k, 2);
+                }
+                ctx.barrier();
+            });
+        }
+        for k in 0..10u32 {
+            assert_eq!(cs.global_count(&k), 12); // 4 ranks * (1 + 2)
+        }
+        assert_eq!(cs.global_count(&999), 0);
+    }
+
+    #[test]
+    fn local_add_matches_async_add_on_owned_keys() {
+        let a = DistCountingSet::<u64>::new(3);
+        let b = DistCountingSet::<u64>::new(3);
+        {
+            let a = a.clone();
+            let b = b.clone();
+            World::run(3, move |ctx| {
+                for k in 0..100u64 {
+                    if owner_of(&k, ctx.nranks()) == ctx.rank() {
+                        a.local_add(ctx, k, 2);
+                    }
+                    b.async_add_many(ctx, k, 2);
+                }
+                ctx.barrier();
+            });
+        }
+        // b got 3 ranks' worth; a got one owner's worth
+        for k in 0..100u64 {
+            assert_eq!(a.global_count(&k) * 3, b.global_count(&k));
+        }
+    }
+
+    #[test]
+    fn totals_are_collective() {
+        let cs = DistCountingSet::<&'static str>::new(2);
+        let out = {
+            let cs = cs.clone();
+            World::run(2, move |ctx| {
+                cs.async_add_many(ctx, "a", 5);
+                cs.async_add(ctx, "b");
+                ctx.barrier();
+                (cs.global_len(ctx), cs.global_total(ctx))
+            })
+        };
+        for (len, total) in out {
+            assert_eq!(len, 2);
+            assert_eq!(total, 12);
+        }
+    }
+
+    #[test]
+    fn top_k_orders_by_count() {
+        let cs = DistCountingSet::<u32>::new(3);
+        {
+            let cs = cs.clone();
+            World::run(3, move |ctx| {
+                if ctx.rank() == 0 {
+                    for (k, n) in [(1u32, 5u64), (2, 50), (3, 20), (4, 1)] {
+                        cs.async_add_many(ctx, k, n);
+                    }
+                }
+                ctx.barrier();
+            });
+        }
+        let top = cs.global_top_k(2);
+        assert_eq!(top, vec![(2, 50), (3, 20)]);
+        assert_eq!(cs.global_top_k(100).len(), 4);
+    }
+
+    #[test]
+    fn drain_empties_the_set() {
+        let cs = DistCountingSet::<u32>::new(2);
+        {
+            let cs = cs.clone();
+            World::run(2, move |ctx| {
+                cs.async_add(ctx, 1);
+                ctx.barrier();
+            });
+        }
+        let drained = cs.drain_into_local();
+        assert_eq!(drained[&1], 2);
+        assert!(cs.gather().is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! `DistMap`: a hash-partitioned key→value map (`ygm::container::map`).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::comm::RankCtx;
+use crate::partition::owner_of;
+
+use super::{new_shards, Shards};
+
+/// A distributed map. Each key lives on exactly one owner rank; all mutation is
+/// routed there. See the [module docs](super) for the visibility contract.
+pub struct DistMap<K, V> {
+    shards: Shards<HashMap<K, V>>,
+    nranks: usize,
+}
+
+impl<K, V> Clone for DistMap<K, V> {
+    fn clone(&self) -> Self {
+        DistMap { shards: Arc::clone(&self.shards), nranks: self.nranks }
+    }
+}
+
+impl<K, V> DistMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    /// Create a map partitioned over `nranks` ranks.
+    pub fn new(nranks: usize) -> Self {
+        DistMap { shards: new_shards(nranks), nranks }
+    }
+
+    #[inline]
+    fn check(&self, ctx: &RankCtx) {
+        debug_assert_eq!(
+            self.nranks,
+            ctx.nranks(),
+            "container was created for a different world size"
+        );
+    }
+
+    /// Insert `k → v`, overwriting any previous value. Visible after the next
+    /// barrier.
+    pub fn async_insert(&self, ctx: &RankCtx, k: K, v: V) {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            shards[owner].0.lock().insert(k, v);
+        });
+    }
+
+    /// Insert `k → v` only if `k` is absent.
+    pub fn async_insert_if_absent(&self, ctx: &RankCtx, k: K, v: V) {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            shards[owner].0.lock().entry(k).or_insert(v);
+        });
+    }
+
+    /// Visit `k` on its owner rank: if present, `f(&k, &mut v)` runs there;
+    /// absent keys are ignored.
+    pub fn async_visit<F>(&self, ctx: &RankCtx, k: K, f: F)
+    where
+        F: FnOnce(&K, &mut V) + Send + 'static,
+    {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            if let Some(v) = shards[owner].0.lock().get_mut(&k) {
+                f(&k, v);
+            }
+        });
+    }
+
+    /// Visit `k`, inserting `default()` first if absent (YGM's
+    /// `async_visit`-with-default idiom; the workhorse of reduction-by-key).
+    pub fn async_visit_or_insert<D, F>(&self, ctx: &RankCtx, k: K, default: D, f: F)
+    where
+        D: FnOnce() -> V + Send + 'static,
+        F: FnOnce(&K, &mut V) + Send + 'static,
+    {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            let mut shard = shards[owner].0.lock();
+            let v = shard.entry(k.clone()).or_insert_with(default);
+            f(&k, v);
+        });
+    }
+
+    /// Remove `k` on its owner rank.
+    pub fn async_erase(&self, ctx: &RankCtx, k: K) {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            shards[owner].0.lock().remove(&k);
+        });
+    }
+
+    /// Iterate this rank's shard. Call inside the SPMD region, after a barrier.
+    pub fn local_for_each<F>(&self, ctx: &RankCtx, mut f: F)
+    where
+        F: FnMut(&K, &V),
+    {
+        self.check(ctx);
+        for (k, v) in self.shards[ctx.rank()].0.lock().iter() {
+            f(k, v);
+        }
+    }
+
+    /// Mutably iterate this rank's shard.
+    pub fn local_for_each_mut<F>(&self, ctx: &RankCtx, mut f: F)
+    where
+        F: FnMut(&K, &mut V),
+    {
+        self.check(ctx);
+        for (k, v) in self.shards[ctx.rank()].0.lock().iter_mut() {
+            f(k, v);
+        }
+    }
+
+    /// Number of entries on this rank.
+    pub fn local_len(&self, ctx: &RankCtx) -> usize {
+        self.check(ctx);
+        self.shards[ctx.rank()].0.lock().len()
+    }
+
+    /// Collective: total entries across all ranks (includes a barrier).
+    pub fn global_len(&self, ctx: &RankCtx) -> u64 {
+        self.check(ctx);
+        ctx.all_reduce_sum(self.local_len(ctx) as u64)
+    }
+
+    /// Direct shared-memory read of `k`'s value (cloned). Quiescent-state only.
+    pub fn global_get(&self, k: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let owner = owner_of(k, self.nranks);
+        self.shards[owner].0.lock().get(k).cloned()
+    }
+
+    /// Whether `k` is present. Quiescent-state only.
+    pub fn global_contains(&self, k: &K) -> bool {
+        let owner = owner_of(k, self.nranks);
+        self.shards[owner].0.lock().contains_key(k)
+    }
+
+    /// Clone the whole map into a local `HashMap`. Quiescent-state only; meant
+    /// for result extraction after [`crate::World::launch`] returns.
+    pub fn gather(&self) -> HashMap<K, V>
+    where
+        V: Clone,
+    {
+        let mut out = HashMap::new();
+        for shard in self.shards.iter() {
+            for (k, v) in shard.0.lock().iter() {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+
+    /// Drain the whole map into a local `HashMap`, leaving it empty.
+    pub fn drain_into_local(&self) -> HashMap<K, V> {
+        let mut out = HashMap::new();
+        for shard in self.shards.iter() {
+            out.extend(std::mem::take(&mut *shard.0.lock()));
+        }
+        out
+    }
+
+    /// Collective: clear every shard (each rank clears its own).
+    pub fn clear(&self, ctx: &RankCtx) {
+        self.check(ctx);
+        self.shards[ctx.rank()].0.lock().clear();
+        ctx.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn concurrent_inserts_match_sequential_reference() {
+        let map = DistMap::<u32, u32>::new(4);
+        {
+            let map = map.clone();
+            World::run(4, move |ctx| {
+                // Each rank inserts a disjoint slice of keys.
+                let lo = ctx.rank() as u32 * 250;
+                for k in lo..lo + 250 {
+                    map.async_insert(ctx, k, k * 2);
+                }
+                ctx.barrier();
+            });
+        }
+        let got = map.gather();
+        assert_eq!(got.len(), 1000);
+        for k in 0..1000u32 {
+            assert_eq!(got[&k], k * 2);
+        }
+    }
+
+    #[test]
+    fn visit_or_insert_accumulates_like_reduce_by_key() {
+        let map = DistMap::<String, u64>::new(3);
+        {
+            let map = map.clone();
+            World::run(3, move |ctx| {
+                for _ in 0..10 {
+                    map.async_visit_or_insert(
+                        ctx,
+                        "total".to_string(),
+                        || 0,
+                        |_, v| *v += 1,
+                    );
+                }
+                ctx.barrier();
+            });
+        }
+        assert_eq!(map.global_get(&"total".to_string()), Some(30));
+    }
+
+    #[test]
+    fn insert_if_absent_keeps_first_value() {
+        let map = DistMap::<u32, u32>::new(2);
+        {
+            let map = map.clone();
+            World::run(2, move |ctx| {
+                map.async_insert_if_absent(ctx, 7, 100 + ctx.rank() as u32);
+                ctx.barrier();
+                map.async_insert_if_absent(ctx, 7, 999);
+                ctx.barrier();
+            });
+        }
+        let v = map.global_get(&7).unwrap();
+        assert!(v == 100 || v == 101, "got {v}");
+    }
+
+    #[test]
+    fn visit_ignores_missing_keys() {
+        let map = DistMap::<u32, u32>::new(2);
+        {
+            let map = map.clone();
+            World::run(2, move |ctx| {
+                map.async_visit(ctx, 42, |_, v| *v += 1);
+                ctx.barrier();
+            });
+        }
+        assert_eq!(map.gather().len(), 0);
+    }
+
+    #[test]
+    fn erase_removes_entries() {
+        let map = DistMap::<u32, u32>::new(3);
+        {
+            let map = map.clone();
+            World::run(3, move |ctx| {
+                if ctx.rank() == 0 {
+                    for k in 0..30 {
+                        map.async_insert(ctx, k, k);
+                    }
+                }
+                ctx.barrier();
+                if ctx.rank() == 1 {
+                    for k in 0..30 {
+                        if k % 2 == 0 {
+                            map.async_erase(ctx, k);
+                        }
+                    }
+                }
+                ctx.barrier();
+            });
+        }
+        let got = map.gather();
+        assert_eq!(got.len(), 15);
+        assert!(got.keys().all(|k| k % 2 == 1));
+    }
+
+    #[test]
+    fn local_for_each_partitions_the_key_space() {
+        let map = DistMap::<u32, u32>::new(4);
+        let per_rank = {
+            let map = map.clone();
+            World::run(4, move |ctx| {
+                if ctx.rank() == 0 {
+                    for k in 0..100 {
+                        map.async_insert(ctx, k, 1);
+                    }
+                }
+                ctx.barrier();
+                let mut n = 0u64;
+                map.local_for_each(ctx, |_, _| n += 1);
+                n
+            })
+        };
+        assert_eq!(per_rank.iter().sum::<u64>(), 100);
+        // the stable hash should spread 100 keys over all 4 shards
+        assert!(per_rank.iter().all(|&n| n > 0), "{per_rank:?}");
+    }
+
+    #[test]
+    fn global_len_is_collective_and_correct() {
+        let map = DistMap::<u32, ()>::new(3);
+        let lens = {
+            let map = map.clone();
+            World::run(3, move |ctx| {
+                map.async_insert(ctx, ctx.rank() as u32, ());
+                ctx.barrier();
+                map.global_len(ctx)
+            })
+        };
+        assert_eq!(lens, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let map = DistMap::<u32, u32>::new(2);
+        {
+            let map = map.clone();
+            World::run(2, move |ctx| {
+                map.async_insert(ctx, ctx.rank() as u32, 0);
+                ctx.barrier();
+                map.clear(ctx);
+            });
+        }
+        assert!(map.gather().is_empty());
+    }
+
+    #[test]
+    fn local_for_each_mut_updates_in_place() {
+        let map = DistMap::<u32, u64>::new(2);
+        {
+            let map = map.clone();
+            World::run(2, move |ctx| {
+                if ctx.rank() == 0 {
+                    for k in 0..10 {
+                        map.async_insert(ctx, k, k as u64);
+                    }
+                }
+                ctx.barrier();
+                map.local_for_each_mut(ctx, |_, v| *v *= 10);
+                ctx.barrier();
+            });
+        }
+        let got = map.gather();
+        for k in 0..10u32 {
+            assert_eq!(got[&k], k as u64 * 10);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! `DistMultimap`: a hash-partitioned key→bag-of-values map.
+//!
+//! This is the container the projection step leans on: pages map to the list of
+//! `(author, timestamp)` comments on them, with each comment appended at the
+//! page's owner rank.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::comm::RankCtx;
+use crate::partition::owner_of;
+
+use super::{new_shards, Shards};
+
+/// A distributed multimap: each key owns a `Vec` of values on its owner rank.
+pub struct DistMultimap<K, V> {
+    shards: Shards<HashMap<K, Vec<V>>>,
+    nranks: usize,
+}
+
+impl<K, V> Clone for DistMultimap<K, V> {
+    fn clone(&self) -> Self {
+        DistMultimap { shards: Arc::clone(&self.shards), nranks: self.nranks }
+    }
+}
+
+impl<K, V> DistMultimap<K, V>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    /// Create a multimap partitioned over `nranks` ranks.
+    pub fn new(nranks: usize) -> Self {
+        DistMultimap { shards: new_shards(nranks), nranks }
+    }
+
+    #[inline]
+    fn check(&self, ctx: &RankCtx) {
+        debug_assert_eq!(self.nranks, ctx.nranks(), "container/world size mismatch");
+    }
+
+    /// Append `v` to `k`'s value list on the owner rank.
+    pub fn async_insert(&self, ctx: &RankCtx, k: K, v: V) {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            shards[owner].0.lock().entry(k).or_default().push(v);
+        });
+    }
+
+    /// Visit `k`'s full value list on its owner rank (no-op if absent).
+    pub fn async_visit_group<F>(&self, ctx: &RankCtx, k: K, f: F)
+    where
+        F: FnOnce(&K, &mut Vec<V>) + Send + 'static,
+    {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            if let Some(vs) = shards[owner].0.lock().get_mut(&k) {
+                f(&k, vs);
+            }
+        });
+    }
+
+    /// Iterate this rank's groups: `f(&key, &values)`.
+    pub fn local_for_each_group<F>(&self, ctx: &RankCtx, mut f: F)
+    where
+        F: FnMut(&K, &[V]),
+    {
+        self.check(ctx);
+        for (k, vs) in self.shards[ctx.rank()].0.lock().iter() {
+            f(k, vs);
+        }
+    }
+
+    /// Iterate this rank's groups with a handle to the rank context, so the
+    /// body can issue `async_exec`/container ops per group. Messages produced
+    /// inside are delivered by the next barrier.
+    pub fn local_for_each_group_ctx<F>(&self, ctx: &RankCtx, mut f: F)
+    where
+        F: FnMut(&RankCtx, &K, &[V]),
+    {
+        self.check(ctx);
+        // Take the shard out so handlers delivered to *this* rank mid-loop can
+        // lock it without deadlocking against our iteration.
+        let snapshot = std::mem::take(&mut *self.shards[ctx.rank()].0.lock());
+        for (k, vs) in snapshot.iter() {
+            f(ctx, k, vs);
+        }
+        let mut shard = self.shards[ctx.rank()].0.lock();
+        if shard.is_empty() {
+            *shard = snapshot;
+        } else {
+            // Handlers inserted while we iterated; merge the snapshot back.
+            for (k, mut vs) in snapshot {
+                shard.entry(k).or_default().append(&mut vs);
+            }
+        }
+    }
+
+    /// Number of keys on this rank.
+    pub fn local_key_count(&self, ctx: &RankCtx) -> usize {
+        self.check(ctx);
+        self.shards[ctx.rank()].0.lock().len()
+    }
+
+    /// Number of values on this rank (sum of group sizes).
+    pub fn local_value_count(&self, ctx: &RankCtx) -> usize {
+        self.check(ctx);
+        self.shards[ctx.rank()].0.lock().values().map(Vec::len).sum()
+    }
+
+    /// Collective: total keys across ranks.
+    pub fn global_key_count(&self, ctx: &RankCtx) -> u64 {
+        self.check(ctx);
+        ctx.all_reduce_sum(self.local_key_count(ctx) as u64)
+    }
+
+    /// Collective: total values across ranks.
+    pub fn global_value_count(&self, ctx: &RankCtx) -> u64 {
+        self.check(ctx);
+        ctx.all_reduce_sum(self.local_value_count(ctx) as u64)
+    }
+
+    /// Direct shared-memory read of `k`'s values (cloned). Quiescent-state only.
+    pub fn global_get(&self, k: &K) -> Option<Vec<V>>
+    where
+        V: Clone,
+    {
+        let owner = owner_of(k, self.nranks);
+        self.shards[owner].0.lock().get(k).cloned()
+    }
+
+    /// Clone everything into a local `HashMap`. Quiescent-state only.
+    pub fn gather(&self) -> HashMap<K, Vec<V>>
+    where
+        V: Clone,
+    {
+        let mut out = HashMap::new();
+        for shard in self.shards.iter() {
+            for (k, vs) in shard.0.lock().iter() {
+                out.insert(k.clone(), vs.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn appends_from_all_ranks_accumulate() {
+        let mm = DistMultimap::<u32, usize>::new(4);
+        {
+            let mm = mm.clone();
+            World::run(4, move |ctx| {
+                for k in 0..10u32 {
+                    mm.async_insert(ctx, k, ctx.rank());
+                }
+                ctx.barrier();
+            });
+        }
+        let got = mm.gather();
+        assert_eq!(got.len(), 10);
+        for k in 0..10u32 {
+            let mut vs = got[&k].clone();
+            vs.sort_unstable();
+            assert_eq!(vs, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn counts_are_collective() {
+        let mm = DistMultimap::<u32, u8>::new(3);
+        let out = {
+            let mm = mm.clone();
+            World::run(3, move |ctx| {
+                mm.async_insert(ctx, ctx.rank() as u32, 0);
+                mm.async_insert(ctx, ctx.rank() as u32, 1);
+                ctx.barrier();
+                (mm.global_key_count(ctx), mm.global_value_count(ctx))
+            })
+        };
+        for (keys, values) in out {
+            assert_eq!(keys, 3);
+            assert_eq!(values, 6);
+        }
+    }
+
+    #[test]
+    fn visit_group_can_sort_in_place() {
+        let mm = DistMultimap::<&'static str, u32>::new(2);
+        {
+            let mm = mm.clone();
+            World::run(2, move |ctx| {
+                if ctx.rank() == 0 {
+                    for v in [5u32, 1, 3] {
+                        mm.async_insert(ctx, "k", v);
+                    }
+                }
+                ctx.barrier();
+                if ctx.rank() == 1 {
+                    mm.async_visit_group(ctx, "k", |_, vs| vs.sort_unstable());
+                }
+                ctx.barrier();
+            });
+        }
+        assert_eq!(mm.global_get(&"k").unwrap(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn group_iteration_with_ctx_can_send_messages() {
+        // The classic projection shape: iterate local groups, emit pairs to a
+        // second container.
+        let pages = DistMultimap::<u32, u32>::new(3);
+        let sums = DistMultimap::<u32, u32>::new(3);
+        {
+            let pages = pages.clone();
+            let sums2 = sums.clone();
+            World::run(3, move |ctx| {
+                if ctx.rank() == 0 {
+                    for p in 0..20u32 {
+                        pages.async_insert(ctx, p, p);
+                        pages.async_insert(ctx, p, p + 1);
+                    }
+                }
+                ctx.barrier();
+                let sums3 = sums2.clone();
+                pages.local_for_each_group_ctx(ctx, move |c, k, vs| {
+                    sums3.async_insert(c, *k % 2, vs.iter().sum());
+                });
+                ctx.barrier();
+            });
+        }
+        let got = sums.gather();
+        assert_eq!(got.values().map(Vec::len).sum::<usize>(), 20);
+        let total: u32 = got.values().flatten().sum();
+        assert_eq!(total, (0..20u32).map(|p| p + p + 1).sum());
+    }
+
+    #[test]
+    fn iteration_survives_concurrent_inserts_to_self() {
+        // A rank iterating its shard while handlers insert into the same shard
+        // must not deadlock or drop data.
+        let mm = DistMultimap::<u32, u32>::new(2);
+        {
+            let mm = mm.clone();
+            World::run(2, move |ctx| {
+                if ctx.rank() == 0 {
+                    for k in 0..50u32 {
+                        mm.async_insert(ctx, k, 0);
+                    }
+                }
+                ctx.barrier();
+                let mm2 = mm.clone();
+                mm.local_for_each_group_ctx(ctx, move |c, k, _| {
+                    // re-insert the same key; its owner may be this very rank
+                    mm2.async_insert(c, *k, 1);
+                });
+                ctx.barrier();
+            });
+        }
+        let got = mm.gather();
+        assert_eq!(got.len(), 50);
+        for vs in got.values() {
+            assert_eq!(vs.len(), 2, "{vs:?}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! `DistSet`: a hash-partitioned set of keys.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::comm::RankCtx;
+use crate::partition::owner_of;
+
+use super::{new_shards, Shards};
+
+/// A distributed set. Used by the pipeline for deduplicated vertex sets and
+/// exclusion lists.
+pub struct DistSet<K> {
+    shards: Shards<HashSet<K>>,
+    nranks: usize,
+}
+
+impl<K> Clone for DistSet<K> {
+    fn clone(&self) -> Self {
+        DistSet { shards: Arc::clone(&self.shards), nranks: self.nranks }
+    }
+}
+
+impl<K> DistSet<K>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+{
+    /// Create a set partitioned over `nranks` ranks.
+    pub fn new(nranks: usize) -> Self {
+        DistSet { shards: new_shards(nranks), nranks }
+    }
+
+    #[inline]
+    fn check(&self, ctx: &RankCtx) {
+        debug_assert_eq!(self.nranks, ctx.nranks(), "container/world size mismatch");
+    }
+
+    /// Insert `k` (idempotent).
+    pub fn async_insert(&self, ctx: &RankCtx, k: K) {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            shards[owner].0.lock().insert(k);
+        });
+    }
+
+    /// Remove `k`.
+    pub fn async_erase(&self, ctx: &RankCtx, k: K) {
+        self.check(ctx);
+        let owner = owner_of(&k, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        ctx.async_exec(owner, move |_| {
+            shards[owner].0.lock().remove(&k);
+        });
+    }
+
+    /// Iterate this rank's members.
+    pub fn local_for_each<F>(&self, ctx: &RankCtx, mut f: F)
+    where
+        F: FnMut(&K),
+    {
+        self.check(ctx);
+        for k in self.shards[ctx.rank()].0.lock().iter() {
+            f(k);
+        }
+    }
+
+    /// Members on this rank.
+    pub fn local_len(&self, ctx: &RankCtx) -> usize {
+        self.check(ctx);
+        self.shards[ctx.rank()].0.lock().len()
+    }
+
+    /// Collective: total members across ranks.
+    pub fn global_len(&self, ctx: &RankCtx) -> u64 {
+        self.check(ctx);
+        ctx.all_reduce_sum(self.local_len(ctx) as u64)
+    }
+
+    /// Membership check through shared memory. Quiescent-state only.
+    pub fn global_contains(&self, k: &K) -> bool {
+        let owner = owner_of(k, self.nranks);
+        self.shards[owner].0.lock().contains(k)
+    }
+
+    /// Clone all members into a local `HashSet`. Quiescent-state only.
+    pub fn gather(&self) -> HashSet<K> {
+        let mut out = HashSet::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.0.lock().iter().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let set = DistSet::<u32>::new(4);
+        let lens = {
+            let set = set.clone();
+            World::run(4, move |ctx| {
+                // every rank inserts the same 100 keys
+                for k in 0..100 {
+                    set.async_insert(ctx, k);
+                }
+                ctx.barrier();
+                set.global_len(ctx)
+            })
+        };
+        assert_eq!(lens, vec![100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn erase_then_contains() {
+        let set = DistSet::<&'static str>::new(2);
+        {
+            let set = set.clone();
+            World::run(2, move |ctx| {
+                set.async_insert(ctx, "keep");
+                set.async_insert(ctx, "drop");
+                ctx.barrier();
+                if ctx.rank() == 0 {
+                    set.async_erase(ctx, "drop");
+                }
+                ctx.barrier();
+            });
+        }
+        assert!(set.global_contains(&"keep"));
+        assert!(!set.global_contains(&"drop"));
+    }
+
+    #[test]
+    fn gather_equals_union_of_local_views() {
+        let set = DistSet::<u32>::new(3);
+        let locals = {
+            let set = set.clone();
+            World::run(3, move |ctx| {
+                set.async_insert(ctx, ctx.rank() as u32 * 7);
+                ctx.barrier();
+                let mut mine = Vec::new();
+                set.local_for_each(ctx, |k| mine.push(*k));
+                mine
+            })
+        };
+        let union: HashSet<u32> = locals.into_iter().flatten().collect();
+        assert_eq!(union, set.gather());
+        assert_eq!(union, HashSet::from([0, 7, 14]));
+    }
+}

@@ -1,0 +1,175 @@
+//! `DistTopK`: a distributed top-k tracker.
+//!
+//! The refinement loop wants "which accounts dominate the projection?"
+//! without gathering every counter to one node (on a cluster, the P' table is
+//! rank-distributed). Each rank keeps a bounded min-heap of its local best
+//! candidates; a collective merge produces the global top-k. Scores are
+//! submitted with `async_offer`, routed to the key's owner so duplicate keys
+//! keep only their maximum score.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::comm::RankCtx;
+use crate::partition::owner_of;
+use crate::reduce::all_gather_concat;
+
+use super::{new_shards, Shards};
+
+/// A distributed "largest k scores" tracker over keyed candidates.
+pub struct DistTopK<K> {
+    shards: Shards<HashMap<K, u64>>,
+    k: usize,
+    nranks: usize,
+}
+
+impl<K> Clone for DistTopK<K> {
+    fn clone(&self) -> Self {
+        DistTopK { shards: Arc::clone(&self.shards), k: self.k, nranks: self.nranks }
+    }
+}
+
+impl<K> DistTopK<K>
+where
+    K: Hash + Eq + Ord + Clone + Send + 'static,
+{
+    /// Track the `k` largest-scored keys across `nranks` ranks.
+    pub fn new(nranks: usize, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        DistTopK { shards: new_shards(nranks), k, nranks }
+    }
+
+    #[inline]
+    fn check(&self, ctx: &RankCtx) {
+        debug_assert_eq!(self.nranks, ctx.nranks(), "container/world size mismatch");
+    }
+
+    /// Offer a `(key, score)` candidate; the owner keeps the key's maximum
+    /// score and bounds its shard to `k` entries (pruning can never drop a
+    /// global top-k key: the global winner is also a shard winner).
+    pub fn async_offer(&self, ctx: &RankCtx, key: K, score: u64) {
+        self.check(ctx);
+        let owner = owner_of(&key, self.nranks);
+        let shards = Arc::clone(&self.shards);
+        let k = self.k;
+        ctx.async_exec(owner, move |_| {
+            let mut shard = shards[owner].0.lock();
+            let entry = shard.entry(key).or_insert(0);
+            *entry = (*entry).max(score);
+            if shard.len() > 2 * k {
+                // amortized prune: keep the shard's k best
+                let mut items: Vec<(K, u64)> =
+                    shard.drain().collect();
+                items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                items.truncate(k);
+                shard.extend(items);
+            }
+        });
+    }
+
+    /// Collective: the global top-k as `(key, score)`, best first, ties by
+    /// key. Every rank receives the same result. Call after a barrier.
+    pub fn global_top(&self, ctx: &RankCtx) -> Vec<(K, u64)> {
+        self.check(ctx);
+        // local k-best
+        let mut local: Vec<(K, u64)> = self.shards[ctx.rank()]
+            .0
+            .lock()
+            .iter()
+            .map(|(key, &s)| (key.clone(), s))
+            .collect();
+        local.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        local.truncate(self.k);
+        let mut all = all_gather_concat(ctx, local);
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(self.k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn global_top_orders_and_truncates() {
+        let topk = DistTopK::<u32>::new(3, 4);
+        let out = {
+            let topk = topk.clone();
+            World::run(3, move |ctx| {
+                // rank r offers keys r, r+10, r+20 with increasing scores
+                for (i, base) in [0u32, 10, 20].iter().enumerate() {
+                    topk.async_offer(ctx, base + ctx.rank() as u32, (i as u64 + 1) * 100);
+                }
+                ctx.barrier();
+                topk.global_top(ctx)
+            })
+        };
+        // the 4 best: keys 20,21,22 at 300 and one of 10,11,12 at 200
+        for top in out {
+            assert_eq!(top.len(), 4);
+            assert_eq!(top[0].1, 300);
+            assert_eq!(top[3].1, 200);
+            let keys: Vec<u32> = top.iter().map(|&(k, _)| k).collect();
+            assert_eq!(&keys[..3], &[20, 21, 22]);
+        }
+    }
+
+    #[test]
+    fn duplicate_offers_keep_the_max() {
+        let topk = DistTopK::<&'static str>::new(2, 2);
+        let out = {
+            let topk = topk.clone();
+            World::run(2, move |ctx| {
+                topk.async_offer(ctx, "a", 5 + ctx.rank() as u64 * 10);
+                topk.async_offer(ctx, "a", 1);
+                ctx.barrier();
+                topk.global_top(ctx)
+            })
+        };
+        for top in out {
+            assert_eq!(top, vec![("a", 15)]);
+        }
+    }
+
+    #[test]
+    fn pruning_never_loses_a_global_winner() {
+        // flood with 5000 keys; global top-3 must be exact despite shard caps
+        let topk = DistTopK::<u32>::new(4, 3);
+        let out = {
+            let topk = topk.clone();
+            World::run(4, move |ctx| {
+                if ctx.rank() == 0 {
+                    for key in 0..5_000u32 {
+                        topk.async_offer(ctx, key, key as u64);
+                    }
+                }
+                ctx.barrier();
+                topk.global_top(ctx)
+            })
+        };
+        for top in out {
+            assert_eq!(top, vec![(4999, 4999), (4998, 4998), (4997, 4997)]);
+        }
+    }
+
+    #[test]
+    fn every_rank_sees_the_same_answer() {
+        let topk = DistTopK::<u32>::new(5, 8);
+        let out = {
+            let topk = topk.clone();
+            World::run(5, move |ctx| {
+                for i in 0..100u32 {
+                    topk.async_offer(ctx, i * 5 + ctx.rank() as u32, (i % 17) as u64);
+                }
+                ctx.barrier();
+                topk.global_top(ctx)
+            })
+        };
+        for pair in out.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # ygm — a YGM-style SPMD runtime with distributed containers
+//!
+//! This crate is a single-node stand-in for [YGM](https://github.com/LLNL/ygm),
+//! the MPI-based asynchronous communication library the paper's pipeline was
+//! built on. It preserves YGM's programming model:
+//!
+//! * a fixed set of *ranks*, each running the same SPMD function
+//!   ([`World::run`]);
+//! * *asynchronous active messages*: a rank sends a closure to another rank,
+//!   which executes it on its local state ([`RankCtx::async_exec`]);
+//! * *owner-computes* distributed containers partitioned across ranks by key
+//!   hash ([`container`]);
+//! * *barriers with termination detection*: [`RankCtx::barrier`] returns only
+//!   once every rank has arrived **and** every message sent anywhere — including
+//!   messages generated while processing other messages — has been processed.
+//!
+//! The only difference from real YGM is the transport: ranks are OS threads and
+//! messages are boxed closures over shared memory instead of serialized MPI
+//! buffers. Every algorithm in the workspace is written against this API the way
+//! it would be written against YGM proper, so the communication structure of the
+//! paper's distributed implementation is preserved.
+//!
+//! ## Example
+//!
+//! ```
+//! use ygm::comm::World;
+//! use ygm::container::DistCountingSet;
+//!
+//! let words = DistCountingSet::<String>::new(4);
+//! let counts = {
+//!     let words = words.clone();
+//!     World::run(4, move |ctx| {
+//!         // every rank contributes the same word; counts accumulate at the owner
+//!         words.async_add(ctx, "hello".to_string());
+//!         ctx.barrier();
+//!         words.global_count(&"hello".to_string())
+//!     })
+//! };
+//! assert!(counts.iter().all(|&c| c == 4));
+//! ```
+
+pub mod batch;
+pub mod comm;
+pub mod container;
+pub mod partition;
+pub mod reduce;
+pub mod stats;
+
+pub use batch::Aggregator;
+pub use comm::{RankCtx, World};
+pub use partition::owner_of;

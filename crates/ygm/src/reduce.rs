@@ -1,0 +1,99 @@
+//! Higher-level collective helpers built on [`crate::RankCtx::all_gather`].
+//!
+//! These mirror the small set of collectives YGM programs reach for between
+//! supersteps: min/max/sum of scalars, histogram merging, and gathering small
+//! per-rank vectors to every rank.
+
+use crate::comm::RankCtx;
+
+/// Gather per-rank `Vec`s and concatenate them in rank order on every rank.
+pub fn all_gather_concat<T: Clone + Send + 'static>(ctx: &RankCtx, local: Vec<T>) -> Vec<T> {
+    ctx.all_gather(local).into_iter().flatten().collect()
+}
+
+/// Element-wise sum of equal-length per-rank `u64` vectors (a merged
+/// histogram). Panics if ranks pass different lengths.
+pub fn all_reduce_hist(ctx: &RankCtx, local: Vec<u64>) -> Vec<u64> {
+    let gathered = ctx.all_gather(local);
+    let len = gathered[0].len();
+    let mut out = vec![0u64; len];
+    for v in gathered {
+        assert_eq!(v.len(), len, "histogram length mismatch across ranks");
+        for (o, x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+    out
+}
+
+/// Min of an `f64` per rank (NaN-free inputs assumed).
+pub fn all_reduce_min_f64(ctx: &RankCtx, local: f64) -> f64 {
+    ctx.all_reduce(local, f64::min)
+}
+
+/// Max of an `f64` per rank (NaN-free inputs assumed).
+pub fn all_reduce_max_f64(ctx: &RankCtx, local: f64) -> f64 {
+    ctx.all_reduce(local, f64::max)
+}
+
+/// Sum of an `f64` per rank, accumulated in rank order for determinism.
+pub fn all_reduce_sum_f64(ctx: &RankCtx, local: f64) -> f64 {
+    ctx.all_gather(local).into_iter().sum()
+}
+
+/// Broadcast rank 0's value to every rank.
+pub fn broadcast<T: Clone + Send + 'static>(ctx: &RankCtx, local: T) -> T {
+    ctx.all_gather(local).swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn concat_preserves_rank_order() {
+        let out = World::run(3, |ctx| {
+            let local = vec![ctx.rank() * 2, ctx.rank() * 2 + 1];
+            all_gather_concat(ctx, local)
+        });
+        for v in out {
+            assert_eq!(v, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn hist_merge_sums_elementwise() {
+        let out = World::run(4, |ctx| {
+            let mut local = vec![0u64; 3];
+            local[ctx.rank() % 3] = 10;
+            all_reduce_hist(ctx, local)
+        });
+        for h in out {
+            assert_eq!(h, vec![20, 10, 10]);
+        }
+    }
+
+    #[test]
+    fn float_reductions() {
+        let out = World::run(3, |ctx| {
+            let x = ctx.rank() as f64 + 0.5;
+            (
+                all_reduce_min_f64(ctx, x),
+                all_reduce_max_f64(ctx, x),
+                all_reduce_sum_f64(ctx, x),
+            )
+        });
+        for (mn, mx, sum) in out {
+            assert_eq!(mn, 0.5);
+            assert_eq!(mx, 2.5);
+            assert!((sum - 4.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn broadcast_takes_rank_zero_value() {
+        let out = World::run(4, |ctx| broadcast(ctx, ctx.rank() as u32 + 100));
+        assert_eq!(out, vec![100, 100, 100, 100]);
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's §3.2 window study: project an October-2016-style month at
+//! (0, 60s), (0, 10 min), and (0, 1 h), and watch the relationship between
+//! the CI-graph metrics and the hypergraph metrics tighten (Figures 5–10).
+//!
+//! ```text
+//! cargo run --release --example window_study
+//! ```
+
+use coordination::analysis::hexbin::{Hexbin, HexbinConfig};
+use coordination::analysis::render::ascii_heatmap;
+use coordination::analysis::stats::{mean_diagonal_gap, pearson};
+use coordination::core::pipeline::{Pipeline, PipelineConfig};
+use coordination::core::Window;
+use coordination::redditgen::ScenarioConfig;
+
+fn main() {
+    let scenario = ScenarioConfig::oct2016(0.3).build();
+    let dataset = scenario.dataset();
+    println!("generated {} comments for {}\n", scenario.len(), scenario.name);
+
+    let mut rows = Vec::new();
+    for (label, window) in [
+        ("(0, 60s)", Window::zero_to_60s()),
+        ("(0, 10min)", Window::zero_to_10m()),
+        ("(0, 1h)", Window::zero_to_1h()),
+    ] {
+        let out = Pipeline::new(PipelineConfig {
+            window,
+            min_triangle_weight: 10,
+            ..Default::default()
+        })
+        .run_dataset(&dataset);
+        let scores = out.score_points();
+        let r = pearson(&scores).unwrap_or(f64::NAN);
+        let gap = mean_diagonal_gap(&scores).unwrap_or(f64::NAN);
+        println!("== window {label}: T(x,y,z) vs C(x,y,z) ==");
+        let hb = Hexbin::compute(
+            &scores,
+            &HexbinConfig {
+                gridsize: 30,
+                x_range: Some((0.0, 1.0)),
+                y_range: Some((0.0, 1.0)),
+            },
+        );
+        print!("{}", ascii_heatmap(&hb, 60, 16));
+        println!(
+            "   projection: {} edges ({:.2?}); {} triplets; pearson(T,C)={r:.3}; mean |C-T|={gap:.4}\n",
+            out.stats.ci_edges, out.timings.projection, out.triplets.len()
+        );
+        rows.push((label, out.stats.ci_edges, out.triplets.len(), r, gap));
+    }
+
+    println!("window        ci_edges   triplets   pearson   |C-T|");
+    for (label, edges, n, r, gap) in &rows {
+        println!("{label:<12} {edges:>9} {n:>10} {r:>9.3} {gap:>7.4}");
+    }
+    println!("\npaper: longer windows grow the projection sharply and pull the two");
+    println!("metric families toward the y = x line, with diminishing returns at 1h.");
+}

@@ -1,0 +1,408 @@
+//! `coordination` — command-line front end to the detection pipeline.
+//!
+//! ```text
+//! coordination generate --preset jan2020 --scale 0.3 --out month.ndjson
+//! coordination hunt     --input month.ndjson --d2 60 --cutoff 25 [--dot-dir DIR]
+//! coordination validate --input month.ndjson --d2 60 --cutoff 10 [--windowed]
+//! coordination groups   --input month.ndjson --d2 60 --cutoff 25
+//! coordination refine   --input month.ndjson --d2 60 --cutoff 25 --rounds 3
+//! ```
+//!
+//! Input is pushshift-style NDJSON (one JSON object per line with `author`,
+//! `link_id`, `created_utc`); `--input -` reads stdin. Exit code 2 signals a
+//! usage error.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+use coordination::analysis::components::{component_dot, describe, named_components};
+use coordination::core::pipeline::{Pipeline, PipelineConfig};
+use coordination::core::records::{read_ndjson_into_dataset, write_ndjson, Dataset};
+use coordination::core::Window;
+use coordination::redditgen::ScenarioConfig;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine> [flags]\n\
+         \n\
+         generate  --preset jan2020|oct2016 [--scale F=0.3] --out FILE\n\
+         stats     --input FILE\n\
+         project   --input FILE [--d1 S=0] [--d2 S=60] --out GRAPH.tsv\n\
+         survey    --graph GRAPH.tsv [--cutoff N=10] [--t-score F=0] [--top N]\n\
+         hunt      --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--dot-dir DIR]\n\
+         validate  --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=10] [--t-score F=0] [--windowed]\n\
+         groups    --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25]\n\
+         refine    --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--rounds N=3]\n\
+         \n\
+         `project` persists the expensive step-1 graph; `survey` re-queries it\n\
+         at any cutoff without reprojecting. Input is pushshift-style NDJSON."
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal `--flag value` / `--flag` parser.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Option<Flags> {
+        let mut map = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if !a.starts_with("--") {
+                eprintln!("unexpected argument: {a}");
+                return None;
+            }
+            let key = a.trim_start_matches("--").to_string();
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                map.insert(key, args[i + 1].clone());
+                i += 2;
+            } else {
+                map.insert(key, String::new()); // boolean flag
+                i += 1;
+            }
+        }
+        Some(Flags(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v:?}")),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+}
+
+fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
+    let path = flags.get("input").ok_or("--input is required")?;
+    let ds = if path == "-" {
+        read_ndjson_into_dataset(std::io::stdin().lock())
+    } else {
+        let file =
+            std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        read_ndjson_into_dataset(BufReader::new(file))
+    }
+    .map_err(|e| format!("read {path}: {e}"))?;
+    eprintln!(
+        "loaded {} comments, {} authors, {} pages",
+        ds.len(),
+        ds.authors.len(),
+        ds.pages.len()
+    );
+    Ok(ds)
+}
+
+fn window(flags: &Flags) -> Result<Window, String> {
+    let d1: i64 = flags.num("d1", 0)?;
+    let d2: i64 = flags.num("d2", 60)?;
+    if d2 <= d1 || d1 < 0 {
+        return Err(format!("bad window ({d1}, {d2}): need 0 <= d1 < d2"));
+    }
+    Ok(Window::new(d1, d2))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let preset = flags.get("preset").ok_or("--preset is required")?;
+    let scale: f64 = flags.num("scale", 0.3)?;
+    let out = flags.get("out").ok_or("--out is required")?;
+    let cfg = match preset {
+        "jan2020" => ScenarioConfig::jan2020(scale),
+        "oct2016" => ScenarioConfig::oct2016(scale),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    let scenario = cfg.build();
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_ndjson(std::io::BufWriter::new(file), &scenario.records)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {} comments to {out}", scenario.len());
+    // ground truth sidecar so downstream evaluation is possible
+    let truth_path = format!("{out}.truth.tsv");
+    let mut truth = String::from("family\tkind\tmember\n");
+    for fam in scenario.truth.families() {
+        for m in &fam.members {
+            truth.push_str(&format!("{}\t{:?}\t{}\n", fam.name, fam.kind, m));
+        }
+    }
+    std::fs::write(&truth_path, truth).map_err(|e| format!("write {truth_path}: {e}"))?;
+    eprintln!("wrote ground truth to {truth_path}");
+    Ok(())
+}
+
+fn run_pipeline(flags: &Flags, default_cutoff: u64) -> Result<(Dataset, coordination::core::pipeline::PipelineOutput), String> {
+    let ds = load_dataset(flags)?;
+    let out = Pipeline::new(PipelineConfig {
+        window: window(flags)?,
+        min_triangle_weight: flags.num("cutoff", default_cutoff)?,
+        min_t_score: flags.num("t-score", 0.0)?,
+        ..Default::default()
+    })
+    .run_dataset(&ds);
+    eprintln!(
+        "projection: {} edges in {:.2?}; survey: {} triangles in {:.2?}; {} triplets validated in {:.2?}",
+        out.stats.ci_edges,
+        out.timings.projection,
+        out.stats.triangles_examined,
+        out.timings.survey,
+        out.stats.triplets_validated,
+        out.timings.validation,
+    );
+    Ok((ds, out))
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let btm = ds.btm();
+    let per_author: Vec<f64> =
+        (0..btm.n_authors()).map(|a| btm.page_count(coordination::core::AuthorId(a)) as f64).collect();
+    let active: Vec<f64> = per_author.iter().copied().filter(|&c| c > 0.0).collect();
+    println!("comments            {}", btm.n_comments());
+    println!("authors (active)    {} ({})", btm.n_authors(), btm.active_authors());
+    println!("pages               {}", btm.n_pages());
+    println!("largest page        {} comments", btm.max_page_degree());
+    if let Some(s) = coordination::analysis::Summary::of(&active) {
+        println!(
+            "pages/author        min {} q1 {} median {} q3 {} max {} mean {:.1}",
+            s.min, s.q1, s.median, s.q3, s.max, s.mean
+        );
+    }
+    let heavy = coordination::core::filter::high_volume_accounts(&ds, 100);
+    if !heavy.is_empty() {
+        println!("accounts with ≥100 comments (exclusion-list candidates):");
+        for (name, c) in heavy.iter().take(10) {
+            println!("  {name}: {c}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_project(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let out_path = flags.get("out").ok_or("--out is required")?;
+    let w = window(flags)?;
+    let excl = coordination::core::filter::ExclusionList::reddit_defaults();
+    let btm = ds.btm().without_authors(&excl.resolve(&ds));
+    let t0 = std::time::Instant::now();
+    let ci = coordination::core::project::project(&btm, w);
+    eprintln!(
+        "projected window {w}: {} edges, {} active authors in {:.2?}",
+        ci.n_edges(),
+        ci.active_authors(),
+        t0.elapsed()
+    );
+    let file =
+        std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    ci.write_tsv(std::io::BufWriter::new(file))
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    // name sidecar so survey output can be human-readable
+    let names_path = format!("{out_path}.names");
+    let mut names = String::new();
+    for (id, name) in ds.authors.iter() {
+        names.push_str(&format!("{id}\t{name}\n"));
+    }
+    std::fs::write(&names_path, names).map_err(|e| format!("write {names_path}: {e}"))?;
+    eprintln!("wrote {out_path} and {names_path}");
+    Ok(())
+}
+
+fn cmd_survey(flags: &Flags) -> Result<(), String> {
+    let graph_path = flags.get("graph").ok_or("--graph is required")?;
+    let file =
+        std::fs::File::open(graph_path).map_err(|e| format!("open {graph_path}: {e}"))?;
+    let ci = coordination::core::CiGraph::read_tsv(BufReader::new(file))?;
+    eprintln!("loaded CI graph: {} authors, {} edges", ci.n_authors(), ci.n_edges());
+    // optional author-name sidecar
+    let names: HashMap<u32, String> = std::fs::read_to_string(format!("{graph_path}.names"))
+        .ok()
+        .map(|text| {
+            text.lines()
+                .filter_map(|l| {
+                    let (id, name) = l.split_once('\t')?;
+                    Some((id.parse().ok()?, name.to_string()))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let label = |id: u32| names.get(&id).cloned().unwrap_or_else(|| id.to_string());
+
+    let cutoff: u64 = flags.num("cutoff", 10)?;
+    let min_t: f64 = flags.num("t-score", 0.0)?;
+    let top: Option<usize> = flags.get("top").map(|v| v.parse().map_err(|_| "--top: bad value")).transpose()?;
+    let wg = ci.to_weighted_graph();
+    let oriented = coordination::tripoll::OrientedGraph::from_graph(&wg);
+    let t0 = std::time::Instant::now();
+    let report = coordination::tripoll::survey::survey(
+        &oriented,
+        &coordination::tripoll::SurveyConfig {
+            min_edge_weight: cutoff,
+            min_t_score: min_t,
+            top_k: top,
+        },
+        Some(ci.page_counts()),
+    );
+    eprintln!(
+        "surveyed {} triangles in {:.2?}; {} pass cutoff {cutoff}",
+        report.total_examined,
+        t0.elapsed(),
+        report.len()
+    );
+    println!("a\tb\tc\tmin_w\tT");
+    for s in &report.triangles {
+        let [a, b, c] = s.triangle.vertices();
+        println!(
+            "{}\t{}\t{}\t{}\t{:.4}",
+            label(a),
+            label(b),
+            label(c),
+            s.min_weight,
+            s.t_score
+        );
+    }
+    Ok(())
+}
+
+fn cmd_hunt(flags: &Flags) -> Result<(), String> {
+    let cutoff: u64 = flags.num("cutoff", 25)?;
+    let (ds, out) = run_pipeline(flags, 25)?;
+    let comps = named_components(&ds, &out.ci, cutoff);
+    println!("{} connected components at cutoff {cutoff}:", comps.len());
+    for (i, c) in comps.iter().enumerate() {
+        println!("[{i}] {}", describe(c));
+        println!("    {:?}", c.members);
+        if let Some(dir) = flags.get("dot-dir") {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+            let ids: Vec<u32> = c
+                .members
+                .iter()
+                .map(|m| ds.authors.get(m).expect("member interned"))
+                .collect();
+            let path = format!("{dir}/component_{i}.dot");
+            std::fs::write(&path, component_dot(&ds, &out.ci, &ids, cutoff))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!("    wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_validate(flags: &Flags) -> Result<(), String> {
+    let (ds, out) = run_pipeline(flags, 10)?;
+    if flags.has("windowed") {
+        // future-work variant: hyperedges bounded by the projection window
+        let w = window(flags)?;
+        let btm = {
+            let excl = coordination::core::filter::ExclusionList::reddit_defaults();
+            ds.btm().without_authors(&excl.resolve(&ds))
+        };
+        let triangles: Vec<coordination::tripoll::Triangle> =
+            out.survey.triangles.iter().map(|s| s.triangle).collect();
+        let rows = coordination::core::windowed_hyperedge::validate_windowed(
+            &btm, &triangles, w.d2(),
+        );
+        println!("a\tb\tc\tmin_w\tw_xyz\tw_xyz_windowed\tC_windowed");
+        for r in rows {
+            let n: Vec<&str> = r.authors.iter().map(|a| ds.authors.name(a.0)).collect();
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{:.4}",
+                n[0], n[1], n[2], r.min_ci_weight, r.hyper_weight, r.windowed_weight, r.windowed_c
+            );
+        }
+    } else {
+        println!("a\tb\tc\tmin_w\tT\tw_xyz\tC");
+        for m in &out.triplets {
+            let n: Vec<&str> = m.authors.iter().map(|a| ds.authors.name(a.0)).collect();
+            println!(
+                "{}\t{}\t{}\t{}\t{:.4}\t{}\t{:.4}",
+                n[0], n[1], n[2], m.min_ci_weight, m.t, m.hyper_weight, m.c
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_groups(flags: &Flags) -> Result<(), String> {
+    let (ds, out) = run_pipeline(flags, 25)?;
+    let excl = coordination::core::filter::ExclusionList::reddit_defaults();
+    let btm = ds.btm().without_authors(&excl.resolve(&ds));
+    let groups = coordination::core::groups::merge_triplets(&btm, &out.triplets, 2);
+    println!("{} groups from {} triplets:", groups.len(), out.triplets.len());
+    for (i, g) in groups.iter().enumerate() {
+        let names: Vec<&str> =
+            g.members.iter().map(|a| ds.authors.name(a.0)).collect();
+        println!(
+            "[{i}] {} members, w_G = {}, score = {:.3}, {} supporting triplets",
+            g.members.len(),
+            g.group_weight,
+            g.score,
+            g.triplet_support
+        );
+        println!("    {names:?}");
+    }
+    Ok(())
+}
+
+fn cmd_refine(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let rounds: usize = flags.num("rounds", 3)?;
+    let pipeline = Pipeline::new(PipelineConfig {
+        window: window(flags)?,
+        min_triangle_weight: flags.num("cutoff", 25)?,
+        ..Default::default()
+    });
+    let excl = coordination::core::filter::ExclusionList::reddit_defaults();
+    let btm = ds.btm().without_authors(&excl.resolve(&ds));
+    for (i, round) in pipeline.run_refinement(&btm, rounds).iter().enumerate() {
+        let names: Vec<&str> =
+            round.flagged.iter().map(|a| ds.authors.name(a.0)).collect();
+        println!(
+            "round {i}: {} triplets, {} authors flagged: {names:?}",
+            round.output.triplets.len(),
+            round.flagged.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = Flags::parse(rest) else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "project" => cmd_project(&flags),
+        "survey" => cmd_survey(&flags),
+        "hunt" => cmd_hunt(&flags),
+        "validate" => cmd_validate(&flags),
+        "groups" => cmd_groups(&flags),
+        "refine" => cmd_refine(&flags),
+        "--help" | "-h" | "help" => return usage(),
+        other => {
+            eprintln!("unknown command: {other}");
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// keep stdin generic-read import used even when input comes from files
+#[allow(unused)]
+fn _assert_bufread_bound<R: BufRead>(_: R) {}

@@ -1,0 +1,23 @@
+//! # coordination — coordinated botnet detection in social networks
+//!
+//! Facade crate for the workspace reproducing Piercey's *Coordinated Botnet
+//! Detection in Social Networks via Clustering Analysis* (2023). It re-exports:
+//!
+//! * [`ygm`] — YGM-style SPMD runtime with distributed containers (substrate);
+//! * [`tripoll`] — TriPoll-style triangle surveying with metadata (substrate);
+//! * [`core`] — the paper's three-step pipeline: bipartite temporal multigraph,
+//!   windowed projection to a common interaction graph, high-weight triangle
+//!   query, hypergraph triplet validation;
+//! * [`redditgen`] — synthetic Reddit workloads with injected ground-truth
+//!   botnets (the offline stand-in for pushshift archives);
+//! * [`analysis`] — hexbin histograms, correlations, component and
+//!   detection-quality reports.
+//!
+//! See `examples/quickstart.rs` for an end-to-end run and `DESIGN.md` for the
+//! experiment index.
+
+pub use analysis;
+pub use coordination_core as core;
+pub use redditgen;
+pub use tripoll;
+pub use ygm;

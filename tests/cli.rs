@@ -1,0 +1,212 @@
+//! Smoke tests of the `coordination` CLI binary: every subcommand runs on a
+//! generated month and produces the expected artifacts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_coordination"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("coordination-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn generate_month(dir: &std::path::Path) -> PathBuf {
+    let out = dir.join("month.ndjson");
+    let status = bin()
+        .args(["generate", "--preset", "jan2020", "--scale", "0.1", "--out"])
+        .arg(&out)
+        .status()
+        .expect("run generate");
+    assert!(status.success());
+    assert!(out.exists());
+    out
+}
+
+#[test]
+fn generate_writes_ndjson_and_truth_sidecar() {
+    let dir = tmpdir("generate");
+    let out = generate_month(&dir);
+    let text = std::fs::read_to_string(&out).expect("read output");
+    assert!(text.lines().count() > 1_000);
+    let first: serde_json::Value =
+        serde_json::from_str(text.lines().next().expect("nonempty")).expect("valid json");
+    assert!(first.get("author").is_some());
+    assert!(first.get("link_id").is_some());
+    assert!(first.get("created_utc").is_some());
+    let truth = std::fs::read_to_string(format!("{}.truth.tsv", out.display())).expect("sidecar");
+    assert!(truth.contains("gpt2"));
+    assert!(truth.contains("mlb_restream"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn hunt_finds_components_and_writes_dot_files() {
+    let dir = tmpdir("hunt");
+    let input = generate_month(&dir);
+    let dot_dir = dir.join("dots");
+    let output = bin()
+        .args(["hunt", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--cutoff", "25", "--dot-dir"])
+        .arg(&dot_dir)
+        .output()
+        .expect("run hunt");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("connected components at cutoff 25"), "{stdout}");
+    assert!(stdout.contains("stream_bot_"), "{stdout}");
+    let dots: Vec<_> = std::fs::read_dir(&dot_dir).expect("dot dir").collect();
+    assert!(!dots.is_empty(), "no dot files written");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn validate_emits_triplet_tsv() {
+    let dir = tmpdir("validate");
+    let input = generate_month(&dir);
+    let output = bin()
+        .args(["validate", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--cutoff", "25"])
+        .output()
+        .expect("run validate");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next().expect("header"), "a\tb\tc\tmin_w\tT\tw_xyz\tC");
+    let data: Vec<&str> = lines.collect();
+    assert!(!data.is_empty(), "no triplets reported");
+    for line in &data {
+        assert_eq!(line.split('\t').count(), 7, "bad row {line:?}");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn validate_windowed_respects_the_bound() {
+    let dir = tmpdir("windowed");
+    let input = generate_month(&dir);
+    let output = bin()
+        .args(["validate", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--cutoff", "25", "--windowed"])
+        .output()
+        .expect("run validate --windowed");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for line in stdout.lines().skip(1) {
+        let cells: Vec<&str> = line.split('\t').collect();
+        let min_w: u64 = cells[3].parse().expect("min_w");
+        let windowed: u64 = cells[5].parse().expect("windowed");
+        assert!(windowed <= min_w, "bound violated on {line:?}");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn groups_reassemble_the_restream_ring() {
+    let dir = tmpdir("groups");
+    let input = generate_month(&dir);
+    let output = bin()
+        .args(["groups", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--cutoff", "25"])
+        .output()
+        .expect("run groups");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("8 members"), "{stdout}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn refine_reports_rounds() {
+    let dir = tmpdir("refine");
+    let input = generate_month(&dir);
+    let output = bin()
+        .args(["refine", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--cutoff", "25", "--rounds", "2"])
+        .output()
+        .expect("run refine");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("round 0:"), "{stdout}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn stats_surfaces_exclusion_candidates() {
+    let dir = tmpdir("stats");
+    let input = generate_month(&dir);
+    let output = bin()
+        .args(["stats", "--input"])
+        .arg(&input)
+        .output()
+        .expect("run stats");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("comments"), "{stdout}");
+    assert!(stdout.contains("AutoModerator"), "the platform bot should top the volume list");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn project_then_survey_matches_direct_pipeline() {
+    let dir = tmpdir("projsurvey");
+    let input = generate_month(&dir);
+    let graph = dir.join("graph.tsv");
+    let status = bin()
+        .args(["project", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--out"])
+        .arg(&graph)
+        .status()
+        .expect("run project");
+    assert!(status.success());
+    assert!(graph.exists());
+    assert!(dir.join("graph.tsv.names").exists());
+
+    let surveyed = bin()
+        .args(["survey", "--graph"])
+        .arg(&graph)
+        .args(["--cutoff", "25"])
+        .output()
+        .expect("run survey");
+    assert!(surveyed.status.success());
+    let survey_rows: Vec<String> = String::from_utf8_lossy(&surveyed.stdout)
+        .lines()
+        .skip(1)
+        .map(str::to_string)
+        .collect();
+    assert!(!survey_rows.is_empty());
+    assert!(survey_rows.iter().all(|r| r.split('\t').count() == 5));
+
+    // the persisted-graph path and the end-to-end path agree on triplet count
+    let direct = bin()
+        .args(["validate", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--cutoff", "25"])
+        .output()
+        .expect("run validate");
+    let direct_rows = String::from_utf8_lossy(&direct.stdout).lines().count() - 1;
+    assert_eq!(survey_rows.len(), direct_rows);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let status = bin().arg("frobnicate").status().expect("run");
+    assert_eq!(status.code(), Some(2));
+    let status = bin().args(["hunt"]).status().expect("run without input");
+    assert_eq!(status.code(), Some(2));
+    let status = bin()
+        .args(["hunt", "--input", "/nonexistent/file", "--d2", "0"])
+        .status()
+        .expect("bad window");
+    assert_eq!(status.code(), Some(2));
+}

@@ -1,0 +1,269 @@
+//! Property-based tests of the DESIGN.md §5 invariants, over random bipartite
+//! temporal multigraphs.
+
+use proptest::prelude::*;
+
+use coordination::core::btm::Btm;
+use coordination::core::hypergraph::hyperedge_weight;
+use coordination::core::ids::{AuthorId, Event, PageId};
+use coordination::core::metrics::c_score;
+use coordination::core::project::{project, project_bucketed, project_distributed, project_sequential};
+use coordination::core::Window;
+use coordination::tripoll::survey::t_score;
+use coordination::tripoll::OrientedGraph;
+
+/// A random event log over small id spaces — small enough that collisions
+/// (shared pages, repeat comments) are common.
+fn arb_events(
+    max_authors: u32,
+    max_pages: u32,
+    max_events: usize,
+) -> impl Strategy<Value = (u32, u32, Vec<Event>)> {
+    (2..max_authors, 1..max_pages).prop_flat_map(move |(na, np)| {
+        let ev = (0..na, 0..np, 0i64..2_000).prop_map(|(a, p, t)| Event {
+            author: AuthorId(a),
+            page: PageId(p),
+            ts: t,
+        });
+        (Just(na), Just(np), prop::collection::vec(ev, 0..max_events))
+    })
+}
+
+fn arb_window() -> impl Strategy<Value = Window> {
+    (0i64..100, 1i64..500).prop_map(|(d1, len)| Window::new(d1, d1 + len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All four projection drivers agree exactly.
+    #[test]
+    fn projection_drivers_agree((na, np, events) in arb_events(20, 15, 300), w in arb_window()) {
+        let btm = Btm::from_events(na, np, &events);
+        let a = project(&btm, w);
+        let b = project_sequential(&btm, w);
+        let c = project_bucketed(&btm, w, 3);
+        let d = project_distributed(&btm, w, 3);
+        let canon = |g: &coordination::core::CiGraph| {
+            let mut e: Vec<_> = g.edges().collect();
+            e.sort_unstable();
+            (e, g.page_counts().to_vec())
+        };
+        prop_assert_eq!(canon(&a), canon(&b));
+        prop_assert_eq!(canon(&a), canon(&c));
+        prop_assert_eq!(canon(&a), canon(&d));
+    }
+
+    /// Projection weights never exceed either endpoint's P' page count, and
+    /// page counts never exceed the author's true page count p_x.
+    #[test]
+    fn projection_bounds((na, np, events) in arb_events(15, 12, 250), w in arb_window()) {
+        let btm = Btm::from_events(na, np, &events);
+        let ci = project(&btm, w);
+        for (x, y, wt) in ci.edges() {
+            prop_assert!(wt <= ci.page_count(AuthorId(x)));
+            prop_assert!(wt <= ci.page_count(AuthorId(y)));
+        }
+        for a in 0..na {
+            prop_assert!(ci.page_count(AuthorId(a)) <= btm.page_count(AuthorId(a)));
+        }
+    }
+
+    /// Window nesting: a window containing another yields a pointwise-larger
+    /// projection (paper §3 opening).
+    #[test]
+    fn window_nesting_monotonicity((na, np, events) in arb_events(15, 12, 250), d2a in 1i64..200, extra in 1i64..300) {
+        let btm = Btm::from_events(na, np, &events);
+        let small = project(&btm, Window::new(0, d2a));
+        let large = project(&btm, Window::new(0, d2a + extra));
+        for (x, y, wt) in small.edges() {
+            prop_assert!(large.weight(AuthorId(x), AuthorId(y)) >= wt);
+        }
+        for a in 0..na {
+            prop_assert!(large.page_count(AuthorId(a)) >= small.page_count(AuthorId(a)));
+        }
+    }
+
+    /// Every triangle of the projected graph satisfies the paper's score
+    /// bounds: T, C ∈ [0,1] and w_xyz ≤ min{p_x, p_y, p_z}.
+    #[test]
+    fn score_ranges_hold_for_all_triangles((na, np, events) in arb_events(12, 10, 300), w in arb_window()) {
+        let btm = Btm::from_events(na, np, &events);
+        let ci = project(&btm, w);
+        let wg = ci.to_weighted_graph();
+        let oriented = OrientedGraph::from_graph(&wg);
+        let mut triangles = Vec::new();
+        coordination::tripoll::enumerate::for_each_triangle(&oriented, |t| triangles.push(t));
+        for t in triangles {
+            let [a, b, c] = t.vertices();
+            let ts = t_score(
+                t.min_weight(),
+                ci.page_count(AuthorId(a)),
+                ci.page_count(AuthorId(b)),
+                ci.page_count(AuthorId(c)),
+            );
+            prop_assert!((0.0..=1.0).contains(&ts), "T = {}", ts);
+            let wxyz = hyperedge_weight(&btm, AuthorId(a), AuthorId(b), AuthorId(c));
+            let (pa, pb, pc) = (
+                btm.page_count(AuthorId(a)),
+                btm.page_count(AuthorId(b)),
+                btm.page_count(AuthorId(c)),
+            );
+            prop_assert!(wxyz <= pa.min(pb).min(pc));
+            let cs = c_score(wxyz, pa, pb, pc);
+            prop_assert!((0.0..=1.0).contains(&cs), "C = {}", cs);
+        }
+    }
+
+    /// Triangle enumeration on the projected graph matches brute force.
+    #[test]
+    fn projected_triangles_match_brute_force((na, np, events) in arb_events(12, 10, 200), w in arb_window()) {
+        let btm = Btm::from_events(na, np, &events);
+        let wg = project(&btm, w).to_weighted_graph();
+        let oriented = OrientedGraph::from_graph(&wg);
+        let mut fast = Vec::new();
+        coordination::tripoll::enumerate::for_each_triangle(&oriented, |t| fast.push(t));
+        fast.sort_unstable_by_key(|t| t.vertices());
+        let mut brute = coordination::tripoll::enumerate::brute_force_triangles(&wg);
+        brute.sort_unstable_by_key(|t| t.vertices());
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Removing authors can only shrink projections (refinement loop, §2.4).
+    #[test]
+    fn author_removal_shrinks_projection((na, np, events) in arb_events(12, 10, 250), victim in 0u32..12) {
+        prop_assume!(victim < na);
+        let btm = Btm::from_events(na, np, &events);
+        let w = Window::new(0, 120);
+        let full = project(&btm, w);
+        let cleaned = project(&btm.without_authors(&[AuthorId(victim)]), w);
+        prop_assert_eq!(cleaned.weight(AuthorId(victim), AuthorId((victim + 1) % na)), 0);
+        for (x, y, wt) in cleaned.edges() {
+            prop_assert!(full.weight(AuthorId(x), AuthorId(y)) >= wt);
+        }
+    }
+
+    /// NDJSON round trip: records → text → records is the identity.
+    #[test]
+    fn ndjson_roundtrip(authors in prop::collection::vec("[a-z]{1,8}", 1..30)) {
+        use coordination::core::records::{read_ndjson, write_ndjson, CommentRecord};
+        let recs: Vec<CommentRecord> = authors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| CommentRecord::new(a.clone(), format!("t3_{i}"), i as i64))
+            .collect();
+        let mut buf = Vec::new();
+        write_ndjson(&mut buf, &recs).expect("write");
+        let back = read_ndjson(&buf[..]).expect("read");
+        prop_assert_eq!(back, recs);
+    }
+
+    /// Windowed hyperedges: monotone in the span, bounded above by the
+    /// unbounded count, and — the §4.3 theorem — bounded by the minimum
+    /// pairwise CI weight at the same window.
+    #[test]
+    fn windowed_hyperedge_bounds((na, np, events) in arb_events(10, 8, 250), span in 1i64..400) {
+        use coordination::core::windowed_hyperedge::windowed_hyperedge_weight;
+        let btm = Btm::from_events(na, np, &events);
+        let ci = project(&btm, Window::new(0, span));
+        for a in 0..na.min(6) {
+            for b in (a + 1)..na.min(6) {
+                for c in (b + 1)..na.min(6) {
+                    let (xa, xb, xc) = (AuthorId(a), AuthorId(b), AuthorId(c));
+                    let ww = windowed_hyperedge_weight(&btm, xa, xb, xc, span);
+                    let unbounded = hyperedge_weight(&btm, xa, xb, xc);
+                    prop_assert!(ww <= unbounded);
+                    let min_w = ci.weight(xa, xb).min(ci.weight(xa, xc)).min(ci.weight(xb, xc));
+                    prop_assert!(ww <= min_w, "w^({span})={} > min w'={}", ww, min_w);
+                    let wider = windowed_hyperedge_weight(&btm, xa, xb, xc, span * 2);
+                    prop_assert!(wider >= ww);
+                }
+            }
+        }
+    }
+
+    /// Group weight is bounded by every member's page count, the group score
+    /// stays in [0,1], and adding a member never increases w_G.
+    #[test]
+    fn group_weight_bounds((na, np, events) in arb_events(10, 8, 250)) {
+        use coordination::core::groups::{group_score, group_weight};
+        prop_assume!(na >= 4);
+        let btm = Btm::from_events(na, np, &events);
+        let trio: Vec<AuthorId> = (0..3).map(AuthorId).collect();
+        let quad: Vec<AuthorId> = (0..4).map(AuthorId).collect();
+        let w3 = group_weight(&btm, &trio);
+        let w4 = group_weight(&btm, &quad);
+        prop_assert!(w4 <= w3, "adding a member grew the intersection");
+        for &a in &quad {
+            prop_assert!(w4 <= btm.page_count(a));
+        }
+        let s = group_score(&btm, &quad, w4);
+        prop_assert!((0.0..=1.0).contains(&s), "group score {}", s);
+        // triplet group weight equals the paper's w_xyz
+        prop_assert_eq!(w3, hyperedge_weight(&btm, trio[0], trio[1], trio[2]));
+    }
+
+    /// k-trusses are nested and the 3-truss contains every triangle edge.
+    #[test]
+    fn truss_nesting_on_projections((na, np, events) in arb_events(12, 10, 250)) {
+        use coordination::tripoll::truss::{k_truss, max_trussness};
+        let btm = Btm::from_events(na, np, &events);
+        let wg = project(&btm, Window::new(0, 300)).to_weighted_graph();
+        let kmax = max_trussness(&wg);
+        let mut prev_edges = wg.m();
+        for k in 2..=kmax {
+            let t = k_truss(&wg, k);
+            prop_assert!(t.m() <= prev_edges);
+            prev_edges = t.m();
+        }
+        // every triangle's three edges are in the 3-truss
+        let t3 = k_truss(&wg, 3);
+        let oriented = OrientedGraph::from_graph(&wg);
+        let mut ok = true;
+        coordination::tripoll::enumerate::for_each_triangle(&oriented, |t| {
+            ok &= t3.edge_weight(t.a, t.b).is_some()
+                && t3.edge_weight(t.a, t.c).is_some()
+                && t3.edge_weight(t.b, t.c).is_some();
+        });
+        prop_assert!(ok, "a triangle edge fell out of the 3-truss");
+    }
+
+    /// Subset reprojection equals the full projection filtered to the subset.
+    #[test]
+    fn subset_projection_consistency((na, np, events) in arb_events(14, 10, 250), w in arb_window()) {
+        use coordination::core::project::project_subset;
+        let btm = Btm::from_events(na, np, &events);
+        let subset: Vec<AuthorId> = (0..na).step_by(2).map(AuthorId).collect();
+        let inset: std::collections::HashSet<u32> = subset.iter().map(|a| a.0).collect();
+        let sub = project_subset(&btm, &subset, w);
+        let full = project(&btm, w);
+        let mut expect: Vec<(u32, u32, u64)> = full
+            .edges()
+            .filter(|(x, y, _)| inset.contains(x) && inset.contains(y))
+            .collect();
+        let mut got: Vec<(u32, u32, u64)> = sub.edges().collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The survey's min-weight predicate is exact: everything returned passes,
+    /// nothing passing is dropped.
+    #[test]
+    fn survey_threshold_exact((na, np, events) in arb_events(12, 10, 250), cutoff in 1u64..6) {
+        let btm = Btm::from_events(na, np, &events);
+        let wg = project(&btm, Window::new(0, 200)).to_weighted_graph();
+        let oriented = OrientedGraph::from_graph(&wg);
+        let report = coordination::tripoll::survey::survey(
+            &oriented,
+            &coordination::tripoll::SurveyConfig::with_min_weight(cutoff),
+            None,
+        );
+        let mut all = Vec::new();
+        coordination::tripoll::enumerate::for_each_triangle(&oriented, |t| all.push(t));
+        let expected: usize = all.iter().filter(|t| t.min_weight() >= cutoff).count();
+        prop_assert_eq!(report.len(), expected);
+        prop_assert!(report.triangles.iter().all(|s| s.min_weight >= cutoff));
+        prop_assert_eq!(report.total_examined as usize, all.len());
+    }
+}
