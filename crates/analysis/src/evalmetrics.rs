@@ -49,8 +49,16 @@ pub fn precision_recall_sweep(scored: &[(f64, bool)]) -> Vec<SweepPoint> {
             threshold,
             flagged,
             true_positives: tp,
-            precision: if flagged == 0 { 1.0 } else { tp as f64 / flagged as f64 },
-            recall: if total_pos == 0 { 1.0 } else { tp as f64 / total_pos as f64 },
+            precision: if flagged == 0 {
+                1.0
+            } else {
+                tp as f64 / flagged as f64
+            },
+            recall: if total_pos == 0 {
+                1.0
+            } else {
+                tp as f64 / total_pos as f64
+            },
         });
     }
     out

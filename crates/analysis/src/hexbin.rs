@@ -21,7 +21,11 @@ pub struct HexbinConfig {
 
 impl Default for HexbinConfig {
     fn default() -> Self {
-        HexbinConfig { gridsize: 40, x_range: None, y_range: None }
+        HexbinConfig {
+            gridsize: 40,
+            x_range: None,
+            y_range: None,
+        }
     }
 }
 
@@ -71,8 +75,12 @@ impl Hexbin {
                 config: *config,
             };
         }
-        let (xmin, mut xmax) = config.x_range.unwrap_or_else(|| extent(finite.iter().map(|p| p.0)));
-        let (ymin, mut ymax) = config.y_range.unwrap_or_else(|| extent(finite.iter().map(|p| p.1)));
+        let (xmin, mut xmax) = config
+            .x_range
+            .unwrap_or_else(|| extent(finite.iter().map(|p| p.0)));
+        let (ymin, mut ymax) = config
+            .y_range
+            .unwrap_or_else(|| extent(finite.iter().map(|p| p.1)));
         if xmax <= xmin {
             xmax = xmin + 1.0;
         }
@@ -115,12 +123,22 @@ impl Hexbin {
         let mut bins: Vec<HexBin> = counts
             .into_iter()
             .map(|((i, j, odd), count)| {
-                let (ci, cj) = if odd { (i as f64 + 0.5, j as f64 + 0.5) } else { (i as f64, j as f64) };
-                HexBin { cx: xmin + ci / sx, cy: ymin + cj / sy, count }
+                let (ci, cj) = if odd {
+                    (i as f64 + 0.5, j as f64 + 0.5)
+                } else {
+                    (i as f64, j as f64)
+                };
+                HexBin {
+                    cx: xmin + ci / sx,
+                    cy: ymin + cj / sy,
+                    count,
+                }
             })
             .collect();
         bins.sort_by(|a, b| {
-            (a.cy, a.cx).partial_cmp(&(b.cy, b.cx)).expect("finite centers")
+            (a.cy, a.cx)
+                .partial_cmp(&(b.cy, b.cx))
+                .expect("finite centers")
         });
         Hexbin {
             bins,
@@ -164,8 +182,12 @@ impl Hexbin {
         if self.n_points == 0 {
             return 0.0;
         }
-        let above: u64 =
-            self.bins.iter().filter(|b| b.cy > b.cx).map(|b| b.count).sum();
+        let above: u64 = self
+            .bins
+            .iter()
+            .filter(|b| b.cy > b.cx)
+            .map(|b| b.count)
+            .sum();
         above as f64 / self.n_points as f64
     }
 }
@@ -195,8 +217,9 @@ mod tests {
 
     #[test]
     fn all_points_are_binned() {
-        let pts: Vec<(f64, f64)> =
-            (0..500).map(|i| (i as f64 / 500.0, (i as f64 / 250.0).sin())).collect();
+        let pts: Vec<(f64, f64)> = (0..500)
+            .map(|i| (i as f64 / 500.0, (i as f64 / 250.0).sin()))
+            .collect();
         let hb = Hexbin::compute(&pts, &HexbinConfig::default());
         assert_eq!(hb.n_points, 500);
         assert_eq!(hb.bins.iter().map(|b| b.count).sum::<u64>(), 500);
@@ -206,7 +229,13 @@ mod tests {
     #[test]
     fn identical_points_land_in_one_bin() {
         let pts = vec![(0.5, 0.5); 100];
-        let hb = Hexbin::compute(&pts, &HexbinConfig { gridsize: 10, ..Default::default() });
+        let hb = Hexbin::compute(
+            &pts,
+            &HexbinConfig {
+                gridsize: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(hb.occupied(), 1);
         assert_eq!(hb.max_count(), 100);
     }
@@ -238,7 +267,10 @@ mod tests {
         let pts: Vec<(f64, f64)> = (0..200)
             .map(|i| ((i % 20) as f64, (i / 20) as f64))
             .collect();
-        let cfg = HexbinConfig { gridsize: 20, ..Default::default() };
+        let cfg = HexbinConfig {
+            gridsize: 20,
+            ..Default::default()
+        };
         let hb = Hexbin::compute(&pts, &cfg);
         // every bin center is within one cell of some input point
         let cell_x = (hb.x_range.1 - hb.x_range.0) / 20.0;
@@ -256,7 +288,13 @@ mod tests {
         let pts: Vec<(f64, f64)> = (0..1000)
             .map(|i| if i < 900 { (0.1, 0.1) } else { (0.9, 0.9) })
             .collect();
-        let hb = Hexbin::compute(&pts, &HexbinConfig { gridsize: 5, ..Default::default() });
+        let hb = Hexbin::compute(
+            &pts,
+            &HexbinConfig {
+                gridsize: 5,
+                ..Default::default()
+            },
+        );
         let lmax = hb.log_level(hb.max_count());
         assert!((lmax - 1.0).abs() < 1e-12);
         assert!(hb.log_level(1) > 0.0);
@@ -269,7 +307,10 @@ mod tests {
     fn diagonal_fraction_separates_regimes() {
         let above: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 + 30.0)).collect();
         let below: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 - 30.0)).collect();
-        let cfg = HexbinConfig { gridsize: 20, ..Default::default() };
+        let cfg = HexbinConfig {
+            gridsize: 20,
+            ..Default::default()
+        };
         assert!(Hexbin::compute(&above, &cfg).fraction_above_diagonal() > 0.9);
         assert!(Hexbin::compute(&below, &cfg).fraction_above_diagonal() < 0.1);
     }
@@ -278,7 +319,13 @@ mod tests {
     fn degenerate_extent_is_padded() {
         // all x identical: extent would be zero-width
         let pts = vec![(3.0, 1.0), (3.0, 2.0)];
-        let hb = Hexbin::compute(&pts, &HexbinConfig { gridsize: 8, ..Default::default() });
+        let hb = Hexbin::compute(
+            &pts,
+            &HexbinConfig {
+                gridsize: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(hb.n_points, 2);
         assert!(hb.x_range.1 > hb.x_range.0);
     }

@@ -20,8 +20,18 @@ impl Hist2d {
     /// An empty histogram over the given ranges.
     pub fn new(nx: usize, ny: usize, x_range: (f64, f64), y_range: (f64, f64)) -> Self {
         assert!(nx > 0 && ny > 0, "grid must be non-empty");
-        assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0, "ranges must be non-degenerate");
-        Hist2d { nx, ny, x_range, y_range, counts: vec![0; nx * ny], n_points: 0 }
+        assert!(
+            x_range.1 > x_range.0 && y_range.1 > y_range.0,
+            "ranges must be non-degenerate"
+        );
+        Hist2d {
+            nx,
+            ny,
+            x_range,
+            y_range,
+            counts: vec![0; nx * ny],
+            n_points: 0,
+        }
     }
 
     /// Bin a batch of points; out-of-range or non-finite points are dropped.
@@ -34,11 +44,11 @@ impl Hist2d {
             {
                 continue;
             }
-            let ix = (((x - self.x_range.0) / (self.x_range.1 - self.x_range.0)
-                * self.nx as f64) as usize)
+            let ix = (((x - self.x_range.0) / (self.x_range.1 - self.x_range.0) * self.nx as f64)
+                as usize)
                 .min(self.nx - 1);
-            let iy = (((y - self.y_range.0) / (self.y_range.1 - self.y_range.0)
-                * self.ny as f64) as usize)
+            let iy = (((y - self.y_range.0) / (self.y_range.1 - self.y_range.0) * self.ny as f64)
+                as usize)
                 .min(self.ny - 1);
             self.counts[iy * self.nx + ix] += 1;
             self.n_points += 1;
@@ -91,7 +101,10 @@ impl Hist2d {
 
     /// Marginal distribution over y (row sums).
     pub fn marginal_y(&self) -> Vec<u64> {
-        self.counts.chunks(self.nx).map(|row| row.iter().sum()).collect()
+        self.counts
+            .chunks(self.nx)
+            .map(|row| row.iter().sum())
+            .collect()
     }
 
     /// Mean y per x column (`None` for empty columns) — the "trend line" the
@@ -152,8 +165,9 @@ mod tests {
 
     #[test]
     fn marginals_sum_to_total() {
-        let pts: Vec<(f64, f64)> =
-            (0..100).map(|i| (i as f64 / 100.0, (i % 10) as f64 / 10.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 / 100.0, (i % 10) as f64 / 10.0))
+            .collect();
         let h = Hist2d::of(&pts, 5, 5, (0.0, 1.0), (0.0, 1.0));
         assert_eq!(h.marginal_x().iter().sum::<u64>(), h.n_points());
         assert_eq!(h.marginal_y().iter().sum::<u64>(), h.n_points());
@@ -162,10 +176,12 @@ mod tests {
     #[test]
     fn conditional_mean_tracks_a_line() {
         // y = x: column means should increase monotonically
-        let pts: Vec<(f64, f64)> = (0..1000).map(|i| {
-            let x = i as f64 / 1000.0;
-            (x, x)
-        }).collect();
+        let pts: Vec<(f64, f64)> = (0..1000)
+            .map(|i| {
+                let x = i as f64 / 1000.0;
+                (x, x)
+            })
+            .collect();
         let h = Hist2d::of(&pts, 10, 50, (0.0, 1.0), (0.0, 1.0));
         let means: Vec<f64> = h.conditional_mean_y().into_iter().flatten().collect();
         assert_eq!(means.len(), 10);
@@ -202,7 +218,13 @@ mod tests {
 
     #[test]
     fn nan_points_are_dropped() {
-        let h = Hist2d::of(&[(f64::NAN, 0.5), (0.5, f64::INFINITY)], 4, 4, (0.0, 1.0), (0.0, 1.0));
+        let h = Hist2d::of(
+            &[(f64::NAN, 0.5), (0.5, f64::INFINITY)],
+            4,
+            4,
+            (0.0, 1.0),
+            (0.0, 1.0),
+        );
         assert_eq!(h.n_points(), 0);
     }
 }

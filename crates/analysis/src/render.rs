@@ -12,7 +12,10 @@ const RAMP: &[u8] = b" .:-=+*#%@";
 /// Render a hexbin as an ASCII heatmap of `width × height` character cells.
 /// Bins are resampled onto the character grid; multiple bins per cell sum.
 pub fn ascii_heatmap(hb: &Hexbin, width: usize, height: usize) -> String {
-    assert!(width >= 2 && height >= 2, "heatmap needs at least 2x2 cells");
+    assert!(
+        width >= 2 && height >= 2,
+        "heatmap needs at least 2x2 cells"
+    );
     let mut grid = vec![0u64; width * height];
     let (xmin, xmax) = hb.x_range;
     let (ymin, ymax) = hb.y_range;
@@ -21,10 +24,7 @@ pub fn ascii_heatmap(hb: &Hexbin, width: usize, height: usize) -> String {
     for b in &hb.bins {
         let cx = (((b.cx - xmin) / xw) * (width - 1) as f64).round();
         let cy = (((b.cy - ymin) / yw) * (height - 1) as f64).round();
-        let (cx, cy) = (
-            (cx as usize).min(width - 1),
-            (cy as usize).min(height - 1),
-        );
+        let (cx, cy) = ((cx as usize).min(width - 1), (cy as usize).min(height - 1));
         grid[cy * width + cx] += b.count;
     }
     let max = grid.iter().copied().max().unwrap_or(0);
@@ -100,9 +100,16 @@ mod tests {
     use crate::hexbin::{Hexbin, HexbinConfig};
 
     fn sample_hexbin() -> Hexbin {
-        let pts: Vec<(f64, f64)> =
-            (0..300).map(|i| (i as f64 / 300.0, i as f64 / 300.0 + 0.01)).collect();
-        Hexbin::compute(&pts, &HexbinConfig { gridsize: 15, ..Default::default() })
+        let pts: Vec<(f64, f64)> = (0..300)
+            .map(|i| (i as f64 / 300.0, i as f64 / 300.0 + 0.01))
+            .collect();
+        Hexbin::compute(
+            &pts,
+            &HexbinConfig {
+                gridsize: 15,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -118,7 +125,10 @@ mod tests {
     #[test]
     fn heatmap_shades_where_data_lives() {
         let art = ascii_heatmap(&sample_hexbin(), 20, 10);
-        let shaded = art.chars().filter(|c| RAMP[1..].contains(&(*c as u8))).count();
+        let shaded = art
+            .chars()
+            .filter(|c| RAMP[1..].contains(&(*c as u8)))
+            .count();
         assert!(shaded >= 10, "only {shaded} shaded cells");
     }
 

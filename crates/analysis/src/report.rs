@@ -13,7 +13,10 @@ impl Table {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
         assert!(!header.is_empty(), "a table needs at least one column");
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; must match the header width.

@@ -133,15 +133,21 @@ pub fn gini(values: &[f64]) -> Option<f64> {
         return None;
     }
     let mut v: Vec<f64> = values.to_vec();
-    assert!(v.iter().all(|&x| x >= 0.0 && x.is_finite()), "gini needs non-negative inputs");
+    assert!(
+        v.iter().all(|&x| x >= 0.0 && x.is_finite()),
+        "gini needs non-negative inputs"
+    );
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let n = v.len() as f64;
     let total: f64 = v.iter().sum();
     if total == 0.0 {
         return Some(0.0);
     }
-    let weighted: f64 =
-        v.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     Some((2.0 * weighted) / (n * total) - (n + 1.0) / n)
 }
 
@@ -184,8 +190,7 @@ mod tests {
     #[test]
     fn pearson_uncorrelated_is_near_zero() {
         // a deterministic pattern with zero linear correlation
-        let pts: Vec<(f64, f64)> =
-            vec![(-1.0, 1.0), (0.0, -2.0), (1.0, 1.0), (0.0, 0.0)];
+        let pts: Vec<(f64, f64)> = vec![(-1.0, 1.0), (0.0, -2.0), (1.0, 1.0), (0.0, 0.0)];
         assert!(pearson(&pts).unwrap().abs() < 1e-12);
     }
 

@@ -115,10 +115,17 @@ fn perf_thread_scaling(c: &mut Criterion) {
     let w = Window::zero_to_10m();
     let mut g = quick(c);
     for threads in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("project_threads", threads), &threads, |b, &t| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool");
-            b.iter(|| pool.install(|| black_box(project(&btm, w).n_edges())))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("project_threads", threads),
+            &threads,
+            |b, &t| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .expect("pool");
+                b.iter(|| pool.install(|| black_box(project(&btm, w).n_edges())))
+            },
+        );
     }
     g.finish();
 }

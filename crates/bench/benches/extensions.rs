@@ -39,9 +39,11 @@ fn windowed_validation(c: &mut Criterion) {
         })
     });
     for span in [60i64, 600, 3600] {
-        g.bench_with_input(BenchmarkId::new("validate_windowed", span), &span, |b, &s| {
-            b.iter(|| black_box(validate_windowed(&btm, &triangles, s)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("validate_windowed", span),
+            &span,
+            |b, &s| b.iter(|| black_box(validate_windowed(&btm, &triangles, s))),
+        );
     }
     g.finish();
 }
@@ -54,9 +56,11 @@ fn group_merging(c: &mut Criterion) {
     let out = run_hunt_config(ds);
     let mut g = quick(c);
     for overlap in [1usize, 2] {
-        g.bench_with_input(BenchmarkId::new("merge_triplets", overlap), &overlap, |b, &o| {
-            b.iter(|| black_box(merge_triplets(&btm, &out.triplets, o)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("merge_triplets", overlap),
+            &overlap,
+            |b, &o| b.iter(|| black_box(merge_triplets(&btm, &out.triplets, o))),
+        );
     }
     g.finish();
 }

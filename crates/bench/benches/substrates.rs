@@ -23,19 +23,23 @@ fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurem
 fn ygm_message_throughput(c: &mut Criterion) {
     let mut g = quick(c);
     for nranks in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("counting_set_10k_per_rank", nranks), &nranks, |b, &n| {
-            b.iter(|| {
-                let cs: DistCountingSet<u64> = DistCountingSet::new(n);
-                let cs2 = cs.clone();
-                World::run(n, move |ctx| {
-                    for i in 0..10_000u64 {
-                        cs2.async_add(ctx, i % 512);
-                    }
-                    ctx.barrier();
-                });
-                black_box(cs.global_count(&0))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("counting_set_10k_per_rank", nranks),
+            &nranks,
+            |b, &n| {
+                b.iter(|| {
+                    let cs: DistCountingSet<u64> = DistCountingSet::new(n);
+                    let cs2 = cs.clone();
+                    World::run(n, move |ctx| {
+                        for i in 0..10_000u64 {
+                            cs2.async_add(ctx, i % 512);
+                        }
+                        ctx.barrier();
+                    });
+                    black_box(cs.global_count(&0))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -84,11 +88,8 @@ fn tripoll_enumeration(c: &mut Criterion) {
     });
     g.bench_function("survey_min_weight_5k", |b| {
         b.iter(|| {
-            let rep = tripoll::survey::survey(
-                &o5k,
-                &tripoll::SurveyConfig::with_min_weight(40),
-                None,
-            );
+            let rep =
+                tripoll::survey::survey(&o5k, &tripoll::SurveyConfig::with_min_weight(40), None);
             black_box(rep.len())
         })
     });
@@ -113,8 +114,9 @@ fn tripoll_distributed_overhead(c: &mut Criterion) {
 /// Hexbin binning rate (the figure post-processing stage).
 fn hexbin_binning(c: &mut Criterion) {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
-    let pts: Vec<(f64, f64)> =
-        (0..100_000).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..100_000)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut g = quick(c);
     g.bench_function("hexbin_100k_points", |b| {
         b.iter(|| {

@@ -79,7 +79,14 @@ fn weight_hexbin(out: &PipelineOutput, clip_outlier: bool) -> Hexbin {
             pts.retain(|&(x, _)| (x as u64) < max.min_ci_weight);
         }
     }
-    Hexbin::compute(&pts, &HexbinConfig { gridsize: 40, x_range: None, y_range: None })
+    Hexbin::compute(
+        &pts,
+        &HexbinConfig {
+            gridsize: 40,
+            x_range: None,
+            y_range: None,
+        },
+    )
 }
 
 fn fig1(runs: &Runs) {
@@ -94,13 +101,19 @@ fn fig1(runs: &Runs) {
         Some(c) => {
             println!("  gpt2 component: {}", describe(c));
             let (lo, hi) = c.summary.weight_range.unwrap_or((0, 0));
-            check("found as a connected component (paper: one of 39 components)", true);
+            check(
+                "found as a connected component (paper: one of 39 components)",
+                true,
+            );
             check(
                 &format!("edge weights in a narrow band near 25–33 (measured {lo}–{hi})"),
                 lo >= 25 && hi <= 45,
             );
             check(
-                &format!("sparse, not a clique (density {:.2} < 0.7)", c.summary.density),
+                &format!(
+                    "sparse, not a clique (density {:.2} < 0.7)",
+                    c.summary.density
+                ),
                 c.summary.density < 0.7,
             );
             let ids: Vec<u32> = c
@@ -108,7 +121,10 @@ fn fig1(runs: &Runs) {
                 .iter()
                 .map(|m| ds.authors.get(m).expect("member interned"))
                 .collect();
-            save("fig1_gpt2.dot", &component_dot(ds, &runs.jan_hunt.ci, &ids, 25));
+            save(
+                "fig1_gpt2.dot",
+                &component_dot(ds, &runs.jan_hunt.ci, &ids, 25),
+            );
         }
         None => check("gpt2 component found", false),
     }
@@ -126,7 +142,10 @@ fn fig2(runs: &Runs) {
         Some(c) => {
             println!("  restream component: {}", describe(c));
             check(
-                &format!("contains an 8-clique (paper: 8-clique; measured {})", c.summary.max_clique_size),
+                &format!(
+                    "contains an 8-clique (paper: 8-clique; measured {})",
+                    c.summary.max_clique_size
+                ),
                 c.summary.max_clique_size >= 8,
             );
             let (lo, hi) = c.summary.weight_range.unwrap_or((0, 0));
@@ -134,13 +153,19 @@ fn fig2(runs: &Runs) {
                 &format!("edge weights higher than the GPT net (paper 27–91; measured {lo}–{hi})"),
                 lo >= 25,
             );
-            check(&format!("dense (density {:.2} ≥ 0.9)", c.summary.density), c.summary.density >= 0.9);
+            check(
+                &format!("dense (density {:.2} ≥ 0.9)", c.summary.density),
+                c.summary.density >= 0.9,
+            );
             let ids: Vec<u32> = c
                 .members
                 .iter()
                 .map(|m| ds.authors.get(m).expect("member interned"))
                 .collect();
-            save("fig2_restream.dot", &component_dot(ds, &runs.jan_hunt.ci, &ids, 25));
+            save(
+                "fig2_restream.dot",
+                &component_dot(ds, &runs.jan_hunt.ci, &ids, 25),
+            );
         }
         None => check("restream component found", false),
     }
@@ -155,7 +180,10 @@ fn score_figure(name: &str, title: &str, out: &PipelineOutput) {
     let r = pearson(&pts).unwrap_or(f64::NAN);
     let rho = spearman(&pts).unwrap_or(f64::NAN);
     println!("  triplets={} pearson={r:.3} spearman={rho:.3}", pts.len());
-    check("positive relationship between T and C (paper: 'appears positive')", r > 0.2);
+    check(
+        "positive relationship between T and C (paper: 'appears positive')",
+        r > 0.2,
+    );
     save(&format!("{name}.csv"), &hexbin_csv(&hb));
     println!();
 }
@@ -198,7 +226,11 @@ fn fig4(runs: &Runs) {
                 .jan_fig
                 .triplets
                 .iter()
-                .filter(|m| !m.authors.iter().any(|a| ds.authors.name(a.0).starts_with("smiley")))
+                .filter(|m| {
+                    !m.authors
+                        .iter()
+                        .any(|a| ds.authors.name(a.0).starts_with("smiley"))
+                })
                 .map(|m| m.min_ci_weight)
                 .max()
                 .unwrap_or(1),
@@ -212,7 +244,9 @@ fn window_comparison(runs: &Runs) {
     println!("== Window-length effect (Figures 5→7→9 and 6→8→10 claims) ==");
     let gap = |o: &PipelineOutput| mean_diagonal_gap(&o.score_points()).unwrap_or(f64::NAN);
     let (g60, g600, g3600) = (gap(&runs.oct_60s), gap(&runs.oct_10m), gap(&runs.oct_1h));
-    println!("  mean |C - T| by window (all triplets): 60s={g60:.4} 600s={g600:.4} 3600s={g3600:.4}");
+    println!(
+        "  mean |C - T| by window (all triplets): 60s={g60:.4} 600s={g600:.4} 3600s={g3600:.4}"
+    );
     // the comparable version holds the triplet set fixed (the 60s survivors):
     // for those, a longer window raises min w' toward the time-unbounded
     // hyperedge weight, pulling T toward C — the Figure 7/9 tightening
@@ -227,9 +261,14 @@ fn window_comparison(runs: &Runs) {
             .collect();
         mean_diagonal_gap(&pts).unwrap_or(f64::NAN)
     };
-    let (f60, f600, f3600) =
-        (fixed_gap(&runs.oct_60s), fixed_gap(&runs.oct_10m), fixed_gap(&runs.oct_1h));
-    println!("  mean |C - T| for the 60s triplet set: 60s={f60:.4} 600s={f600:.4} 3600s={f3600:.4}");
+    let (f60, f600, f3600) = (
+        fixed_gap(&runs.oct_60s),
+        fixed_gap(&runs.oct_10m),
+        fixed_gap(&runs.oct_1h),
+    );
+    println!(
+        "  mean |C - T| for the 60s triplet set: 60s={f60:.4} 600s={f600:.4} 3600s={f3600:.4}"
+    );
     check(
         "longer window tightens the score relationship (paper Fig 7 vs 5, fixed set)",
         f600 <= f60 + 1e-9 && f3600 <= f600 + 1e-9,
@@ -257,12 +296,17 @@ fn window_comparison(runs: &Runs) {
     let base: std::collections::HashSet<[coordination_core::AuthorId; 3]> =
         runs.oct_60s.triplets.iter().map(|m| m.authors).collect();
     let above_fixed = |o: &PipelineOutput| {
-        let sel: Vec<&coordination_core::TripletMetrics> =
-            o.triplets.iter().filter(|m| base.contains(&m.authors)).collect();
+        let sel: Vec<&coordination_core::TripletMetrics> = o
+            .triplets
+            .iter()
+            .filter(|m| base.contains(&m.authors))
+            .collect();
         if sel.is_empty() {
             return 0.0;
         }
-        sel.iter().filter(|m| m.hyper_weight > m.min_ci_weight).count() as f64
+        sel.iter()
+            .filter(|m| m.hyper_weight > m.min_ci_weight)
+            .count() as f64
             / sel.len() as f64
     };
     let (a60, a600, a3600) = (
@@ -338,12 +382,16 @@ fn quality(runs: &Runs) {
     })
     .run_dataset(ds);
     let labeled = label_triplets(&permissive, ds, &scen.truth);
-    let by_min_w: Vec<(f64, bool)> =
-        labeled.iter().map(|&(m, p)| (m.min_ci_weight as f64, p)).collect();
+    let by_min_w: Vec<(f64, bool)> = labeled
+        .iter()
+        .map(|&(m, p)| (m.min_ci_weight as f64, p))
+        .collect();
     let by_t: Vec<(f64, bool)> = labeled.iter().map(|&(m, p)| (m.t, p)).collect();
     let by_c: Vec<(f64, bool)> = labeled.iter().map(|&(m, p)| (m.c, p)).collect();
-    let by_w: Vec<(f64, bool)> =
-        labeled.iter().map(|&(m, p)| (m.hyper_weight as f64, p)).collect();
+    let by_w: Vec<(f64, bool)> = labeled
+        .iter()
+        .map(|&(m, p)| (m.hyper_weight as f64, p))
+        .collect();
     println!(
         "  candidates={} coordinated={}",
         labeled.len(),
@@ -375,10 +423,20 @@ fn quality(runs: &Runs) {
     let eval = scen.truth.evaluate(flagged.iter().copied());
     println!(
         "  at cutoff 25: precision={:.3} family recall={:.3} ({}/{} families), member recall={:.3}",
-        eval.precision, eval.family_recall, eval.families_detected, eval.families_total, eval.member_recall
+        eval.precision,
+        eval.family_recall,
+        eval.families_detected,
+        eval.families_total,
+        eval.member_recall
     );
-    check("cutoff-25 flags are dominated by true coordination", eval.precision > 0.9);
-    check("all injected coordinated families are detected", eval.family_recall >= 1.0);
+    check(
+        "cutoff-25 flags are dominated by true coordination",
+        eval.precision > 0.9,
+    );
+    check(
+        "all injected coordinated families are detected",
+        eval.family_recall >= 1.0,
+    );
     println!();
 }
 
@@ -389,11 +447,17 @@ fn future_work(runs: &Runs) {
     let btm = ds.btm().without_authors(&excl.resolve(ds));
 
     // 1. time-windowed hyperedges: the provable bound the paper lacked
-    let triangles: Vec<tripoll::Triangle> =
-        runs.jan_hunt.survey.triangles.iter().map(|s| s.triangle).collect();
-    let windowed =
-        coordination_core::windowed_hyperedge::validate_windowed(&btm, &triangles, 60);
-    let bound_ok = windowed.iter().all(|w| w.windowed_weight <= w.min_ci_weight);
+    let triangles: Vec<tripoll::Triangle> = runs
+        .jan_hunt
+        .survey
+        .triangles
+        .iter()
+        .map(|s| s.triangle)
+        .collect();
+    let windowed = coordination_core::windowed_hyperedge::validate_windowed(&btm, &triangles, 60);
+    let bound_ok = windowed
+        .iter()
+        .all(|w| w.windowed_weight <= w.min_ci_weight);
     check(
         &format!(
             "windowed w_xyz ≤ min w' holds for all {} surveyed triplets (the §4.2 bound, restored)",
@@ -412,9 +476,12 @@ fn future_work(runs: &Runs) {
     );
 
     // 2. group growth: triplets merge back into the full networks
-    let groups =
-        coordination_core::groups::merge_triplets(&btm, &runs.jan_hunt.triplets, 2);
-    println!("  {} groups merged from {} triplets:", groups.len(), runs.jan_hunt.triplets.len());
+    let groups = coordination_core::groups::merge_triplets(&btm, &runs.jan_hunt.triplets, 2);
+    println!(
+        "  {} groups merged from {} triplets:",
+        groups.len(),
+        runs.jan_hunt.triplets.len()
+    );
     let mut table = analysis::report::Table::new(["members", "w_G", "score", "family"]);
     for g in &groups {
         let names: Vec<&str> = g.members.iter().map(|a| ds.authors.name(a.0)).collect();
@@ -429,7 +496,12 @@ fn future_work(runs: &Runs) {
             format!("{:.3}", g.score),
             fam.to_string(),
         ]);
-        println!("    {} members (w_G = {}, score = {:.3}): {fam}", g.members.len(), g.group_weight, g.score);
+        println!(
+            "    {} members (w_G = {}, score = {:.3}): {fam}",
+            g.members.len(),
+            g.group_weight,
+            g.score
+        );
     }
     save("future_groups.csv", &table.to_csv());
     check(

@@ -59,8 +59,12 @@ pub fn oct2016_small() -> &'static (Scenario, Dataset) {
 
 /// Run the pipeline with the paper's hexbin-figure parameters (`cutoff 10`).
 pub fn run_figures_config(ds: &Dataset, window: Window) -> PipelineOutput {
-    Pipeline::new(PipelineConfig { window, min_triangle_weight: 10, ..Default::default() })
-        .run_dataset(ds)
+    Pipeline::new(PipelineConfig {
+        window,
+        min_triangle_weight: 10,
+        ..Default::default()
+    })
+    .run_dataset(ds)
 }
 
 /// Run the pipeline with the paper's anecdotal-hunt parameters (`cutoff 25`).
@@ -82,13 +86,12 @@ pub fn label_triplets<'a>(
     out.triplets
         .iter()
         .map(|m| {
-            let names: Vec<&str> =
-                m.authors.iter().map(|a| ds.authors.name(a.0)).collect();
+            let names: Vec<&str> = m.authors.iter().map(|a| ds.authors.name(a.0)).collect();
             let fam0 = truth.family_of(names[0]);
             let same = fam0.is_some()
-                && names
-                    .iter()
-                    .all(|n| truth.family_of(n).map(|f| f.name.as_str()) == fam0.map(|f| f.name.as_str()));
+                && names.iter().all(|n| {
+                    truth.family_of(n).map(|f| f.name.as_str()) == fam0.map(|f| f.name.as_str())
+                });
             (m, same)
         })
         .collect()
@@ -112,6 +115,9 @@ mod tests {
         let out = run_hunt_config(ds);
         let labeled = label_triplets(&out, ds, &s.truth);
         assert!(!labeled.is_empty());
-        assert!(labeled.iter().any(|&(_, pos)| pos), "no bot triplet flagged");
+        assert!(
+            labeled.iter().any(|&(_, pos)| pos),
+            "no bot triplet flagged"
+        );
     }
 }

@@ -24,11 +24,14 @@ impl Btm {
     /// Build from raw events. `n_authors`/`n_pages` fix the dense id spaces
     /// (authors or pages with no events simply have empty lists).
     pub fn from_events(n_authors: u32, n_pages: u32, events: &[Event]) -> Self {
-        let mut page_comments: Vec<Vec<(Timestamp, AuthorId)>> =
-            vec![Vec::new(); n_pages as usize];
+        let mut page_comments: Vec<Vec<(Timestamp, AuthorId)>> = vec![Vec::new(); n_pages as usize];
         let mut author_pages: Vec<Vec<PageId>> = vec![Vec::new(); n_authors as usize];
         for e in events {
-            assert!(e.author.0 < n_authors, "author id {} out of range", e.author.0);
+            assert!(
+                e.author.0 < n_authors,
+                "author id {} out of range",
+                e.author.0
+            );
             assert!(e.page.0 < n_pages, "page id {} out of range", e.page.0);
             page_comments[e.page.0 as usize].push((e.ts, e.author));
             author_pages[e.author.0 as usize].push(e.page);
@@ -40,7 +43,11 @@ impl Btm {
             pages.sort_unstable();
             pages.dedup();
         }
-        Btm { page_comments, author_pages, n_comments: events.len() as u64 }
+        Btm {
+            page_comments,
+            author_pages,
+            n_comments: events.len() as u64,
+        }
     }
 
     /// Number of author slots `|U|`.
@@ -134,11 +141,7 @@ mod tests {
 
     #[test]
     fn neighborhoods_are_time_sorted() {
-        let btm = Btm::from_events(
-            2,
-            1,
-            &[ev(0, 0, 30), ev(1, 0, 10), ev(0, 0, 20)],
-        );
+        let btm = Btm::from_events(2, 1, &[ev(0, 0, 30), ev(1, 0, 10), ev(0, 0, 20)]);
         let n = btm.page_neighborhood(PageId(0));
         assert_eq!(
             n,
@@ -149,12 +152,11 @@ mod tests {
 
     #[test]
     fn author_pages_are_deduped_and_sorted() {
-        let btm = Btm::from_events(
-            1,
-            3,
-            &[ev(0, 2, 1), ev(0, 0, 2), ev(0, 2, 3), ev(0, 1, 4)],
+        let btm = Btm::from_events(1, 3, &[ev(0, 2, 1), ev(0, 0, 2), ev(0, 2, 3), ev(0, 1, 4)]);
+        assert_eq!(
+            btm.author_pages(AuthorId(0)),
+            &[PageId(0), PageId(1), PageId(2)]
         );
-        assert_eq!(btm.author_pages(AuthorId(0)), &[PageId(0), PageId(1), PageId(2)]);
         assert_eq!(btm.page_count(AuthorId(0)), 3);
     }
 
@@ -175,11 +177,7 @@ mod tests {
 
     #[test]
     fn without_authors_strips_events_everywhere() {
-        let btm = Btm::from_events(
-            3,
-            2,
-            &[ev(0, 0, 1), ev(1, 0, 2), ev(2, 0, 3), ev(1, 1, 4)],
-        );
+        let btm = Btm::from_events(3, 2, &[ev(0, 0, 1), ev(1, 0, 2), ev(2, 0, 3), ev(1, 1, 4)]);
         let cleaned = btm.without_authors(&[AuthorId(1)]);
         assert_eq!(cleaned.n_comments(), 2);
         assert_eq!(cleaned.page_neighborhood(PageId(0)).len(), 2);

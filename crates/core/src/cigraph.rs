@@ -36,9 +36,17 @@ impl CiGraph {
         edges: HashMap<(u32, u32), u64>,
         page_counts: Vec<u64>,
     ) -> Self {
-        assert_eq!(page_counts.len(), n_authors as usize, "page_counts length mismatch");
+        assert_eq!(
+            page_counts.len(),
+            n_authors as usize,
+            "page_counts length mismatch"
+        );
         debug_assert!(edges.keys().all(|&(a, b)| a < b && b < n_authors));
-        CiGraph { n_authors, edges, page_counts }
+        CiGraph {
+            n_authors,
+            edges,
+            page_counts,
+        }
     }
 
     /// Number of author slots.
@@ -341,11 +349,15 @@ mod tests {
         assert!(CiGraph::read_tsv("".as_bytes()).is_err());
         assert!(CiGraph::read_tsv("#wrong\n".as_bytes()).is_err());
         let bad_edge = "#ci-graph\tv1\n#n_authors\t2\nE\t0\t5\t1\n";
-        assert!(CiGraph::read_tsv(bad_edge.as_bytes()).unwrap_err().contains("endpoints"));
+        assert!(CiGraph::read_tsv(bad_edge.as_bytes())
+            .unwrap_err()
+            .contains("endpoints"));
         let self_edge = "#ci-graph\tv1\n#n_authors\t2\nE\t1\t1\t1\n";
         assert!(CiGraph::read_tsv(self_edge.as_bytes()).is_err());
         let junk = "#ci-graph\tv1\n#n_authors\t2\nX\t1\n";
-        assert!(CiGraph::read_tsv(junk.as_bytes()).unwrap_err().contains("unknown record"));
+        assert!(CiGraph::read_tsv(junk.as_bytes())
+            .unwrap_err()
+            .contains("unknown record"));
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
         ]);
         let l = ExclusionList::reddit_defaults();
         let ids = l.resolve(&ds);
-        assert_eq!(ids, vec![AuthorId(ds.authors.get("AutoModerator").unwrap())]);
+        assert_eq!(
+            ids,
+            vec![AuthorId(ds.authors.get("AutoModerator").unwrap())]
+        );
     }
 
     #[test]

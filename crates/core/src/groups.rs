@@ -39,8 +39,7 @@ pub struct Group {
 pub fn group_weight(btm: &Btm, members: &[AuthorId]) -> u64 {
     assert!(!members.is_empty());
     // Intersect iteratively, starting from the shortest list.
-    let mut lists: Vec<&[PageId]> =
-        members.iter().map(|&a| btm.author_pages(a)).collect();
+    let mut lists: Vec<&[PageId]> = members.iter().map(|&a| btm.author_pages(a)).collect();
     lists.sort_by_key(|l| l.len());
     let mut current: Vec<PageId> = lists[0].to_vec();
     for list in &lists[1..] {
@@ -78,11 +77,7 @@ pub fn group_score(btm: &Btm, members: &[AuthorId], w_g: u64) -> f64 {
 /// Merge validated triplets into candidate groups: triplets sharing at least
 /// `min_overlap` authors (2 = an edge, the default; 1 = a vertex) land in the
 /// same group. Returns assessed groups, largest first.
-pub fn merge_triplets(
-    btm: &Btm,
-    triplets: &[TripletMetrics],
-    min_overlap: usize,
-) -> Vec<Group> {
+pub fn merge_triplets(btm: &Btm, triplets: &[TripletMetrics], min_overlap: usize) -> Vec<Group> {
     assert!((1..=2).contains(&min_overlap), "overlap must be 1 or 2");
     let n = triplets.len();
     let mut dsu = DisjointSets::new(n);
@@ -198,7 +193,7 @@ mod tests {
 
     fn triplet(a: u32, b: u32, c: u32, btm: &Btm) -> TripletMetrics {
         let t = tripoll::Triangle::new(a, b, c, 8, 8, 8);
-        crate::hypergraph::validate_triangle(btm, &vec![8u64; 6], &t)
+        crate::hypergraph::validate_triangle(btm, &[8u64; 6], &t)
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub fn triple_intersection_count(a: &[PageId], b: &[PageId], c: &[PageId]) -> u6
 
 /// `w_xyz` for three authors straight from the BTM.
 pub fn hyperedge_weight(btm: &Btm, x: AuthorId, y: AuthorId, z: AuthorId) -> u64 {
-    triple_intersection_count(btm.author_pages(x), btm.author_pages(y), btm.author_pages(z))
+    triple_intersection_count(
+        btm.author_pages(x),
+        btm.author_pages(y),
+        btm.author_pages(z),
+    )
 }
 
 /// Validate one surveyed triangle: combine its CI metadata (weights and `P'`)
@@ -113,7 +117,10 @@ mod tests {
             triple_intersection_count(&pages(&[1]), &pages(&[2]), &pages(&[3])),
             0
         );
-        assert_eq!(triple_intersection_count(&[], &pages(&[1]), &pages(&[1])), 0);
+        assert_eq!(
+            triple_intersection_count(&[], &pages(&[1]), &pages(&[1])),
+            0
+        );
     }
 
     #[test]
@@ -123,8 +130,9 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         for _ in 0..50 {
             let mk = |rng: &mut rand_chacha::ChaCha8Rng| {
-                let mut v: Vec<u32> =
-                    (0..rng.gen_range(0..40)).map(|_| rng.gen_range(0..60)).collect();
+                let mut v: Vec<u32> = (0..rng.gen_range(0..40))
+                    .map(|_| rng.gen_range(0..60))
+                    .collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -132,7 +140,10 @@ mod tests {
             let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
             let sa: HashSet<u32> = a.iter().copied().collect();
             let sb: HashSet<u32> = b.iter().copied().collect();
-            let expect = c.iter().filter(|x| sa.contains(x) && sb.contains(x)).count() as u64;
+            let expect = c
+                .iter()
+                .filter(|x| sa.contains(x) && sb.contains(x))
+                .count() as u64;
             assert_eq!(
                 triple_intersection_count(&pages(&a), &pages(&b), &pages(&c)),
                 expect
@@ -146,7 +157,11 @@ mod tests {
         let mut events = Vec::new();
         for page in 0..4u32 {
             for a in 0..3u32 {
-                events.push(Event::new(AuthorId(a), PageId(page), (page * 100 + a) as i64));
+                events.push(Event::new(
+                    AuthorId(a),
+                    PageId(page),
+                    (page * 100 + a) as i64,
+                ));
             }
         }
         for page in 4..10u32 {
@@ -158,7 +173,10 @@ mod tests {
     #[test]
     fn hyperedge_weight_counts_shared_pages() {
         let btm = coordinated_btm();
-        assert_eq!(hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2)), 4);
+        assert_eq!(
+            hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2)),
+            4
+        );
     }
 
     #[test]

@@ -126,12 +126,18 @@ impl PipelineOutput {
 
     /// `(T, C)` points for the score hexbins (Figures 3/5/7/9).
     pub fn score_points(&self) -> Vec<(f64, f64)> {
-        self.triplets.iter().map(TripletMetrics::score_point).collect()
+        self.triplets
+            .iter()
+            .map(TripletMetrics::score_point)
+            .collect()
     }
 
     /// `(min w', w_xyz)` points for the weight hexbins (Figures 4/6/8/10).
     pub fn weight_points(&self) -> Vec<(f64, f64)> {
-        self.triplets.iter().map(TripletMetrics::weight_point).collect()
+        self.triplets
+            .iter()
+            .map(TripletMetrics::weight_point)
+            .collect()
     }
 
     /// The validated triplet with the largest minimum CI weight, if any —
@@ -158,7 +164,11 @@ impl Pipeline {
     pub fn run_dataset(&self, ds: &Dataset) -> PipelineOutput {
         let btm = ds.btm();
         let excluded = self.config.exclusions.resolve(ds);
-        let btm = if excluded.is_empty() { btm } else { btm.without_authors(&excluded) };
+        let btm = if excluded.is_empty() {
+            btm
+        } else {
+            btm.without_authors(&excluded)
+        };
         self.run_btm(&btm)
     }
 
@@ -172,16 +182,17 @@ impl Pipeline {
             ProjectionStrategy::Rayon => project::project(btm, cfg.window),
             ProjectionStrategy::Sequential => project::project_sequential(btm, cfg.window),
             ProjectionStrategy::Bucketed(n) => project::project_bucketed(btm, cfg.window, n),
-            ProjectionStrategy::Distributed(n) => {
-                project::project_distributed(btm, cfg.window, n)
-            }
+            ProjectionStrategy::Distributed(n) => project::project_distributed(btm, cfg.window, n),
         };
         let projection_time = t0.elapsed();
 
         // Step 2: triangle survey on the edge-thresholded graph.
         let t1 = Instant::now();
-        let thresholded =
-            if cfg.edge_threshold > 1 { ci.threshold(cfg.edge_threshold) } else { ci.clone() };
+        let thresholded = if cfg.edge_threshold > 1 {
+            ci.threshold(cfg.edge_threshold)
+        } else {
+            ci.clone()
+        };
         let wg = thresholded.to_weighted_graph();
         let oriented = OrientedGraph::from_graph(&wg);
         let report = survey(
@@ -359,13 +370,15 @@ mod tests {
             ProjectionStrategy::Bucketed(4),
             ProjectionStrategy::Distributed(3),
         ] {
-            let alt = Pipeline::new(PipelineConfig { strategy, ..Default::default() })
-                .run_dataset(&ds);
+            let alt = Pipeline::new(PipelineConfig {
+                strategy,
+                ..Default::default()
+            })
+            .run_dataset(&ds);
             assert_eq!(alt.stats.ci_edges, base.stats.ci_edges, "{strategy:?}");
             assert_eq!(alt.triplets.len(), base.triplets.len(), "{strategy:?}");
             assert_eq!(
-                alt.triplets[0].min_ci_weight,
-                base.triplets[0].min_ci_weight,
+                alt.triplets[0].min_ci_weight, base.triplets[0].min_ci_weight,
                 "{strategy:?}"
             );
         }
@@ -399,7 +412,11 @@ mod tests {
         }
         for p in 0..12u32 {
             for a in 3..6u32 {
-                events.push(Event::new(AuthorId(a), PageId(20 + p), (p * 100 + a) as i64));
+                events.push(Event::new(
+                    AuthorId(a),
+                    PageId(20 + p),
+                    (p * 100 + a) as i64,
+                ));
             }
         }
         let btm = Btm::from_events(6, 32, &events);
@@ -422,7 +439,11 @@ mod tests {
             ..Default::default()
         });
         let rounds = pipeline.run_refinement(&btm, 5);
-        assert_eq!(rounds[0].flagged.len(), 6, "both trios exceed 10 in round 1");
+        assert_eq!(
+            rounds[0].flagged.len(),
+            6,
+            "both trios exceed 10 in round 1"
+        );
         assert!(rounds[1].flagged.is_empty());
     }
 
@@ -459,7 +480,11 @@ mod tests {
         // tight bots: 15 shared pages, nothing else
         for page in 0..15u32 {
             for a in 0..3u32 {
-                events.push(Event::new(AuthorId(a), PageId(page), page as i64 * 1000 + a as i64));
+                events.push(Event::new(
+                    AuthorId(a),
+                    PageId(page),
+                    page as i64 * 1000 + a as i64,
+                ));
             }
         }
         // hyperactive: 15 shared pages + 300 solo pages each
@@ -482,10 +507,8 @@ mod tests {
         }
         // companions that create projection edges on the hyperactive authors'
         // solo pages, inflating their P' without adding triangle weight
-        let mut companion = 6u32;
-        for page in 30..next_page {
+        for (companion, page) in (6u32..).zip(30..next_page) {
             events.push(Event::new(AuthorId(companion % 20 + 6), PageId(page), 1));
-            companion += 1;
         }
         let btm = Btm::from_events(26, next_page, &events);
         let strict = Pipeline::new(PipelineConfig {
@@ -496,7 +519,10 @@ mod tests {
         .run_btm(&btm);
         // only the tight bot triangle has T near 1
         assert_eq!(strict.triplets.len(), 1);
-        assert_eq!(strict.triplets[0].authors, [AuthorId(0), AuthorId(1), AuthorId(2)]);
+        assert_eq!(
+            strict.triplets[0].authors,
+            [AuthorId(0), AuthorId(1), AuthorId(2)]
+        );
 
         let lax = Pipeline::new(PipelineConfig {
             min_triangle_weight: 10,

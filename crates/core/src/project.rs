@@ -210,10 +210,9 @@ pub fn project_distributed(btm: &Btm, window: Window, nranks: usize) -> CiGraph 
                     ec_apply.local_add(inner, pair, 1);
                 });
             let pc_apply = pc.clone();
-            let mut page_agg =
-                Aggregator::new(ctx, FLUSH_THRESHOLD, move |inner, author: u32| {
-                    pc_apply.local_add(inner, author, 1);
-                });
+            let mut page_agg = Aggregator::new(ctx, FLUSH_THRESHOLD, move |inner, author: u32| {
+                pc_apply.local_add(inner, author, 1);
+            });
             for (pid, comments) in btm_ref.pages() {
                 // owner-computes: the rank owning the page scans it
                 if owner_of(&pid.0, ctx.nranks()) != ctx.rank() {
@@ -342,11 +341,18 @@ mod tests {
 
     #[test]
     fn window_bounds_are_inclusive() {
-        let b = btm(2, 3, &[
-            ev(0, 0, 0), ev(1, 0, 10), // dt = d1 exactly
-            ev(0, 1, 0), ev(1, 1, 20), // dt = d2 exactly
-            ev(0, 2, 0), ev(1, 2, 21), // dt just past d2
-        ]);
+        let b = btm(
+            2,
+            3,
+            &[
+                ev(0, 0, 0),
+                ev(1, 0, 10), // dt = d1 exactly
+                ev(0, 1, 0),
+                ev(1, 1, 20), // dt = d2 exactly
+                ev(0, 2, 0),
+                ev(1, 2, 21), // dt just past d2
+            ],
+        );
         let ci = project(&b, Window::new(10, 20));
         assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 2);
     }
@@ -354,8 +360,7 @@ mod tests {
     #[test]
     fn same_page_counted_once_per_pair() {
         // x and y alternate comments rapidly: many qualifying pairs, one page
-        let events: Vec<Event> =
-            (0..10).map(|i| ev((i % 2) as u32, 0, i as i64)).collect();
+        let events: Vec<Event> = (0..10).map(|i| ev((i % 2) as u32, 0, i as i64)).collect();
         let b = btm(2, 1, &events);
         let ci = project(&b, Window::new(0, 60));
         assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 1);
@@ -372,10 +377,16 @@ mod tests {
 
     #[test]
     fn d1_greater_than_zero_excludes_immediate_pairs() {
-        let b = btm(2, 2, &[
-            ev(0, 0, 0), ev(1, 0, 2),  // too close for d1=5
-            ev(0, 1, 0), ev(1, 1, 7),  // inside (5, 10)
-        ]);
+        let b = btm(
+            2,
+            2,
+            &[
+                ev(0, 0, 0),
+                ev(1, 0, 2), // too close for d1=5
+                ev(0, 1, 0),
+                ev(1, 1, 7), // inside (5, 10)
+            ],
+        );
         let ci = project(&b, Window::new(5, 10));
         assert_eq!(ci.weight(AuthorId(0), AuthorId(1)), 1);
     }
@@ -486,8 +497,7 @@ mod tests {
         let subset: Vec<AuthorId> = [2u32, 5, 9, 11, 20].iter().map(|&i| AuthorId(i)).collect();
         let sub = project_subset(&b, &subset, w);
         let full = project(&b, w);
-        let in_subset: std::collections::HashSet<u32> =
-            subset.iter().map(|a| a.0).collect();
+        let in_subset: std::collections::HashSet<u32> = subset.iter().map(|a| a.0).collect();
         // edges: exactly the subset-internal edges of the full projection
         let mut expect: Vec<(u32, u32, u64)> = full
             .edges()

@@ -26,8 +26,16 @@ pub struct CommentRecord {
 
 impl CommentRecord {
     /// Construct a record.
-    pub fn new(author: impl Into<String>, link_id: impl Into<String>, created_utc: Timestamp) -> Self {
-        CommentRecord { author: author.into(), link_id: link_id.into(), created_utc }
+    pub fn new(
+        author: impl Into<String>,
+        link_id: impl Into<String>,
+        created_utc: Timestamp,
+    ) -> Self {
+        CommentRecord {
+            author: author.into(),
+            link_id: link_id.into(),
+            created_utc,
+        }
     }
 }
 
@@ -90,7 +98,10 @@ pub enum ReadError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A line failed to parse; carries the 1-based line number.
-    Parse { line: usize, source: serde_json::Error },
+    Parse {
+        line: usize,
+        source: serde_json::Error,
+    },
 }
 
 impl std::fmt::Display for ReadError {
@@ -130,8 +141,11 @@ pub fn read_ndjson<R: BufRead>(reader: R) -> Result<Vec<CommentRecord>, ReadErro
         if trimmed.is_empty() {
             continue;
         }
-        let rec: CommentRecord = serde_json::from_str(trimmed)
-            .map_err(|source| ReadError::Parse { line: i + 1, source })?;
+        let rec: CommentRecord =
+            serde_json::from_str(trimmed).map_err(|source| ReadError::Parse {
+                line: i + 1,
+                source,
+            })?;
         out.push(rec);
     }
     Ok(out)
@@ -162,8 +176,11 @@ pub fn read_ndjson_into_dataset<R: BufRead>(mut reader: R) -> Result<Dataset, Re
         if trimmed.is_empty() {
             continue;
         }
-        let rec: CommentRecord = serde_json::from_str(trimmed)
-            .map_err(|source| ReadError::Parse { line: lineno, source })?;
+        let rec: CommentRecord =
+            serde_json::from_str(trimmed).map_err(|source| ReadError::Parse {
+                line: lineno,
+                source,
+            })?;
         ds.push(&rec);
     }
     Ok(ds)
@@ -211,7 +228,9 @@ impl Dataset {
     /// week over week?
     pub fn split_time(&self, width: i64) -> Vec<Dataset> {
         assert!(width > 0, "window width must be positive");
-        let Some((lo, hi)) = self.time_range() else { return Vec::new() };
+        let Some((lo, hi)) = self.time_range() else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         let mut start = lo;
         while start <= hi {
@@ -318,9 +337,8 @@ mod tests {
 
     #[test]
     fn split_time_covers_all_events_once() {
-        let ds = Dataset::from_records(
-            (0..50).map(|i| CommentRecord::new("u", format!("p{i}"), i * 7)),
-        );
+        let ds =
+            Dataset::from_records((0..50).map(|i| CommentRecord::new("u", format!("p{i}"), i * 7)));
         let windows = ds.split_time(100);
         assert_eq!(windows.iter().map(Dataset::len).sum::<usize>(), 50);
         // boundaries are half-open: no event appears twice

@@ -41,7 +41,11 @@ pub fn windowed_hyperedge_weight(
     assert!(x != y && y != z && x != z, "authors must be distinct");
     // Only pages all three touch can qualify; intersect their page lists
     // first so the per-page scan runs on a short list.
-    let (pa, pb, pc) = (btm.author_pages(x), btm.author_pages(y), btm.author_pages(z));
+    let (pa, pb, pc) = (
+        btm.author_pages(x),
+        btm.author_pages(y),
+        btm.author_pages(z),
+    );
     let mut count = 0u64;
     let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
     while i < pa.len() && j < pb.len() && k < pc.len() {
@@ -131,8 +135,7 @@ pub fn validate_windowed(btm: &Btm, triangles: &[Triangle], max_span: i64) -> Ve
             let [a, b, c] = t.vertices();
             let (xa, xb, xc) = (AuthorId(a), AuthorId(b), AuthorId(c));
             let ww = windowed_hyperedge_weight(btm, xa, xb, xc, max_span);
-            let unbounded =
-                crate::hypergraph::hyperedge_weight(btm, xa, xb, xc);
+            let unbounded = crate::hypergraph::hyperedge_weight(btm, xa, xb, xc);
             WindowedTriplet {
                 authors: [xa, xb, xc],
                 min_ci_weight: t.min_weight(),
@@ -176,9 +179,7 @@ mod tests {
                 ev(2, 1, 90),
             ],
         );
-        let w = |span| {
-            windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2), span)
-        };
+        let w = |span| windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2), span);
         assert_eq!(w(30), 1);
         assert_eq!(w(89), 1);
         assert_eq!(w(90), 2);
@@ -245,8 +246,7 @@ mod tests {
         );
         let unbounded =
             crate::hypergraph::hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2));
-        let windowed =
-            windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2), 60);
+        let windowed = windowed_hyperedge_weight(&btm, AuthorId(0), AuthorId(1), AuthorId(2), 60);
         assert_eq!(unbounded, 2);
         assert_eq!(windowed, 1);
         assert!(windowed <= unbounded);

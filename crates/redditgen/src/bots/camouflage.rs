@@ -33,7 +33,10 @@ pub fn add_decoys<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<CommentRecord> {
     assert!(cfg.decoy_ratio >= 0.0);
-    assert!(!cfg.organic_pages.is_empty(), "need organic pages to hide on");
+    assert!(
+        !cfg.organic_pages.is_empty(),
+        "need organic pages to hide on"
+    );
     let (t_min, t_max) = coordinated
         .iter()
         .fold((i64::MAX, i64::MIN), |(lo, hi), r| {
@@ -45,7 +48,11 @@ pub fn add_decoys<R: Rng + ?Sized>(
         let decoys = (real as f64 * cfg.decoy_ratio).round() as usize;
         for _ in 0..decoys {
             let page = &cfg.organic_pages[rng.gen_range(0..cfg.organic_pages.len())];
-            let ts = if t_max > t_min { rng.gen_range(t_min..=t_max) } else { t_min };
+            let ts = if t_max > t_min {
+                rng.gen_range(t_min..=t_max)
+            } else {
+                t_min
+            };
             out.push(CommentRecord::new(m.clone(), page.clone(), ts));
         }
     }
@@ -71,7 +78,10 @@ mod tests {
         let inj = reshare::generate(&ReshareConfig::default(), &mut rng);
         let real = inj.records.len();
         let decoys = add_decoys(
-            &CamouflageConfig { decoy_ratio: 2.0, organic_pages: organic_pages(50) },
+            &CamouflageConfig {
+                decoy_ratio: 2.0,
+                organic_pages: organic_pages(50),
+            },
             &inj.members,
             &inj.records,
             &mut rng,
@@ -91,7 +101,10 @@ mod tests {
         let decoys = add_decoys(
             // a big page pool: decoys rarely collide, so they inflate p_x
             // without adding shared pages
-            &CamouflageConfig { decoy_ratio: 3.0, organic_pages: organic_pages(5_000) },
+            &CamouflageConfig {
+                decoy_ratio: 3.0,
+                organic_pages: organic_pages(5_000),
+            },
             &inj.members,
             &inj.records,
             &mut rng,
@@ -102,8 +115,7 @@ mod tests {
             let btm = ds.btm();
             let ci = project::project(&btm, Window::zero_to_60s());
             let id = |n: &str| AuthorId(ds.authors.get(n).unwrap());
-            let (a, b, c) =
-                (id("stream_bot_0"), id("stream_bot_1"), id("stream_bot_2"));
+            let (a, b, c) = (id("stream_bot_0"), id("stream_bot_1"), id("stream_bot_2"));
             let min_w = ci.weight(a, b).min(ci.weight(a, c)).min(ci.weight(b, c));
             let w_xyz = coordination_core::hypergraph::hyperedge_weight(&btm, a, b, c);
             let c_score = coordination_core::metrics::c_score(
@@ -139,7 +151,10 @@ mod tests {
     fn needs_pages_to_hide_on() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         add_decoys(
-            &CamouflageConfig { decoy_ratio: 1.0, organic_pages: Vec::new() },
+            &CamouflageConfig {
+                decoy_ratio: 1.0,
+                organic_pages: Vec::new(),
+            },
             &["x".to_string()],
             &[CommentRecord::new("x", "p", 0)],
             &mut rng,

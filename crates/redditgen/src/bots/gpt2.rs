@@ -70,8 +70,9 @@ pub struct Injection {
 pub fn generate<R: Rng + ?Sized>(cfg: &Gpt2Config, rng: &mut R) -> Injection {
     assert!(cfg.n_bots >= 2, "a network needs at least two bots");
     assert!(!cfg.comment_gap.is_empty() && cfg.comment_gap.start >= 0);
-    let members: Vec<String> =
-        (0..cfg.n_bots).map(|i| format!("{}{}", cfg.name_prefix, i)).collect();
+    let members: Vec<String> = (0..cfg.n_bots)
+        .map(|i| format!("{}{}", cfg.name_prefix, i))
+        .collect();
     let mut records = Vec::new();
     let idx: Vec<usize> = (0..cfg.n_bots).collect();
 
@@ -93,8 +94,7 @@ pub fn generate<R: Rng + ?Sized>(cfg: &Gpt2Config, rng: &mut R) -> Injection {
             let k = rng
                 .gen_range(cfg.mixed_participants.clone())
                 .min(cfg.n_bots - 1);
-            let mut others: Vec<usize> =
-                idx.iter().copied().filter(|&b| b != creator).collect();
+            let mut others: Vec<usize> = idx.iter().copied().filter(|&b| b != creator).collect();
             others.shuffle(rng);
             for &b in others.iter().take(k) {
                 ts += rng.gen_range(cfg.comment_gap.clone());
@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn self_threads_produce_no_ci_edges() {
-        let cfg = Gpt2Config { self_thread_prob: 1.0, ..Default::default() };
+        let cfg = Gpt2Config {
+            self_thread_prob: 1.0,
+            ..Default::default()
+        };
         let inj = inject(2, &cfg);
         let ds = Dataset::from_records(inj.records);
         let ci = project::project(&ds.btm(), Window::zero_to_60s());
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn mixed_pages_build_a_connected_sparse_component_at_cutoff_25() {
         // the paper's Figure-1 parameters: window (0, 60s), cutoff 25
-        let cfg = Gpt2Config { self_thread_prob: 0.3, ..Default::default() };
+        let cfg = Gpt2Config {
+            self_thread_prob: 0.3,
+            ..Default::default()
+        };
         let inj = inject(3, &cfg);
         let ds = Dataset::from_records(inj.records);
         let ci = project::project(&ds.btm(), Window::zero_to_60s());
@@ -151,20 +157,33 @@ mod tests {
         assert_eq!(comps[0].len(), 25, "covers the whole network");
         let sub =
             tripoll::clique::Subgraph::induce(&ci.threshold(25).to_weighted_graph(), &comps[0]);
-        assert!(sub.density() < 0.5, "sparse, unlike share–reshare: {}", sub.density());
+        assert!(
+            sub.density() < 0.5,
+            "sparse, unlike share–reshare: {}",
+            sub.density()
+        );
         let (lo, hi) = sub.weight_range().unwrap();
-        assert!(lo >= 25 && hi <= 40, "weight range ({lo},{hi}) vs paper's (25,33)");
+        assert!(
+            lo >= 25 && hi <= 40,
+            "weight range ({lo},{hi}) vs paper's (25,33)"
+        );
     }
 
     #[test]
     fn comment_gaps_respect_configuration() {
-        let cfg = Gpt2Config { self_thread_prob: 0.0, ..Default::default() };
+        let cfg = Gpt2Config {
+            self_thread_prob: 0.0,
+            ..Default::default()
+        };
         let inj = inject(4, &cfg);
         // group by page, check consecutive gaps
         let mut per_page: std::collections::HashMap<&str, Vec<i64>> =
             std::collections::HashMap::new();
         for r in &inj.records {
-            per_page.entry(r.link_id.as_str()).or_default().push(r.created_utc);
+            per_page
+                .entry(r.link_id.as_str())
+                .or_default()
+                .push(r.created_utc);
         }
         for ts in per_page.values_mut() {
             ts.sort_unstable();

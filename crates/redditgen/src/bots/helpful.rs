@@ -24,7 +24,11 @@ pub struct HelpfulConfig {
 
 impl Default for HelpfulConfig {
     fn default() -> Self {
-        HelpfulConfig { automod_page_prob: 0.6, automod_delay: 0..3, deleted_rate: 0.02 }
+        HelpfulConfig {
+            automod_page_prob: 0.6,
+            automod_delay: 0..3,
+            deleted_rate: 0.02,
+        }
     }
 }
 
@@ -34,8 +38,7 @@ pub fn generate<R: Rng + ?Sized>(
     organic: &[CommentRecord],
     rng: &mut R,
 ) -> Vec<CommentRecord> {
-    let mut first_seen: std::collections::HashMap<&str, i64> =
-        std::collections::HashMap::new();
+    let mut first_seen: std::collections::HashMap<&str, i64> = std::collections::HashMap::new();
     for r in organic {
         first_seen
             .entry(r.link_id.as_str())
@@ -54,7 +57,11 @@ pub fn generate<R: Rng + ?Sized>(
     }
     for r in organic {
         if rng.gen_bool(cfg.deleted_rate) {
-            out.push(CommentRecord::new("[deleted]", &r.link_id, r.created_utc + 30));
+            out.push(CommentRecord::new(
+                "[deleted]",
+                &r.link_id,
+                r.created_utc + 30,
+            ));
         }
     }
     out
@@ -87,10 +94,7 @@ mod tests {
         let extra = generate(&HelpfulConfig::default(), &org, &mut rng);
         let pages: std::collections::HashSet<&str> =
             org.iter().map(|r| r.link_id.as_str()).collect();
-        let automod_pages = extra
-            .iter()
-            .filter(|r| r.author == "AutoModerator")
-            .count() as f64;
+        let automod_pages = extra.iter().filter(|r| r.author == "AutoModerator").count() as f64;
         let frac = automod_pages / pages.len() as f64;
         assert!((frac - 0.6).abs() < 0.1, "fraction {frac}");
     }

@@ -59,8 +59,7 @@ pub fn generate<R: Rng + ?Sized>(
         .collect();
 
     // first comment per page = the trigger opportunity
-    let mut first_seen: std::collections::HashMap<&str, i64> =
-        std::collections::HashMap::new();
+    let mut first_seen: std::collections::HashMap<&str, i64> = std::collections::HashMap::new();
     for r in organic {
         first_seen
             .entry(r.link_id.as_str())
@@ -112,8 +111,7 @@ mod tests {
         let org = organic_month(1);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let inj = generate(&ReplyTriggerConfig::default(), &org, &mut rng);
-        let mut first: std::collections::HashMap<&str, i64> =
-            std::collections::HashMap::new();
+        let mut first: std::collections::HashMap<&str, i64> = std::collections::HashMap::new();
         for r in &org {
             first
                 .entry(r.link_id.as_str())
@@ -145,7 +143,11 @@ mod tests {
         let other_max = ci
             .edges()
             .filter(|&(a, b, _)| {
-                let bots = [id("smiley_bot_0").0, id("smiley_bot_1").0, id("smiley_bot_2").0];
+                let bots = [
+                    id("smiley_bot_0").0,
+                    id("smiley_bot_1").0,
+                    id("smiley_bot_2").0,
+                ];
                 !(bots.contains(&a) && bots.contains(&b))
             })
             .map(|(_, _, w)| w)
@@ -165,7 +167,10 @@ mod tests {
         let count = |probs: Vec<f64>, seed: u64| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             generate(
-                &ReplyTriggerConfig { fire_probs: probs, ..Default::default() },
+                &ReplyTriggerConfig {
+                    fire_probs: probs,
+                    ..Default::default()
+                },
                 &org,
                 &mut rng,
             )

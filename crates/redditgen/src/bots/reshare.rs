@@ -48,8 +48,9 @@ impl Default for ReshareConfig {
 pub fn generate<R: Rng + ?Sized>(cfg: &ReshareConfig, rng: &mut R) -> Injection {
     assert!(cfg.n_members >= 2, "need at least two members");
     assert!(!cfg.response_delay.is_empty() && cfg.response_delay.start >= 0);
-    let members: Vec<String> =
-        (0..cfg.n_members).map(|i| format!("{}{}", cfg.name_prefix, i)).collect();
+    let members: Vec<String> = (0..cfg.n_members)
+        .map(|i| format!("{}{}", cfg.name_prefix, i))
+        .collect();
     let mut records = Vec::new();
     for trig in 0..cfg.n_triggers {
         let page_id = format!("t3_{}link{trig}", cfg.name_prefix);
@@ -86,7 +87,10 @@ mod tests {
         let mut per_page: std::collections::HashMap<&str, Vec<i64>> =
             std::collections::HashMap::new();
         for r in &inj.records {
-            per_page.entry(r.link_id.as_str()).or_default().push(r.created_utc);
+            per_page
+                .entry(r.link_id.as_str())
+                .or_default()
+                .push(r.created_utc);
         }
         for ts in per_page.values_mut() {
             ts.sort_unstable();
@@ -111,13 +115,28 @@ mod tests {
         let sub = tripoll::clique::Subgraph::induce(&wg, &comps[0]);
         assert_eq!(sub.max_clique().len(), 8, "share–reshare yields a clique");
         let (lo, hi) = sub.weight_range().unwrap();
-        assert!(lo >= 25 && hi <= 60, "weights ({lo},{hi}) off the expected scale");
+        assert!(
+            lo >= 25 && hi <= 60,
+            "weights ({lo},{hi}) off the expected scale"
+        );
     }
 
     #[test]
     fn weights_scale_with_trigger_count() {
-        let few = inject(3, &ReshareConfig { n_triggers: 20, ..Default::default() });
-        let many = inject(3, &ReshareConfig { n_triggers: 80, ..Default::default() });
+        let few = inject(
+            3,
+            &ReshareConfig {
+                n_triggers: 20,
+                ..Default::default()
+            },
+        );
+        let many = inject(
+            3,
+            &ReshareConfig {
+                n_triggers: 80,
+                ..Default::default()
+            },
+        );
         let w = |inj: Injection| {
             let ds = Dataset::from_records(inj.records);
             let ci = project::project(&ds.btm(), Window::zero_to_60s());
@@ -130,7 +149,13 @@ mod tests {
 
     #[test]
     fn partial_participation_thins_the_graph() {
-        let inj = inject(4, &ReshareConfig { participation: 0.3, ..Default::default() });
+        let inj = inject(
+            4,
+            &ReshareConfig {
+                participation: 0.3,
+                ..Default::default()
+            },
+        );
         let ds = Dataset::from_records(inj.records);
         let ci = project::project(&ds.btm(), Window::zero_to_60s());
         // pairwise expectation ≈ 0.3² (both respond) · 60 plus poster terms —

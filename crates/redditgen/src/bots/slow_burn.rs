@@ -54,8 +54,9 @@ impl Default for SlowBurnConfig {
 pub fn generate<R: Rng + ?Sized>(cfg: &SlowBurnConfig, rng: &mut R) -> Injection {
     assert!(cfg.n_members >= 2, "need at least two members");
     assert!(!cfg.response_delay.is_empty() && cfg.response_delay.start >= 0);
-    let members: Vec<String> =
-        (0..cfg.n_members).map(|i| format!("{}{}", cfg.name_prefix, i)).collect();
+    let members: Vec<String> = (0..cfg.n_members)
+        .map(|i| format!("{}{}", cfg.name_prefix, i))
+        .collect();
     let mut records = Vec::new();
     for trig in 0..cfg.n_triggers {
         let page_id = format!("t3_{}page{trig}", cfg.name_prefix);
@@ -110,7 +111,10 @@ mod tests {
             wide.max_weight(),
             narrow.max_weight()
         );
-        assert!(narrow.components(20).is_empty(), "no 60s component at cutoff 20");
+        assert!(
+            narrow.components(20).is_empty(),
+            "no 60s component at cutoff 20"
+        );
         let comps = wide.components(20);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].len(), 6, "the full network connects at 10min");
@@ -122,7 +126,10 @@ mod tests {
         let mut per_page: std::collections::HashMap<&str, Vec<i64>> =
             std::collections::HashMap::new();
         for r in &inj.records {
-            per_page.entry(r.link_id.as_str()).or_default().push(r.created_utc);
+            per_page
+                .entry(r.link_id.as_str())
+                .or_default()
+                .push(r.created_utc);
         }
         for ts in per_page.values_mut() {
             ts.sort_unstable();

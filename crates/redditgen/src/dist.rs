@@ -119,7 +119,10 @@ impl WeightedIndex {
         let mut cdf = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be finite and non-negative"
+            );
             acc += w;
             cdf.push(acc);
         }

@@ -85,11 +85,15 @@ pub fn generate<R: Rng + ?Sized>(cfg: &OrganicConfig, rng: &mut R) -> Vec<Commen
     assert!(cfg.span > 0, "month span must be positive");
 
     assert!(cfg.n_subreddits > 0, "need at least one subreddit");
-    assert!((0.0..=1.0).contains(&cfg.affinity), "affinity is a probability");
+    assert!(
+        (0.0..=1.0).contains(&cfg.affinity),
+        "affinity is a probability"
+    );
 
     // Page creation times: uniform over the month (hot pages early or late).
-    let page_birth: Vec<i64> =
-        (0..cfg.n_pages).map(|_| cfg.t0 + rng.gen_range(0..cfg.span)).collect();
+    let page_birth: Vec<i64> = (0..cfg.n_pages)
+        .map(|_| cfg.t0 + rng.gen_range(0..cfg.span))
+        .collect();
 
     // Community structure: pages are dealt to subreddits with Zipf-skewed
     // subreddit sizes; each subreddit gets its own Zipf over its pages.
@@ -102,13 +106,17 @@ pub fn generate<R: Rng + ?Sized>(cfg: &OrganicConfig, rng: &mut R) -> Vec<Commen
     // guarantee non-empty subreddits (tiny tails can come up empty)
     for s in 0..nsubs {
         if sub_pages[s].is_empty() {
-            let donor = (0..nsubs).max_by_key(|&d| sub_pages[d].len()).expect("nonempty");
+            let donor = (0..nsubs)
+                .max_by_key(|&d| sub_pages[d].len())
+                .expect("nonempty");
             let page = sub_pages[donor].pop().expect("donor has pages");
             sub_pages[s].push(page);
         }
     }
-    let sub_zipf: Vec<Zipf> =
-        sub_pages.iter().map(|ps| Zipf::new(ps.len(), cfg.page_zipf_s)).collect();
+    let sub_zipf: Vec<Zipf> = sub_pages
+        .iter()
+        .map(|ps| Zipf::new(ps.len(), cfg.page_zipf_s))
+        .collect();
 
     // User activity weights and home subreddits.
     let act = LogNormal::new(0.0, cfg.user_sigma);
@@ -124,7 +132,7 @@ pub fn generate<R: Rng + ?Sized>(cfg: &OrganicConfig, rng: &mut R) -> Vec<Commen
         let sub = if nsubs == 1 {
             0
         } else if rng.gen_bool(cfg.affinity) {
-            homes[user][rng.gen_range(0..2)]
+            homes[user][rng.gen_range(0..2usize)]
         } else {
             sub_pop.sample(rng)
         };
@@ -136,8 +144,7 @@ pub fn generate<R: Rng + ?Sized>(cfg: &OrganicConfig, rng: &mut R) -> Vec<Commen
             continue; // page went cold past month end; resample
         }
         // Diurnal acceptance: activity peaks mid-cycle, troughs at "night".
-        let phase =
-            ((ts - cfg.t0) % 86_400) as f64 / 86_400.0 * std::f64::consts::TAU;
+        let phase = ((ts - cfg.t0) % 86_400) as f64 / 86_400.0 * std::f64::consts::TAU;
         let accept = 0.5 * (1.0 + phase.sin()) * 0.9 + 0.1;
         if rng.gen::<f64>() > accept {
             continue;
@@ -152,10 +159,7 @@ pub fn generate<R: Rng + ?Sized>(cfg: &OrganicConfig, rng: &mut R) -> Vec<Commen
         ));
         // conversational burst: quick replies chain geometrically
         let mut reply_ts = ts;
-        while out.len() < cfg.n_comments
-            && cfg.burst_prob > 0.0
-            && rng.gen_bool(cfg.burst_prob)
-        {
+        while out.len() < cfg.n_comments && cfg.burst_prob > 0.0 && rng.gen_bool(cfg.burst_prob) {
             reply_ts += rng.gen_range(cfg.burst_delay.clone());
             if reply_ts >= cfg.t0 + cfg.span {
                 break;
@@ -185,7 +189,10 @@ mod tests {
 
     #[test]
     fn produces_requested_volume_within_month() {
-        let cfg = OrganicConfig { n_comments: 5_000, ..Default::default() };
+        let cfg = OrganicConfig {
+            n_comments: 5_000,
+            ..Default::default()
+        };
         let recs = gen(1, &cfg);
         assert_eq!(recs.len(), 5_000);
         for r in &recs {
@@ -196,7 +203,10 @@ mod tests {
 
     #[test]
     fn page_popularity_is_heavy_tailed() {
-        let cfg = OrganicConfig { n_comments: 10_000, ..Default::default() };
+        let cfg = OrganicConfig {
+            n_comments: 10_000,
+            ..Default::default()
+        };
         let recs = gen(2, &cfg);
         let mut per_page: HashMap<&str, u64> = HashMap::new();
         for r in &recs {
@@ -211,7 +221,10 @@ mod tests {
 
     #[test]
     fn user_activity_is_heavy_tailed() {
-        let cfg = OrganicConfig { n_comments: 10_000, ..Default::default() };
+        let cfg = OrganicConfig {
+            n_comments: 10_000,
+            ..Default::default()
+        };
         let recs = gen(3, &cfg);
         let mut per_user: HashMap<&str, u64> = HashMap::new();
         for r in &recs {
@@ -224,7 +237,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = OrganicConfig { n_comments: 1_000, ..Default::default() };
+        let cfg = OrganicConfig {
+            n_comments: 1_000,
+            ..Default::default()
+        };
         assert_eq!(gen(7, &cfg), gen(7, &cfg));
         assert_ne!(gen(7, &cfg), gen(8, &cfg));
     }
@@ -246,7 +262,10 @@ mod tests {
         // mean fraction of a user's comments inside their two most-visited
         // subreddits (users with ≥ 10 comments)
         let homeshare = |affinity: f64, seed: u64| -> f64 {
-            let cfg = OrganicConfig { affinity, ..base.clone() };
+            let cfg = OrganicConfig {
+                affinity,
+                ..base.clone()
+            };
             let recs = gen(seed, &cfg);
             let mut per_user: HashMap<&str, HashMap<&str, u64>> = HashMap::new();
             for r in &recs {
@@ -278,7 +297,10 @@ mod tests {
         // conversational-burst replies land wherever the parent comment is,
         // regardless of the replier's homes, which caps the share below the
         // raw 95% affinity
-        assert!(strong > 0.6, "95% affinity keeps most comments home: {strong:.3}");
+        assert!(
+            strong > 0.6,
+            "95% affinity keeps most comments home: {strong:.3}"
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl ScenarioConfig {
             gpt2: Some(Gpt2Config::default()),
             reshare: vec![(
                 "mlb_restream".to_string(),
-                ReshareConfig { n_members: 8, n_triggers: 60, ..Default::default() },
+                ReshareConfig {
+                    n_members: 8,
+                    n_triggers: 60,
+                    ..Default::default()
+                },
             )],
             reply_trigger: Some(ReplyTriggerConfig::default()),
             slow_burn: None,
@@ -196,7 +200,11 @@ impl ScenarioConfig {
         records.sort_by(|a, b| {
             (a.created_utc, &a.author, &a.link_id).cmp(&(b.created_utc, &b.author, &b.link_id))
         });
-        Scenario { name: self.name.clone(), records, truth }
+        Scenario {
+            name: self.name.clone(),
+            records,
+            truth,
+        }
     }
 }
 
@@ -287,11 +295,17 @@ mod tests {
         let small = ScenarioConfig::jan2020(0.2).build();
         let large = ScenarioConfig::jan2020(0.8).build();
         let organic = |s: &Scenario| {
-            s.records.iter().filter(|r| r.author.starts_with("user")).count()
+            s.records
+                .iter()
+                .filter(|r| r.author.starts_with("user"))
+                .count()
         };
         assert!(organic(&large) > organic(&small) * 3);
         let bots = |s: &Scenario| {
-            s.records.iter().filter(|r| r.author.starts_with("stream_bot_")).count()
+            s.records
+                .iter()
+                .filter(|r| r.author.starts_with("stream_bot_"))
+                .count()
         };
         // reshare activity is scale-independent up to participation noise
         let (b_small, b_large) = (bots(&small) as f64, bots(&large) as f64);
@@ -303,6 +317,6 @@ mod tests {
         let s = ScenarioConfig::oct2016(0.05).build();
         let ds = s.dataset();
         assert_eq!(ds.len(), s.len());
-        assert!(ds.authors.len() > 0);
+        assert!(!ds.authors.is_empty());
     }
 }

@@ -210,10 +210,10 @@ mod tests {
     fn evaluation_scores_mixed_flags() {
         let gt = truth();
         let eval = gt.evaluate([
-            ["g0", "g1", "g2"],      // TP (gpt2)
-            ["s0", "s1", "s2"],      // TP (stream)
-            ["g0", "s0", "s1"],      // FP: cross-family
-            ["g0", "g1", "alice"],   // FP: organic member
+            ["g0", "g1", "g2"],    // TP (gpt2)
+            ["s0", "s1", "s2"],    // TP (stream)
+            ["g0", "s0", "s1"],    // FP: cross-family
+            ["g0", "g1", "alice"], // FP: organic member
         ]);
         assert_eq!(eval.flagged_total, 4);
         assert_eq!(eval.true_positives, 2);

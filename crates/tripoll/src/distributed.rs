@@ -79,7 +79,9 @@ pub fn distributed_survey(
                 let bag_inner = bag.clone();
                 ctx.async_exec(owner_of(&v, ctx.nranks()), move |inner| {
                     // Owner of v closes wedges: intersect out(u) with out(v).
-                    let Some(out_v) = adj_inner.global_get(&v) else { return };
+                    let Some(out_v) = adj_inner.global_get(&v) else {
+                        return;
+                    };
                     let mut ai = 0;
                     let mut bi = 0;
                     while ai < out_u.len() && bi < out_v.len() {
@@ -120,7 +122,11 @@ pub fn distributed_survey(
     let messages_sent = per_rank.iter().map(|&(_, m)| m).max().unwrap_or(0);
     let mut triangles = found.drain_into_local();
     triangles.sort_unstable_by_key(|t| t.vertices());
-    DistSurveyResult { triangles, total_triangles, messages_sent }
+    DistSurveyResult {
+        triangles,
+        total_triangles,
+        messages_sent,
+    }
 }
 
 /// Distributed connected components by min-label propagation over the ygm
@@ -200,13 +206,11 @@ pub fn distributed_components(
     });
     // group by final label
     let final_labels = labels.gather();
-    let mut groups: std::collections::HashMap<u32, Vec<u32>> =
-        std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
     for (v, &l) in final_labels.iter().enumerate() {
         groups.entry(l).or_default().push(v as u32);
     }
-    let mut comps: Vec<Vec<u32>> =
-        groups.into_values().filter(|c| c.len() >= 2).collect();
+    let mut comps: Vec<Vec<u32>> = groups.into_values().filter(|c| c.len() >= 2).collect();
     for c in &mut comps {
         c.sort_unstable();
     }

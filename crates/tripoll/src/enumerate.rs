@@ -49,7 +49,14 @@ impl Triangle {
             _ => unreachable!(),
         };
         let ic = 3 - ia - ib;
-        Triangle { a, b, c, w_ab: w(ia, ib), w_ac: w(ia, ic), w_bc: w(ib, ic) }
+        Triangle {
+            a,
+            b,
+            c,
+            w_ab: w(ia, ib),
+            w_ac: w(ia, ic),
+            w_bc: w(ib, ic),
+        }
     }
 
     /// Minimum of the three edge weights — the paper's primary triangle
@@ -168,13 +175,21 @@ pub fn brute_force_triangles(g: &WeightedGraph) -> Vec<Triangle> {
     let n = g.n();
     for a in 0..n {
         for b in (a + 1)..n {
-            let Some(w_ab) = g.edge_weight(a, b) else { continue };
+            let Some(w_ab) = g.edge_weight(a, b) else {
+                continue;
+            };
             for c in (b + 1)..n {
-                let (Some(w_ac), Some(w_bc)) = (g.edge_weight(a, c), g.edge_weight(b, c))
-                else {
+                let (Some(w_ac), Some(w_bc)) = (g.edge_weight(a, c), g.edge_weight(b, c)) else {
                     continue;
                 };
-                out.push(Triangle { a, b, c, w_ab, w_ac, w_bc });
+                out.push(Triangle {
+                    a,
+                    b,
+                    c,
+                    w_ab,
+                    w_ac,
+                    w_bc,
+                });
             }
         }
     }
@@ -200,7 +215,14 @@ mod tests {
         let ts = triangles_of(&g);
         assert_eq!(
             ts,
-            vec![Triangle { a: 0, b: 1, c: 2, w_ab: 5, w_ac: 3, w_bc: 7 }]
+            vec![Triangle {
+                a: 0,
+                b: 1,
+                c: 2,
+                w_ab: 5,
+                w_ac: 3,
+                w_bc: 7
+            }]
         );
         assert_eq!(ts[0].min_weight(), 3);
         assert_eq!(ts[0].max_weight(), 7);
@@ -216,7 +238,14 @@ mod tests {
     fn k4_has_four_triangles() {
         let g = WeightedGraph::from_edges(
             4,
-            [(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            [
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         );
         let ts = triangles_of(&g);
         assert_eq!(ts.len(), 4);
@@ -283,7 +312,14 @@ mod tests {
     fn par_map_filters() {
         let g = WeightedGraph::from_edges(
             4,
-            [(0, 1, 10), (0, 2, 10), (1, 2, 10), (1, 3, 1), (2, 3, 1), (0, 3, 1)],
+            [
+                (0, 1, 10),
+                (0, 2, 10),
+                (1, 2, 10),
+                (1, 3, 1),
+                (2, 3, 1),
+                (0, 3, 1),
+            ],
         );
         let o = OrientedGraph::from_graph(&g);
         let heavy = par_triangles(&o, |t| (t.min_weight() >= 10).then_some(t.vertices()));

@@ -27,7 +27,10 @@ impl WeightedGraph {
         // Collect both directions, then sort and merge duplicates.
         let mut dir: Vec<(u32, u32, u64)> = Vec::new();
         for (u, v, w) in edges {
-            assert!(u < n && v < n, "edge endpoint out of range ({u},{v}) for n={n}");
+            assert!(
+                u < n && v < n,
+                "edge endpoint out of range ({u},{v}) for n={n}"
+            );
             if u == v {
                 continue;
             }
@@ -55,7 +58,11 @@ impl WeightedGraph {
         for k in 0..n as usize {
             offsets[k + 1] += offsets[k];
         }
-        WeightedGraph { offsets, targets, weights }
+        WeightedGraph {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of vertices.
@@ -105,10 +112,7 @@ impl WeightedGraph {
     /// This is the paper's pre-survey edge threshold (e.g. weight ≥ 5 before
     /// enumerating triangles in the 2016 one-hour projection).
     pub fn filter_weight(&self, min_weight: u64) -> WeightedGraph {
-        WeightedGraph::from_edges(
-            self.n(),
-            self.edges().filter(|&(_, _, w)| w >= min_weight),
-        )
+        WeightedGraph::from_edges(self.n(), self.edges().filter(|&(_, _, w)| w >= min_weight))
     }
 
     /// Sum of all edge weights.
@@ -135,8 +139,7 @@ impl WeightedGraph {
         for u in 0..self.n() {
             groups.entry(dsu.find(u as usize)).or_default().push(u);
         }
-        let mut comps: Vec<Vec<u32>> =
-            groups.into_values().filter(|g| g.len() >= 2).collect();
+        let mut comps: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         // vertex lists are ascending (built in vertex order); tie-break equal
         // sizes by content for fully deterministic output
         comps.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
@@ -153,7 +156,10 @@ pub struct DisjointSets {
 impl DisjointSets {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n] }
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Representative of `x`'s set.
@@ -292,8 +298,7 @@ mod tests {
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].len(), 3);
         assert_eq!(comps[1].len(), 3);
-        let all: std::collections::HashSet<u32> =
-            comps.iter().flatten().copied().collect();
+        let all: std::collections::HashSet<u32> = comps.iter().flatten().copied().collect();
         assert_eq!(all.len(), 6);
 
         let merged = g.components(1);

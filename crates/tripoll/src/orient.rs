@@ -43,9 +43,9 @@ impl OrientedGraph {
     /// Orient `g` with an explicit strategy.
     pub fn with_strategy(g: &WeightedGraph, strategy: OrientationStrategy) -> Self {
         match strategy {
-            OrientationStrategy::DegreeOrder => Self::build(g, |g, u, v| {
-                (g.degree(u), u) < (g.degree(v), v)
-            }),
+            OrientationStrategy::DegreeOrder => {
+                Self::build(g, |g, u, v| (g.degree(u), u) < (g.degree(v), v))
+            }
             OrientationStrategy::IdOrder => Self::build(g, |_, u, v| u < v),
         }
     }
@@ -78,11 +78,15 @@ impl OrientedGraph {
             }
             // CSR adjacency was sorted by id, and we preserved order, so the
             // out-list is sorted by id too.
-            debug_assert!(
-                targets[offsets[u as usize]..cursor[u as usize]].windows(2).all(|p| p[0] < p[1])
-            );
+            debug_assert!(targets[offsets[u as usize]..cursor[u as usize]]
+                .windows(2)
+                .all(|p| p[0] < p[1]));
         }
-        OrientedGraph { offsets, targets, weights }
+        OrientedGraph {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of vertices.
@@ -129,17 +133,18 @@ mod tests {
 
     #[test]
     fn every_edge_oriented_exactly_once() {
-        let g = WeightedGraph::from_edges(
-            5,
-            [(0, 1, 1), (0, 2, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5)],
-        );
+        let g =
+            WeightedGraph::from_edges(5, [(0, 1, 1), (0, 2, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5)]);
         let o = OrientedGraph::from_graph(&g);
         assert_eq!(o.m(), g.m());
         // each undirected edge appears in exactly one out-list
         for (u, v, w) in g.edges() {
             let fwd = o.out_weight(u, v);
             let bwd = o.out_weight(v, u);
-            assert!(fwd.is_some() ^ bwd.is_some(), "edge ({u},{v}) oriented twice or never");
+            assert!(
+                fwd.is_some() ^ bwd.is_some(),
+                "edge ({u},{v}) oriented twice or never"
+            );
             assert_eq!(fwd.or(bwd), Some(w));
         }
     }
@@ -169,12 +174,22 @@ mod tests {
     fn out_lists_are_sorted() {
         let g = WeightedGraph::from_edges(
             6,
-            [(0, 5, 1), (0, 3, 1), (0, 4, 1), (0, 1, 1), (1, 3, 1), (3, 4, 1)],
+            [
+                (0, 5, 1),
+                (0, 3, 1),
+                (0, 4, 1),
+                (0, 1, 1),
+                (1, 3, 1),
+                (3, 4, 1),
+            ],
         );
         let o = OrientedGraph::from_graph(&g);
         for u in 0..o.n() {
             let (nbrs, _) = o.out(u);
-            assert!(nbrs.windows(2).all(|p| p[0] < p[1]), "out({u}) unsorted: {nbrs:?}");
+            assert!(
+                nbrs.windows(2).all(|p| p[0] < p[1]),
+                "out({u}) unsorted: {nbrs:?}"
+            );
         }
     }
 

@@ -30,14 +30,21 @@ pub struct SurveyConfig {
 
 impl Default for SurveyConfig {
     fn default() -> Self {
-        SurveyConfig { min_edge_weight: 1, min_t_score: 0.0, top_k: None }
+        SurveyConfig {
+            min_edge_weight: 1,
+            min_t_score: 0.0,
+            top_k: None,
+        }
     }
 }
 
 impl SurveyConfig {
     /// Survey with a minimum-edge-weight cutoff only.
     pub fn with_min_weight(min_edge_weight: u64) -> Self {
-        SurveyConfig { min_edge_weight, ..Default::default() }
+        SurveyConfig {
+            min_edge_weight,
+            ..Default::default()
+        }
     }
 }
 
@@ -69,7 +76,10 @@ pub struct SurveyReport {
 impl SurveyReport {
     /// Triangles that passed, as vertex triples.
     pub fn triplets(&self) -> Vec<[u32; 3]> {
-        self.triangles.iter().map(|s| s.triangle.vertices()).collect()
+        self.triangles
+            .iter()
+            .map(|s| s.triangle.vertices())
+            .collect()
     }
 
     /// Number of surviving triangles.
@@ -110,7 +120,11 @@ pub fn survey(
         "min_t_score requires vertex_pages metadata"
     );
     if let Some(vp) = vertex_pages {
-        assert_eq!(vp.len(), oriented.n() as usize, "vertex_pages length mismatch");
+        assert_eq!(
+            vp.len(),
+            oriented.n() as usize,
+            "vertex_pages length mismatch"
+        );
     }
 
     // Per-apex partial reports, merged associatively.
@@ -150,18 +164,17 @@ pub fn survey(
                     return;
                 }
                 let ts = match vertex_pages {
-                    Some(vp) => t_score(
-                        mw,
-                        vp[t.a as usize],
-                        vp[t.b as usize],
-                        vp[t.c as usize],
-                    ),
+                    Some(vp) => t_score(mw, vp[t.a as usize], vp[t.b as usize], vp[t.c as usize]),
                     None => f64::NAN,
                 };
                 if config.min_t_score > 0.0 && ts < config.min_t_score {
                     return;
                 }
-                acc.kept.push(SurveyedTriangle { triangle: t, min_weight: mw, t_score: ts });
+                acc.kept.push(SurveyedTriangle {
+                    triangle: t,
+                    min_weight: mw,
+                    t_score: ts,
+                });
             });
             acc
         })
@@ -191,7 +204,11 @@ pub fn survey(
 pub fn top_k_by_min_weight(oriented: &OrientedGraph, k: usize) -> Vec<SurveyedTriangle> {
     survey(
         oriented,
-        &SurveyConfig { min_edge_weight: 1, min_t_score: 0.0, top_k: Some(k) },
+        &SurveyConfig {
+            min_edge_weight: 1,
+            min_t_score: 0.0,
+            top_k: Some(k),
+        },
         None,
     )
     .triangles
@@ -254,7 +271,11 @@ mod tests {
         let pages = vec![12u64; 5];
         let rep = survey(
             &o,
-            &SurveyConfig { min_edge_weight: 1, min_t_score: 0.5, top_k: None },
+            &SurveyConfig {
+                min_edge_weight: 1,
+                min_t_score: 0.5,
+                top_k: None,
+            },
             Some(&pages),
         );
         assert_eq!(rep.len(), 1);
@@ -269,7 +290,11 @@ mod tests {
         let o = OrientedGraph::from_graph(&g);
         survey(
             &o,
-            &SurveyConfig { min_edge_weight: 1, min_t_score: 0.5, top_k: None },
+            &SurveyConfig {
+                min_edge_weight: 1,
+                min_t_score: 0.5,
+                top_k: None,
+            },
             None,
         );
     }

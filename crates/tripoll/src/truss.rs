@@ -97,7 +97,8 @@ pub fn k_truss(g: &WeightedGraph, k: u32) -> WeightedGraph {
     let t = edge_trussness(g);
     WeightedGraph::from_edges(
         g.n(),
-        g.edges().filter(|&(u, v, _)| t.get(&(u, v)).copied().unwrap_or(0) >= k),
+        g.edges()
+            .filter(|&(u, v, _)| t.get(&(u, v)).copied().unwrap_or(0) >= k),
     )
 }
 
@@ -157,10 +158,8 @@ mod tests {
         // bowtie on an edge: shared edge has support 2, others 1 → all peel
         // at k=4? shared edge (1,2) is in 2 triangles; edges (0,1),(0,2) in 1.
         // 4-truss needs support ≥ 2 on *every* edge of the subgraph.
-        let g = WeightedGraph::from_edges(
-            4,
-            [(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
-        );
+        let g =
+            WeightedGraph::from_edges(4, [(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)]);
         let t = edge_trussness(&g);
         // all edges are in the 3-truss; none survive to 4 (peeling the
         // support-1 edges destroys both triangles)

@@ -155,7 +155,11 @@ mod tests {
             }
             agg.flush_all(ctx);
             ctx.barrier();
-            (agg.items_sent(), agg.batches_sent(), ctx.messages_sent() - before)
+            (
+                agg.items_sent(),
+                agg.batches_sent(),
+                ctx.messages_sent() - before,
+            )
         });
         for (items, batches, _msgs) in per_rank_messages {
             assert_eq!(items, 1_000);

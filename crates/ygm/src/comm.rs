@@ -126,7 +126,9 @@ impl World {
                 out[rank] = Some(h.join().expect("rank thread panicked"));
             }
         });
-        out.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        out.into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
     }
 
     /// Convenience constructor + [`World::launch`] in one call.

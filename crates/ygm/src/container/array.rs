@@ -20,7 +20,11 @@ pub struct DistArray<T> {
 
 impl<T> Clone for DistArray<T> {
     fn clone(&self) -> Self {
-        DistArray { shards: Arc::clone(&self.shards), len: self.len, nranks: self.nranks }
+        DistArray {
+            shards: Arc::clone(&self.shards),
+            len: self.len,
+            nranks: self.nranks,
+        }
     }
 }
 
@@ -36,7 +40,11 @@ where
             let r = block_range(rank, len, nranks);
             *shards[rank].0.lock() = vec![init.clone(); r.len()];
         }
-        DistArray { shards, len, nranks }
+        DistArray {
+            shards,
+            len,
+            nranks,
+        }
     }
 
     /// Global length.

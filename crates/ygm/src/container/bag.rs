@@ -18,7 +18,10 @@ pub struct DistBag<T> {
 
 impl<T> Clone for DistBag<T> {
     fn clone(&self) -> Self {
-        DistBag { shards: Arc::clone(&self.shards), nranks: self.nranks }
+        DistBag {
+            shards: Arc::clone(&self.shards),
+            nranks: self.nranks,
+        }
     }
 }
 
@@ -28,7 +31,10 @@ where
 {
     /// Create a bag partitioned over `nranks` ranks.
     pub fn new(nranks: usize) -> Self {
-        DistBag { shards: new_shards(nranks), nranks }
+        DistBag {
+            shards: new_shards(nranks),
+            nranks,
+        }
     }
 
     #[inline]

@@ -23,7 +23,10 @@ pub struct DistCountingSet<K> {
 
 impl<K> Clone for DistCountingSet<K> {
     fn clone(&self) -> Self {
-        DistCountingSet { shards: Arc::clone(&self.shards), nranks: self.nranks }
+        DistCountingSet {
+            shards: Arc::clone(&self.shards),
+            nranks: self.nranks,
+        }
     }
 }
 
@@ -33,7 +36,10 @@ where
 {
     /// Create a counting set partitioned over `nranks` ranks.
     pub fn new(nranks: usize) -> Self {
-        DistCountingSet { shards: new_shards(nranks), nranks }
+        DistCountingSet {
+            shards: new_shards(nranks),
+            nranks,
+        }
     }
 
     #[inline]

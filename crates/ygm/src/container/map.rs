@@ -18,7 +18,10 @@ pub struct DistMap<K, V> {
 
 impl<K, V> Clone for DistMap<K, V> {
     fn clone(&self) -> Self {
-        DistMap { shards: Arc::clone(&self.shards), nranks: self.nranks }
+        DistMap {
+            shards: Arc::clone(&self.shards),
+            nranks: self.nranks,
+        }
     }
 }
 
@@ -29,7 +32,10 @@ where
 {
     /// Create a map partitioned over `nranks` ranks.
     pub fn new(nranks: usize) -> Self {
-        DistMap { shards: new_shards(nranks), nranks }
+        DistMap {
+            shards: new_shards(nranks),
+            nranks,
+        }
     }
 
     #[inline]
@@ -219,12 +225,7 @@ mod tests {
             let map = map.clone();
             World::run(3, move |ctx| {
                 for _ in 0..10 {
-                    map.async_visit_or_insert(
-                        ctx,
-                        "total".to_string(),
-                        || 0,
-                        |_, v| *v += 1,
-                    );
+                    map.async_visit_or_insert(ctx, "total".to_string(), || 0, |_, v| *v += 1);
                 }
                 ctx.barrier();
             });

@@ -43,5 +43,9 @@ pub(crate) type Shards<T> = Arc<Vec<Shard<T>>>;
 
 pub(crate) fn new_shards<T: Default>(nranks: usize) -> Shards<T> {
     assert!(nranks > 0, "containers need at least one rank");
-    Arc::new((0..nranks).map(|_| Shard(Mutex::new(T::default()))).collect())
+    Arc::new(
+        (0..nranks)
+            .map(|_| Shard(Mutex::new(T::default())))
+            .collect(),
+    )
 }

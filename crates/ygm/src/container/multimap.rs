@@ -21,7 +21,10 @@ pub struct DistMultimap<K, V> {
 
 impl<K, V> Clone for DistMultimap<K, V> {
     fn clone(&self) -> Self {
-        DistMultimap { shards: Arc::clone(&self.shards), nranks: self.nranks }
+        DistMultimap {
+            shards: Arc::clone(&self.shards),
+            nranks: self.nranks,
+        }
     }
 }
 
@@ -32,7 +35,10 @@ where
 {
     /// Create a multimap partitioned over `nranks` ranks.
     pub fn new(nranks: usize) -> Self {
-        DistMultimap { shards: new_shards(nranks), nranks }
+        DistMultimap {
+            shards: new_shards(nranks),
+            nranks,
+        }
     }
 
     #[inline]
@@ -110,7 +116,12 @@ where
     /// Number of values on this rank (sum of group sizes).
     pub fn local_value_count(&self, ctx: &RankCtx) -> usize {
         self.check(ctx);
-        self.shards[ctx.rank()].0.lock().values().map(Vec::len).sum()
+        self.shards[ctx.rank()]
+            .0
+            .lock()
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Collective: total keys across ranks.

@@ -18,7 +18,10 @@ pub struct DistSet<K> {
 
 impl<K> Clone for DistSet<K> {
     fn clone(&self) -> Self {
-        DistSet { shards: Arc::clone(&self.shards), nranks: self.nranks }
+        DistSet {
+            shards: Arc::clone(&self.shards),
+            nranks: self.nranks,
+        }
     }
 }
 
@@ -28,7 +31,10 @@ where
 {
     /// Create a set partitioned over `nranks` ranks.
     pub fn new(nranks: usize) -> Self {
-        DistSet { shards: new_shards(nranks), nranks }
+        DistSet {
+            shards: new_shards(nranks),
+            nranks,
+        }
     }
 
     #[inline]

@@ -26,7 +26,11 @@ pub struct DistTopK<K> {
 
 impl<K> Clone for DistTopK<K> {
     fn clone(&self) -> Self {
-        DistTopK { shards: Arc::clone(&self.shards), k: self.k, nranks: self.nranks }
+        DistTopK {
+            shards: Arc::clone(&self.shards),
+            k: self.k,
+            nranks: self.nranks,
+        }
     }
 }
 
@@ -37,7 +41,11 @@ where
     /// Track the `k` largest-scored keys across `nranks` ranks.
     pub fn new(nranks: usize, k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        DistTopK { shards: new_shards(nranks), k, nranks }
+        DistTopK {
+            shards: new_shards(nranks),
+            k,
+            nranks,
+        }
     }
 
     #[inline]
@@ -59,8 +67,7 @@ where
             *entry = (*entry).max(score);
             if shard.len() > 2 * k {
                 // amortized prune: keep the shard's k best
-                let mut items: Vec<(K, u64)> =
-                    shard.drain().collect();
+                let mut items: Vec<(K, u64)> = shard.drain().collect();
                 items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 items.truncate(k);
                 shard.extend(items);

@@ -60,7 +60,10 @@ pub fn owner_of<K: Hash + ?Sized>(key: &K, nranks: usize) -> usize {
 /// returns the rank owning index `i`. Used by [`crate::container::DistArray`].
 #[inline]
 pub fn block_owner(i: usize, len: usize, nranks: usize) -> usize {
-    assert!(i < len, "index {i} out of bounds for DistArray of len {len}");
+    assert!(
+        i < len,
+        "index {i} out of bounds for DistArray of len {len}"
+    );
     let per = len.div_ceil(nranks);
     (i / per).min(nranks - 1)
 }

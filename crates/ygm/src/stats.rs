@@ -22,8 +22,12 @@ pub struct WorldStats {
 impl WorldStats {
     pub(crate) fn new(nranks: usize) -> Self {
         WorldStats {
-            sent_by_rank: (0..nranks).map(|_| PaddedCounter(AtomicU64::new(0))).collect(),
-            self_sends_by_rank: (0..nranks).map(|_| PaddedCounter(AtomicU64::new(0))).collect(),
+            sent_by_rank: (0..nranks)
+                .map(|_| PaddedCounter(AtomicU64::new(0)))
+                .collect(),
+            self_sends_by_rank: (0..nranks)
+                .map(|_| PaddedCounter(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
@@ -31,7 +35,9 @@ impl WorldStats {
     pub(crate) fn record_send(&self, from: usize, to: usize) {
         self.sent_by_rank[from].0.fetch_add(1, Ordering::Relaxed);
         if from == to {
-            self.self_sends_by_rank[from].0.fetch_add(1, Ordering::Relaxed);
+            self.self_sends_by_rank[from]
+                .0
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -47,7 +53,10 @@ impl WorldStats {
 
     /// Total messages sent world-wide.
     pub fn total_sent(&self) -> u64 {
-        self.sent_by_rank.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+        self.sent_by_rank
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Ratio of the busiest rank's sends to the mean; 1.0 is perfectly

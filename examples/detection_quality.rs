@@ -15,7 +15,8 @@ use coordination::redditgen::ScenarioConfig;
 fn main() {
     let scenario = ScenarioConfig::jan2020(0.3).build();
     let dataset = scenario.dataset();
-    println!("generated {} comments; {} coordinated accounts in {} families\n",
+    println!(
+        "generated {} comments; {} coordinated accounts in {} families\n",
         scenario.len(),
         scenario.truth.n_coordinated_accounts(),
         scenario.truth.families().len() - 1, // minus the platform-role family
@@ -41,9 +42,11 @@ fn main() {
                 [n[0].clone(), n[1].clone(), n[2].clone()]
             })
             .collect();
-        let eval = scenario
-            .truth
-            .evaluate(flagged.iter().map(|t| [t[0].as_str(), t[1].as_str(), t[2].as_str()]));
+        let eval = scenario.truth.evaluate(
+            flagged
+                .iter()
+                .map(|t| [t[0].as_str(), t[1].as_str(), t[2].as_str()]),
+        );
         println!(
             "{cutoff:>6} {:>9} {:>11.3} {:>15.3} {:>15.3}",
             eval.flagged_total, eval.precision, eval.family_recall, eval.member_recall
@@ -61,8 +64,11 @@ fn main() {
         .triplets
         .iter()
         .map(|m| {
-            let names: Vec<&str> =
-                m.authors.iter().map(|a| dataset.authors.name(a.0)).collect();
+            let names: Vec<&str> = m
+                .authors
+                .iter()
+                .map(|a| dataset.authors.name(a.0))
+                .collect();
             let fam = scenario.truth.family_of(names[0]).map(|f| f.name.as_str());
             let pos = fam.is_some()
                 && names
@@ -71,11 +77,26 @@ fn main() {
             (m, pos)
         })
         .collect();
-    println!("\nranking metric    average precision (cutoff 5 candidates: {})", labeled.len());
+    println!(
+        "\nranking metric    average precision (cutoff 5 candidates: {})",
+        labeled.len()
+    );
     for (name, score) in [
-        ("min w' (triangle)", labeled.iter().map(|&(m, p)| (m.min_ci_weight as f64, p)).collect::<Vec<_>>()),
+        (
+            "min w' (triangle)",
+            labeled
+                .iter()
+                .map(|&(m, p)| (m.min_ci_weight as f64, p))
+                .collect::<Vec<_>>(),
+        ),
         ("T score", labeled.iter().map(|&(m, p)| (m.t, p)).collect()),
-        ("w_xyz (hyperedge)", labeled.iter().map(|&(m, p)| (m.hyper_weight as f64, p)).collect()),
+        (
+            "w_xyz (hyperedge)",
+            labeled
+                .iter()
+                .map(|&(m, p)| (m.hyper_weight as f64, p))
+                .collect(),
+        ),
         ("C score", labeled.iter().map(|&(m, p)| (m.c, p)).collect()),
     ] {
         println!("  {name:<18} {:.3}", average_precision(&score));

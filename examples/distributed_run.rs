@@ -40,7 +40,11 @@ fn main() {
     .run_dataset(&dataset);
 
     println!("projection      edges        triplets");
-    println!("rayon        {:>8}        {:>5}", shared.stats.ci_edges, shared.triplets.len());
+    println!(
+        "rayon        {:>8}        {:>5}",
+        shared.stats.ci_edges,
+        shared.triplets.len()
+    );
     println!(
         "ygm({nranks} ranks) {:>8}        {:>5}",
         distributed.stats.ci_edges,
@@ -60,6 +64,9 @@ fn main() {
         res.messages_sent
     );
     let shared_count = coordination::tripoll::enumerate::count_triangles(&oriented);
-    assert_eq!(res.total_triangles, shared_count, "distributed == shared-memory");
+    assert_eq!(
+        res.total_triangles, shared_count,
+        "distributed == shared-memory"
+    );
     println!("matches shared-memory count: {shared_count}");
 }

@@ -15,7 +15,11 @@ use coordination::redditgen::ScenarioConfig;
 fn main() {
     let scenario = ScenarioConfig::jan2020(0.3).build();
     let dataset = scenario.dataset();
-    println!("generated {} comments for {}", scenario.len(), scenario.name);
+    println!(
+        "generated {} comments for {}",
+        scenario.len(),
+        scenario.name
+    );
 
     let out = Pipeline::new(PipelineConfig {
         window: Window::zero_to_60s(),

@@ -16,11 +16,27 @@ fn main() {
     for page in 0..12 {
         let t0 = page * 50_000; // a new page every ~14h
         records.push(CommentRecord::new("eve_bot_1", format!("t3_p{page}"), t0));
-        records.push(CommentRecord::new("eve_bot_2", format!("t3_p{page}"), t0 + 7));
-        records.push(CommentRecord::new("eve_bot_3", format!("t3_p{page}"), t0 + 21));
-        records.push(CommentRecord::new("alice", format!("t3_p{page}"), t0 + 9_000));
+        records.push(CommentRecord::new(
+            "eve_bot_2",
+            format!("t3_p{page}"),
+            t0 + 7,
+        ));
+        records.push(CommentRecord::new(
+            "eve_bot_3",
+            format!("t3_p{page}"),
+            t0 + 21,
+        ));
+        records.push(CommentRecord::new(
+            "alice",
+            format!("t3_p{page}"),
+            t0 + 9_000,
+        ));
         if page % 3 == 0 {
-            records.push(CommentRecord::new("bob", format!("t3_p{page}"), t0 + 15_000));
+            records.push(CommentRecord::new(
+                "bob",
+                format!("t3_p{page}"),
+                t0 + 15_000,
+            ));
         }
     }
     let dataset = Dataset::from_records(records);
@@ -42,8 +58,11 @@ fn main() {
         out.stats.triangles_kept
     );
     for m in &out.triplets {
-        let names: Vec<&str> =
-            m.authors.iter().map(|a| dataset.authors.name(a.0)).collect();
+        let names: Vec<&str> = m
+            .authors
+            .iter()
+            .map(|a| dataset.authors.name(a.0))
+            .collect();
         println!(
             "coordinated triplet {:?}: min w' = {}, T = {:.2}, w_xyz = {}, C = {:.2}",
             names, m.min_ci_weight, m.t, m.hyper_weight, m.c

@@ -18,7 +18,11 @@ fn main() {
     let dataset = scenario.dataset();
     let excl = coordination::core::filter::ExclusionList::reddit_defaults();
     let btm = dataset.btm().without_authors(&excl.resolve(&dataset));
-    println!("{} comments, {} authors\n", scenario.len(), dataset.authors.len());
+    println!(
+        "{} comments, {} authors\n",
+        scenario.len(),
+        dataset.authors.len()
+    );
 
     let pipeline = Pipeline::new(PipelineConfig {
         window: Window::zero_to_60s(),
@@ -40,8 +44,11 @@ fn main() {
     // --- group growth: triplets -> whole networks --------------------------
     println!("\ngroups merged from round-0 triplets:");
     for g in merge_triplets(&btm, &first.triplets, 2) {
-        let names: Vec<&str> =
-            g.members.iter().map(|a| dataset.authors.name(a.0)).collect();
+        let names: Vec<&str> = g
+            .members
+            .iter()
+            .map(|a| dataset.authors.name(a.0))
+            .collect();
         println!(
             "  {} members, w_G = {}, score = {:.3} — {:?}{}",
             g.members.len(),
@@ -79,8 +86,11 @@ fn main() {
         .iter()
         .max_by_key(|w| w.windowed_weight)
         .expect("nonempty");
-    let names: Vec<&str> =
-        heaviest.authors.iter().map(|a| dataset.authors.name(a.0)).collect();
+    let names: Vec<&str> = heaviest
+        .authors
+        .iter()
+        .map(|a| dataset.authors.name(a.0))
+        .collect();
     println!(
         "heaviest windowed triplet: {:?} with w^(60s) = {} (unbounded {})",
         names, heaviest.windowed_weight, heaviest.hyper_weight

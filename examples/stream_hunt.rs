@@ -1,0 +1,93 @@
+//! Catch the restream link-sharing clique *mid-stream*.
+//!
+//! The batch hunt (`gpt2_hunt.rs`) replays a whole January-2020-style month
+//! and then projects; here the same month flows through the streaming engine
+//! one comment at a time, and the reshare 8-clique (`stream_bot_*`,
+//! ground-truth family `mlb_restream`) is flagged while most of the month is
+//! still unseen. The example prints the first alert per ground-truth family
+//! and the detection latency — how many events (and how much stream time)
+//! had elapsed when each botnet first fired.
+//!
+//! ```text
+//! cargo run --release --example stream_hunt
+//! ```
+
+use std::collections::BTreeMap;
+
+use coordination::core::Window;
+use coordination::redditgen::ScenarioConfig;
+use coordination::stream::source::scenario_records;
+use coordination::stream::{StreamConfig, StreamEngine};
+
+fn main() {
+    let scenario = ScenarioConfig::jan2020(0.3).build();
+    let records = scenario_records(&scenario);
+    let total = records.len();
+    let t_start = records.first().map(|r| r.created_utc).unwrap_or(0);
+    let t_end = records.last().map(|r| r.created_utc).unwrap_or(0);
+    println!("streaming {total} comments from {}", scenario.name);
+
+    let mut engine = StreamEngine::new(StreamConfig {
+        window: Window::zero_to_60s(),
+        min_triangle_weight: 25,
+        checkpoint_every: Some(20_000),
+        ..Default::default()
+    });
+
+    // first alert per ground-truth family: (events ingested, stream ts, names)
+    let mut first_alert: BTreeMap<String, (u64, i64, [String; 3])> = BTreeMap::new();
+    engine.run(records, |eng, alert| {
+        let names = eng.author_names(alert.authors).map(String::from);
+        let Some(family) = names.iter().find_map(|n| scenario.truth.family_of(n)) else {
+            return;
+        };
+        first_alert
+            .entry(family.name.clone())
+            .or_insert((alert.events_ingested, alert.ts, names));
+    });
+
+    println!(
+        "done: {} events, {} alerts, {} surviving triangles\n",
+        engine.events_ingested(),
+        engine.alerts_fired(),
+        engine.tracker().len()
+    );
+
+    println!("first alert per ground-truth family:");
+    let span = (t_end - t_start).max(1) as f64;
+    for (family, (events, ts, names)) in &first_alert {
+        println!(
+            "  {family:<16} after {events:>7} events ({:>5.1}% of stream, {:.1} days in) — {:?}",
+            100.0 * *events as f64 / total as f64,
+            (ts - t_start) as f64 / 86_400.0,
+            names
+        );
+    }
+    let _ = span;
+
+    // The headline claim: the reshare clique is caught mid-stream.
+    let (events, _, _) = first_alert
+        .get("mlb_restream")
+        .expect("the reshare 8-clique must alert");
+    // Weight 25 takes roughly half the month to accumulate at this scale;
+    // the point is the alert lands well before the archive is complete.
+    assert!(
+        *events < total as u64 * 9 / 10,
+        "expected the restream clique before 90% of the stream, got {events}/{total}"
+    );
+    println!(
+        "\nreshare 8-clique flagged after {events} of {total} events \
+         ({:.1}% of the month) — the batch pipeline would have waited for all of it",
+        100.0 * *events as f64 / total as f64
+    );
+
+    // The final snapshot is the same CiGraph the batch tooling consumes:
+    let snap = engine.snapshot();
+    let comps = snap.components(25);
+    println!(
+        "final snapshot: {} edges, {} components at cutoff 25 (largest: {} members)",
+        snap.n_edges(),
+        comps.len(),
+        comps.first().map(Vec::len).unwrap_or(0)
+    );
+}

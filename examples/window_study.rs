@@ -16,7 +16,11 @@ use coordination::redditgen::ScenarioConfig;
 fn main() {
     let scenario = ScenarioConfig::oct2016(0.3).build();
     let dataset = scenario.dataset();
-    println!("generated {} comments for {}\n", scenario.len(), scenario.name);
+    println!(
+        "generated {} comments for {}\n",
+        scenario.len(),
+        scenario.name
+    );
 
     let mut rows = Vec::new();
     for (label, window) in [

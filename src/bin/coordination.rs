@@ -24,7 +24,7 @@ use coordination::redditgen::ScenarioConfig;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine> [flags]\n\
+        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine|stream> [flags]\n\
          \n\
          generate  --preset jan2020|oct2016 [--scale F=0.3] --out FILE\n\
          stats     --input FILE\n\
@@ -34,9 +34,14 @@ fn usage() -> ExitCode {
          validate  --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=10] [--t-score F=0] [--windowed]\n\
          groups    --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25]\n\
          refine    --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--rounds N=3]\n\
+         stream    --input FILE | --preset jan2020|oct2016 [--scale F=0.3]\n\
+         \x20          [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--t-score F=0]\n\
+         \x20          [--horizon S] [--checkpoint N] [--speedup F] [--snapshot-out GRAPH.tsv]\n\
          \n\
          `project` persists the expensive step-1 graph; `survey` re-queries it\n\
-         at any cutoff without reprojecting. Input is pushshift-style NDJSON."
+         at any cutoff without reprojecting. `stream` replays the input as a\n\
+         live event stream and alerts on coordinated triplets mid-stream.\n\
+         Input is pushshift-style NDJSON."
     );
     ExitCode::from(2)
 }
@@ -87,8 +92,7 @@ fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
     let ds = if path == "-" {
         read_ndjson_into_dataset(std::io::stdin().lock())
     } else {
-        let file =
-            std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
         read_ndjson_into_dataset(BufReader::new(file))
     }
     .map_err(|e| format!("read {path}: {e}"))?;
@@ -137,7 +141,10 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn run_pipeline(flags: &Flags, default_cutoff: u64) -> Result<(Dataset, coordination::core::pipeline::PipelineOutput), String> {
+fn run_pipeline(
+    flags: &Flags,
+    default_cutoff: u64,
+) -> Result<(Dataset, coordination::core::pipeline::PipelineOutput), String> {
     let ds = load_dataset(flags)?;
     let out = Pipeline::new(PipelineConfig {
         window: window(flags)?,
@@ -161,11 +168,16 @@ fn run_pipeline(flags: &Flags, default_cutoff: u64) -> Result<(Dataset, coordina
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let ds = load_dataset(flags)?;
     let btm = ds.btm();
-    let per_author: Vec<f64> =
-        (0..btm.n_authors()).map(|a| btm.page_count(coordination::core::AuthorId(a)) as f64).collect();
+    let per_author: Vec<f64> = (0..btm.n_authors())
+        .map(|a| btm.page_count(coordination::core::AuthorId(a)) as f64)
+        .collect();
     let active: Vec<f64> = per_author.iter().copied().filter(|&c| c > 0.0).collect();
     println!("comments            {}", btm.n_comments());
-    println!("authors (active)    {} ({})", btm.n_authors(), btm.active_authors());
+    println!(
+        "authors (active)    {} ({})",
+        btm.n_authors(),
+        btm.active_authors()
+    );
     println!("pages               {}", btm.n_pages());
     println!("largest page        {} comments", btm.max_page_degree());
     if let Some(s) = coordination::analysis::Summary::of(&active) {
@@ -198,8 +210,7 @@ fn cmd_project(flags: &Flags) -> Result<(), String> {
         ci.active_authors(),
         t0.elapsed()
     );
-    let file =
-        std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    let file = std::fs::File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
     ci.write_tsv(std::io::BufWriter::new(file))
         .map_err(|e| format!("write {out_path}: {e}"))?;
     // name sidecar so survey output can be human-readable
@@ -215,10 +226,13 @@ fn cmd_project(flags: &Flags) -> Result<(), String> {
 
 fn cmd_survey(flags: &Flags) -> Result<(), String> {
     let graph_path = flags.get("graph").ok_or("--graph is required")?;
-    let file =
-        std::fs::File::open(graph_path).map_err(|e| format!("open {graph_path}: {e}"))?;
+    let file = std::fs::File::open(graph_path).map_err(|e| format!("open {graph_path}: {e}"))?;
     let ci = coordination::core::CiGraph::read_tsv(BufReader::new(file))?;
-    eprintln!("loaded CI graph: {} authors, {} edges", ci.n_authors(), ci.n_edges());
+    eprintln!(
+        "loaded CI graph: {} authors, {} edges",
+        ci.n_authors(),
+        ci.n_edges()
+    );
     // optional author-name sidecar
     let names: HashMap<u32, String> = std::fs::read_to_string(format!("{graph_path}.names"))
         .ok()
@@ -235,7 +249,10 @@ fn cmd_survey(flags: &Flags) -> Result<(), String> {
 
     let cutoff: u64 = flags.num("cutoff", 10)?;
     let min_t: f64 = flags.num("t-score", 0.0)?;
-    let top: Option<usize> = flags.get("top").map(|v| v.parse().map_err(|_| "--top: bad value")).transpose()?;
+    let top: Option<usize> = flags
+        .get("top")
+        .map(|v| v.parse().map_err(|_| "--top: bad value"))
+        .transpose()?;
     let wg = ci.to_weighted_graph();
     let oriented = coordination::tripoll::OrientedGraph::from_graph(&wg);
     let t0 = std::time::Instant::now();
@@ -304,9 +321,8 @@ fn cmd_validate(flags: &Flags) -> Result<(), String> {
         };
         let triangles: Vec<coordination::tripoll::Triangle> =
             out.survey.triangles.iter().map(|s| s.triangle).collect();
-        let rows = coordination::core::windowed_hyperedge::validate_windowed(
-            &btm, &triangles, w.d2(),
-        );
+        let rows =
+            coordination::core::windowed_hyperedge::validate_windowed(&btm, &triangles, w.d2());
         println!("a\tb\tc\tmin_w\tw_xyz\tw_xyz_windowed\tC_windowed");
         for r in rows {
             let n: Vec<&str> = r.authors.iter().map(|a| ds.authors.name(a.0)).collect();
@@ -333,10 +349,13 @@ fn cmd_groups(flags: &Flags) -> Result<(), String> {
     let excl = coordination::core::filter::ExclusionList::reddit_defaults();
     let btm = ds.btm().without_authors(&excl.resolve(&ds));
     let groups = coordination::core::groups::merge_triplets(&btm, &out.triplets, 2);
-    println!("{} groups from {} triplets:", groups.len(), out.triplets.len());
+    println!(
+        "{} groups from {} triplets:",
+        groups.len(),
+        out.triplets.len()
+    );
     for (i, g) in groups.iter().enumerate() {
-        let names: Vec<&str> =
-            g.members.iter().map(|a| ds.authors.name(a.0)).collect();
+        let names: Vec<&str> = g.members.iter().map(|a| ds.authors.name(a.0)).collect();
         println!(
             "[{i}] {} members, w_G = {}, score = {:.3}, {} supporting triplets",
             g.members.len(),
@@ -360,13 +379,116 @@ fn cmd_refine(flags: &Flags) -> Result<(), String> {
     let excl = coordination::core::filter::ExclusionList::reddit_defaults();
     let btm = ds.btm().without_authors(&excl.resolve(&ds));
     for (i, round) in pipeline.run_refinement(&btm, rounds).iter().enumerate() {
-        let names: Vec<&str> =
-            round.flagged.iter().map(|a| ds.authors.name(a.0)).collect();
+        let names: Vec<&str> = round.flagged.iter().map(|a| ds.authors.name(a.0)).collect();
         println!(
             "round {i}: {} triplets, {} authors flagged: {names:?}",
             round.output.triplets.len(),
             round.flagged.len()
         );
+    }
+    Ok(())
+}
+
+fn cmd_stream(flags: &Flags) -> Result<(), String> {
+    use coordination::stream::{source, StreamConfig, StreamEngine};
+
+    // Source: an NDJSON file / stdin, or a generated preset scenario (which
+    // also gives us ground truth to judge the alerts against).
+    let (records, truth) = match (flags.get("input"), flags.get("preset")) {
+        (Some(path), None) => {
+            let records = if path == "-" {
+                source::read_ndjson_sorted(std::io::stdin().lock())
+            } else {
+                let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+                source::read_ndjson_sorted(BufReader::new(file))
+            }
+            .map_err(|e| format!("read {path}: {e}"))?;
+            (records, None)
+        }
+        (None, Some(preset)) => {
+            let scale: f64 = flags.num("scale", 0.3)?;
+            let cfg = match preset {
+                "jan2020" => ScenarioConfig::jan2020(scale),
+                "oct2016" => ScenarioConfig::oct2016(scale),
+                other => return Err(format!("unknown preset {other:?}")),
+            };
+            let scenario = cfg.build();
+            let records = source::scenario_records(&scenario);
+            (records, Some(scenario.truth))
+        }
+        _ => return Err("need exactly one of --input or --preset".to_string()),
+    };
+    let total = records.len();
+    eprintln!("streaming {total} events");
+
+    let horizon = flags
+        .get("horizon")
+        .map(|v| v.parse::<i64>())
+        .transpose()
+        .map_err(|_| "--horizon: bad value")?;
+    let w = window(flags)?;
+    if let Some(h) = horizon {
+        if h < w.d2() {
+            return Err(format!(
+                "--horizon {h} must be at least the window's δ2 ({})",
+                w.d2()
+            ));
+        }
+    }
+    let mut engine = StreamEngine::new(StreamConfig {
+        window: w,
+        min_triangle_weight: flags.num("cutoff", 25)?,
+        min_t_score: flags.num("t-score", 0.0)?,
+        horizon,
+        checkpoint_every: flags
+            .get("checkpoint")
+            .map(|v| v.parse::<u64>())
+            .transpose()
+            .map_err(|_| "--checkpoint: bad value")?,
+    });
+
+    let speedup: f64 = flags.num("speedup", 0.0)?; // 0 = unpaced
+    let replay = source::Replay::new(records).with_speedup(speedup);
+    engine.run(replay, |eng, alert| {
+        let [a, b, c] = eng.author_names(alert.authors);
+        let tag = truth
+            .as_ref()
+            .and_then(|t| [a, b, c].iter().find_map(|n| t.family_of(n)))
+            .map(|f| format!(" [{}]", f.name))
+            .unwrap_or_default();
+        println!(
+            "ALERT @{} after {} events: {a} {b} {c} (min_w={}, T={:.3}){tag}",
+            alert.ts, alert.events_ingested, alert.min_weight, alert.t_score
+        );
+    });
+    for cp in engine.checkpoints() {
+        eprintln!(
+            "checkpoint @{}: {} events, {} edges, {} live triangles, {} alerts",
+            cp.ts, cp.events, cp.n_edges, cp.live_triangles, cp.alerts
+        );
+    }
+
+    eprintln!(
+        "done: {} events, {} alerts, {} live triangles, {} live edges",
+        engine.events_ingested(),
+        engine.alerts_fired(),
+        engine.tracker().len(),
+        engine.projector().n_edges()
+    );
+    if let Some(truth) = &truth {
+        let fired = engine.fired_triplets();
+        let eval = truth.evaluate(fired.iter().map(|&t| engine.author_names(t)));
+        eprintln!(
+            "vs ground truth: precision {:.3}, family recall {:.3}, member recall {:.3}",
+            eval.precision, eval.family_recall, eval.member_recall
+        );
+    }
+    if let Some(out) = flags.get("snapshot-out") {
+        let snap = engine.snapshot();
+        let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        snap.write_tsv(std::io::BufWriter::new(file))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("wrote final CI-graph snapshot to {out}");
     }
     Ok(())
 }
@@ -388,6 +510,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&flags),
         "groups" => cmd_groups(&flags),
         "refine" => cmd_refine(&flags),
+        "stream" => cmd_stream(&flags),
         "--help" | "-h" | "help" => return usage(),
         other => {
             eprintln!("unknown command: {other}");

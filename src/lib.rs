@@ -11,7 +11,9 @@
 //! * [`redditgen`] — synthetic Reddit workloads with injected ground-truth
 //!   botnets (the offline stand-in for pushshift archives);
 //! * [`analysis`] — hexbin histograms, correlations, component and
-//!   detection-quality reports.
+//!   detection-quality reports;
+//! * [`stream`] — online detection: incremental CI-graph projection and
+//!   triangle tracking over a live event stream, with mid-stream alerts.
 //!
 //! See `examples/quickstart.rs` for an end-to-end run and `DESIGN.md` for the
 //! experiment index.
@@ -19,5 +21,6 @@
 pub use analysis;
 pub use coordination_core as core;
 pub use redditgen;
+pub use stream;
 pub use tripoll;
 pub use ygm;

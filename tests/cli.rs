@@ -57,7 +57,10 @@ fn hunt_finds_components_and_writes_dot_files() {
         .expect("run hunt");
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("connected components at cutoff 25"), "{stdout}");
+    assert!(
+        stdout.contains("connected components at cutoff 25"),
+        "{stdout}"
+    );
     assert!(stdout.contains("stream_bot_"), "{stdout}");
     let dots: Vec<_> = std::fs::read_dir(&dot_dir).expect("dot dir").collect();
     assert!(!dots.is_empty(), "no dot files written");
@@ -151,7 +154,10 @@ fn stats_surfaces_exclusion_candidates() {
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("comments"), "{stdout}");
-    assert!(stdout.contains("AutoModerator"), "the platform bot should top the volume list");
+    assert!(
+        stdout.contains("AutoModerator"),
+        "the platform bot should top the volume list"
+    );
     std::fs::remove_dir_all(dir).ok();
 }
 

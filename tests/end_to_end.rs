@@ -7,7 +7,13 @@ use coordination::core::pipeline::{Pipeline, PipelineConfig};
 use coordination::core::Window;
 use coordination::redditgen::ScenarioConfig;
 
-fn hunt(scale: f64) -> (coordination::redditgen::Scenario, coordination::core::records::Dataset, coordination::core::pipeline::PipelineOutput) {
+fn hunt(
+    scale: f64,
+) -> (
+    coordination::redditgen::Scenario,
+    coordination::core::records::Dataset,
+    coordination::core::pipeline::PipelineOutput,
+) {
     let scenario = ScenarioConfig::jan2020(scale).build();
     let dataset = scenario.dataset();
     let out = Pipeline::new(PipelineConfig {
@@ -23,7 +29,11 @@ fn hunt(scale: f64) -> (coordination::redditgen::Scenario, coordination::core::r
 fn jan2020_hunt_recovers_all_three_botnet_families() {
     let (scenario, dataset, out) = hunt(0.2);
     let comps = named_components(&dataset, &out.ci, 25);
-    assert!(comps.len() >= 3, "expected ≥3 components, got {}", comps.len());
+    assert!(
+        comps.len() >= 3,
+        "expected ≥3 components, got {}",
+        comps.len()
+    );
 
     let family_of_comp = |members: &[String]| -> Option<&str> {
         let fams: Vec<Option<&str>> = members
@@ -36,11 +46,19 @@ fn jan2020_hunt_recovers_all_three_botnet_families() {
             None
         }
     };
-    let labels: Vec<Option<&str>> =
-        comps.iter().map(|c| family_of_comp(&c.members)).collect();
-    assert!(labels.contains(&Some("gpt2")), "gpt2 net missing: {labels:?}");
-    assert!(labels.contains(&Some("mlb_restream")), "restream net missing");
-    assert!(labels.contains(&Some("reply_trigger")), "smiley trio missing");
+    let labels: Vec<Option<&str>> = comps.iter().map(|c| family_of_comp(&c.members)).collect();
+    assert!(
+        labels.contains(&Some("gpt2")),
+        "gpt2 net missing: {labels:?}"
+    );
+    assert!(
+        labels.contains(&Some("mlb_restream")),
+        "restream net missing"
+    );
+    assert!(
+        labels.contains(&Some("reply_trigger")),
+        "smiley trio missing"
+    );
     // every component at cutoff 25 is pure coordination — no organic mixtures
     assert!(
         labels.iter().all(Option::is_some),
@@ -54,7 +72,11 @@ fn figure1_structure_sparse_gpt_network() {
     let comps = named_components(&dataset, &out.ci, 25);
     let gpt = comps
         .iter()
-        .find(|c| c.members.iter().all(|m| scenario.truth.family_of(m).map(|f| f.name.as_str()) == Some("gpt2")))
+        .find(|c| {
+            c.members
+                .iter()
+                .all(|m| scenario.truth.family_of(m).map(|f| f.name.as_str()) == Some("gpt2"))
+        })
         .expect("gpt2 component");
     let (lo, hi) = gpt.summary.weight_range.expect("has edges");
     assert!(lo >= 25, "cutoff respected");
@@ -86,7 +108,10 @@ fn figure2_structure_dense_restream_clique() {
         .and_then(|c| c.summary.weight_range)
         .map(|(_, hi)| hi)
         .unwrap_or(0);
-    assert!(lo + 5 >= gpt_hi, "restream weights ({lo}) rival/exceed gpt's ({gpt_hi})");
+    assert!(
+        lo + 5 >= gpt_hi,
+        "restream weights ({lo}) rival/exceed gpt's ({gpt_hi})"
+    );
 }
 
 #[test]
@@ -100,8 +125,11 @@ fn figure4_outlier_is_the_smiley_trio_and_dwarfs_everything() {
     })
     .run_dataset(&dataset);
     let heaviest = out.heaviest_triplet().expect("nonempty");
-    let names: Vec<&str> =
-        heaviest.authors.iter().map(|a| dataset.authors.name(a.0)).collect();
+    let names: Vec<&str> = heaviest
+        .authors
+        .iter()
+        .map(|a| dataset.authors.name(a.0))
+        .collect();
     assert!(
         names.iter().all(|n| n.starts_with("smiley_bot_")),
         "heaviest triplet should be the reply bots, got {names:?}"
@@ -150,8 +178,12 @@ fn oct2016_window_growth_matches_paper_claims() {
     let scenario = ScenarioConfig::oct2016(0.2).build();
     let dataset = scenario.dataset();
     let run = |w: Window| {
-        Pipeline::new(PipelineConfig { window: w, min_triangle_weight: 10, ..Default::default() })
-            .run_dataset(&dataset)
+        Pipeline::new(PipelineConfig {
+            window: w,
+            min_triangle_weight: 10,
+            ..Default::default()
+        })
+        .run_dataset(&dataset)
     };
     let o60 = run(Window::zero_to_60s());
     let o600 = run(Window::zero_to_10m());
@@ -163,8 +195,7 @@ fn oct2016_window_growth_matches_paper_claims() {
     assert!(o60.triplets.len() <= o600.triplets.len());
     assert!(o600.triplets.len() <= o3600.triplets.len());
     // fixed-set tightening (Figures 7/9): min w' rises toward w_xyz
-    let base: std::collections::HashSet<_> =
-        o60.triplets.iter().map(|m| m.authors).collect();
+    let base: std::collections::HashSet<_> = o60.triplets.iter().map(|m| m.authors).collect();
     let above = |out: &coordination::core::pipeline::PipelineOutput| {
         out.triplets
             .iter()
@@ -233,8 +264,11 @@ fn detection_is_precise_and_complete() {
         .triplets
         .iter()
         .map(|m| {
-            let n: Vec<&str> =
-                m.authors.iter().map(|a| dataset.authors.name(a.0)).collect();
+            let n: Vec<&str> = m
+                .authors
+                .iter()
+                .map(|a| dataset.authors.name(a.0))
+                .collect();
             [n[0], n[1], n[2]]
         })
         .collect();

@@ -7,7 +7,9 @@ use coordination::core::btm::Btm;
 use coordination::core::hypergraph::hyperedge_weight;
 use coordination::core::ids::{AuthorId, Event, PageId};
 use coordination::core::metrics::c_score;
-use coordination::core::project::{project, project_bucketed, project_distributed, project_sequential};
+use coordination::core::project::{
+    project, project_bucketed, project_distributed, project_sequential,
+};
 use coordination::core::Window;
 use coordination::tripoll::survey::t_score;
 use coordination::tripoll::OrientedGraph;

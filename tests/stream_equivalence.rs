@@ -1,0 +1,151 @@
+//! The streaming subsystem's correctness anchor: on any event log, replaying
+//! the stream with no retention horizon and closing the window is *exactly*
+//! the batch pipeline — same CI-graph edges, same weights, same `P'`, and the
+//! live triangle set equals tripoll enumeration over the thresholded
+//! snapshot.
+
+use proptest::prelude::*;
+
+use coordination::core::btm::Btm;
+use coordination::core::ids::{AuthorId, Event, PageId};
+use coordination::core::project::project;
+use coordination::core::{CiGraph, Window};
+use coordination::stream::projector::StreamProjector;
+use coordination::stream::triangles::TriangleTracker;
+use coordination::tripoll::{OrientedGraph, SurveyConfig};
+
+/// A random event log over small id spaces — small enough that collisions
+/// (shared pages, repeat comments) are common.
+fn arb_events(
+    max_authors: u32,
+    max_pages: u32,
+    max_events: usize,
+) -> impl Strategy<Value = (u32, u32, Vec<Event>)> {
+    (2..max_authors, 1..max_pages).prop_flat_map(move |(na, np)| {
+        let ev = (0..na, 0..np, 0i64..2_000).prop_map(|(a, p, t)| Event {
+            author: AuthorId(a),
+            page: PageId(p),
+            ts: t,
+        });
+        (Just(na), Just(np), prop::collection::vec(ev, 0..max_events))
+    })
+}
+
+fn arb_window() -> impl Strategy<Value = Window> {
+    (0i64..100, 1i64..500).prop_map(|(d1, len)| Window::new(d1, d1 + len))
+}
+
+/// Stream the events (timestamp order) through a cumulative projector,
+/// routing every delta through a triangle tracker at `cutoff`.
+fn stream_replay(
+    events: &[Event],
+    window: Window,
+    cutoff: u64,
+) -> (StreamProjector, TriangleTracker) {
+    let mut projector = StreamProjector::new(window);
+    let mut tracker = TriangleTracker::new(cutoff);
+    let mut ordered: Vec<&Event> = events.iter().collect();
+    ordered.sort_by_key(|e| e.ts);
+    for e in ordered {
+        for d in projector.ingest(e.author.0, e.page.0, e.ts).to_vec() {
+            tracker.apply(&d);
+        }
+    }
+    (projector, tracker)
+}
+
+fn canon(g: &CiGraph) -> (Vec<(u32, u32, u64)>, Vec<u64>) {
+    let mut e: Vec<_> = g.edges().collect();
+    e.sort_unstable();
+    (e, g.page_counts().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming replay + window close ≡ batch projection, exactly.
+    #[test]
+    fn stream_close_equals_batch_projection(
+        (na, np, events) in arb_events(20, 15, 300),
+        w in arb_window(),
+    ) {
+        let btm = Btm::from_events(na, np, &events);
+        let batch = project(&btm, w);
+        let (projector, _) = stream_replay(&events, w, 1);
+        let snap = projector.snapshot(na);
+        prop_assert_eq!(canon(&snap), canon(&batch));
+    }
+
+    /// The incrementally-maintained triangle set equals tripoll enumeration
+    /// over the thresholded snapshot.
+    #[test]
+    fn live_triangles_equal_tripoll_enumeration(
+        (na, _np, events) in arb_events(14, 8, 250),
+        d2 in 5i64..300,
+        cutoff in 1u64..5,
+    ) {
+        let w = Window::new(0, d2);
+        let (projector, tracker) = stream_replay(&events, w, cutoff);
+        let snap = projector.snapshot(na);
+
+        let mut expect: Vec<[u32; 3]> = Vec::new();
+        let oriented = OrientedGraph::from_graph(&snap.to_weighted_graph());
+        let report = coordination::tripoll::survey::survey(
+            &oriented,
+            &SurveyConfig { min_edge_weight: cutoff, min_t_score: 0.0, top_k: None },
+            Some(snap.page_counts()),
+        );
+        for s in &report.triangles {
+            expect.push(s.triangle.vertices());
+        }
+        expect.sort_unstable();
+
+        let mut live: Vec<[u32; 3]> = tracker.iter().collect();
+        live.sort_unstable();
+        prop_assert_eq!(live, expect);
+
+        // and the tracked min weights agree with the snapshot's edge weights
+        for t in tracker.iter() {
+            let mw = tracker.min_weight(t).unwrap();
+            let w01 = snap.weight(AuthorId(t[0]), AuthorId(t[1]));
+            let w02 = snap.weight(AuthorId(t[0]), AuthorId(t[2]));
+            let w12 = snap.weight(AuthorId(t[1]), AuthorId(t[2]));
+            prop_assert_eq!(mw, w01.min(w02).min(w12));
+        }
+    }
+
+    /// Sliding mode never reports *more* than cumulative mode (expiry only
+    /// removes), and with a horizon past the whole log it changes nothing.
+    #[test]
+    fn sliding_mode_is_a_subset_of_cumulative(
+        (na, _np, events) in arb_events(14, 8, 250),
+        d2 in 5i64..120,
+        horizon_extra in 0i64..400,
+    ) {
+        let w = Window::new(0, d2);
+        let horizon = d2 + horizon_extra;
+        let mut sliding = StreamProjector::with_horizon(w, Some(horizon));
+        let mut cumulative = StreamProjector::new(w);
+        let mut ordered: Vec<&Event> = events.iter().collect();
+        ordered.sort_by_key(|e| e.ts);
+        for e in &ordered {
+            sliding.ingest(e.author.0, e.page.0, e.ts);
+            cumulative.ingest(e.author.0, e.page.0, e.ts);
+        }
+        for (x, y, wt) in sliding.edges() {
+            prop_assert!(wt <= cumulative.weight(x, y));
+        }
+        for a in 0..na {
+            prop_assert!(sliding.page_count(a) <= cumulative.page_count(a));
+        }
+        // a horizon longer than the whole log ⇒ nothing has expired yet
+        if let (Some(first), Some(last)) = (ordered.first(), ordered.last()) {
+            if horizon >= last.ts - first.ts {
+                prop_assert_eq!(
+                    canon(&sliding.snapshot(na)),
+                    canon(&cumulative.snapshot(na))
+                );
+            }
+        }
+    }
+}

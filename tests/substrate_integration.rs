@@ -8,7 +8,10 @@ use coordination::redditgen::ScenarioConfig;
 use coordination::tripoll::distributed::{distributed_components, distributed_survey};
 use coordination::tripoll::OrientedGraph;
 
-fn scenario_ci() -> (coordination::core::records::Dataset, coordination::core::CiGraph) {
+fn scenario_ci() -> (
+    coordination::core::records::Dataset,
+    coordination::core::CiGraph,
+) {
     let scenario = ScenarioConfig::jan2020(0.12).build();
     let dataset = scenario.dataset();
     let out = Pipeline::new(PipelineConfig {
@@ -38,7 +41,10 @@ fn distributed_projection_agrees_at_scenario_scale() {
     })
     .run_dataset(&dataset);
     assert_eq!(shared.stats.ci_edges, dist.stats.ci_edges);
-    assert_eq!(shared.stats.triangles_examined, dist.stats.triangles_examined);
+    assert_eq!(
+        shared.stats.triangles_examined,
+        dist.stats.triangles_examined
+    );
     let key = |m: &coordination::core::TripletMetrics| m.authors;
     let mut a: Vec<_> = shared.triplets.iter().map(key).collect();
     let mut b: Vec<_> = dist.triplets.iter().map(key).collect();
@@ -57,7 +63,10 @@ fn distributed_survey_agrees_on_a_projected_graph() {
     shared_sorted.sort_unstable_by_key(|t| t.vertices());
     let dist = distributed_survey(&oriented, 20, 4);
     assert_eq!(dist.triangles, shared_sorted);
-    assert!(dist.messages_sent > 0, "the push algorithm must communicate");
+    assert!(
+        dist.messages_sent > 0,
+        "the push algorithm must communicate"
+    );
 }
 
 #[test]
@@ -91,7 +100,10 @@ fn groups_and_windowed_validation_compose_with_the_pipeline() {
     for g in &groups {
         for a in &g.members {
             let name = dataset.authors.name(a.0);
-            assert!(scenario.truth.is_bot(name), "organic account {name} in a group");
+            assert!(
+                scenario.truth.is_bot(name),
+                "organic account {name} in a group"
+            );
         }
     }
 
@@ -159,7 +171,10 @@ fn refinement_with_groups_reconstructs_families_round_by_round() {
         ..Default::default()
     });
     let rounds = pipeline.run_refinement(&btm, 4);
-    assert!(rounds.len() >= 2, "at least one productive round plus the empty one");
+    assert!(
+        rounds.len() >= 2,
+        "at least one productive round plus the empty one"
+    );
     // flagged sets across rounds are disjoint (each round removes its flags)
     let mut seen = std::collections::HashSet::new();
     for round in &rounds {
@@ -171,5 +186,8 @@ fn refinement_with_groups_reconstructs_families_round_by_round() {
     for a in &seen {
         assert!(scenario.truth.is_bot(dataset.authors.name(a.0)));
     }
-    assert!(rounds.last().expect("nonempty").flagged.is_empty(), "terminates quiet");
+    assert!(
+        rounds.last().expect("nonempty").flagged.is_empty(),
+        "terminates quiet"
+    );
 }

@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Keeps the workspace's `[[bench]]` targets (harness = false) compiling and
+//! producing real wall-clock numbers without the registry dependency. The
+//! group API is the upstream one — `benchmark_group`, `sample_size`,
+//! `warm_up_time`, `measurement_time`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!` — but measurement is
+//! deliberately quick: one warm-up call, then timed batches until ~25 ms or
+//! 10k iterations per benchmark, reporting the mean ns/iteration to stdout.
+//! Statistical analysis, plots, and HTML reports are out of scope.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement marker types (upstream pins groups to a measurement).
+
+    /// Wall-clock time (the only measurement the stand-in offers).
+    #[derive(Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration from the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, running enough iterations for a stable quick estimate.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up (and forces lazy setup)
+        let budget = Duration::from_millis(25);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 10_000 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.last_ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A benchmark id: function name plus an optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like upstream.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (used under a group's name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Upstream tuning knob; recorded but unused by the quick driver.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream tuning knob; recorded but unused by the quick driver.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Upstream tuning knob; recorded but unused by the quick driver.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Upstream tuning knob; recorded but unused by the quick driver.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group_name, id.into_name());
+        self.criterion.run_one(&name, |b| f(b));
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.group_name, id.into_name());
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// End the group (results were reported as they ran).
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, not reported, by the stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        self.benchmarks_run += 1;
+        let ns = bencher.last_ns_per_iter;
+        if ns >= 1.0e6 {
+            println!("bench {name:<60} {:>12.3} ms/iter", ns / 1.0e6);
+        } else if ns >= 1.0e3 {
+            println!("bench {name:<60} {:>12.3} µs/iter", ns / 1.0e3);
+        } else {
+            println!("bench {name:<60} {ns:>12.1} ns/iter");
+        }
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Define a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(10).warm_up_time(Duration::from_millis(1));
+            g.bench_function("noop", |b| {
+                calls += 1;
+                b.iter(|| 1 + 1)
+            });
+            g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn bencher_reports_positive_time() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.last_ns_per_iter > 0.0);
+    }
+}

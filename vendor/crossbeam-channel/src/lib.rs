@@ -1,0 +1,73 @@
+//! Offline stand-in for the `crossbeam-channel` crate (see `vendor/README.md`).
+//!
+//! Wraps `std::sync::mpsc` behind crossbeam's `unbounded()` API. `Sender` is
+//! `Clone + Send + Sync` (std's has been since Rust 1.72), which is all the
+//! `ygm` runtime needs for its per-rank active-message queues.
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message; fails only if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Pop a message if one is queued.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    /// Iterate over currently queued messages without blocking.
+    pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+        self.0.try_iter()
+    }
+}
+
+/// Create an unbounded MPSC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (s, r) = mpsc::channel();
+    (Sender(s), Receiver(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clone() {
+        let (s, r) = unbounded();
+        let s2 = s.clone();
+        s.send(1).unwrap();
+        s2.send(2).unwrap();
+        assert_eq!(r.recv().unwrap(), 1);
+        assert_eq!(r.try_recv().unwrap(), 2);
+        assert!(r.try_recv().is_err());
+    }
+
+    #[test]
+    fn sender_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Sender<u32>>();
+    }
+}

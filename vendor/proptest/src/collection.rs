@@ -1,0 +1,84 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+
+/// Inclusive size bounds for a generated collection.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Minimum length.
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min + 1) as u64;
+        let n = self.size.min + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A vector of values from `element`, with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = vec(0u32..5, 2..10);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn exact_size() {
+        let mut rng = TestRng::from_seed(4);
+        assert_eq!(vec(0u32..2, 7usize).generate(&mut rng).len(), 7);
+    }
+}

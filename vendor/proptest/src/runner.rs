@@ -1,0 +1,180 @@
+//! Deterministic case runner and RNG for the proptest stand-in.
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains how.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration; only `cases` is interpreted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on total discarded cases before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// SplitMix64: tiny, fast, and plenty for test-case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed directly.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` (bound > 0) via Lemire-style rejection.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Zone rejection keeps the draw exactly uniform.
+        let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone || zone == u64::MAX {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform unit-interval draw.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed so failures reproduce.
+fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `config.cases` successful cases of `case`, panicking on the first
+/// failure with the case number and seed (no shrinking).
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = seed_for(name);
+    let mut rejects = 0u32;
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::from_seed(seed);
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: too many rejected cases \
+                         ({rejects} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case #{n} failed (seed {seed:#x}): {msg}",
+                    n = passed + 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = TestRng::from_seed(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit");
+    }
+
+    #[test]
+    fn runner_counts_rejects_separately() {
+        let mut calls = 0u32;
+        run_cases(&ProptestConfig::with_cases(10), "t", |rng| {
+            calls += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn runner_panics_on_failure() {
+        run_cases(&ProptestConfig::with_cases(5), "t2", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_seed(seed_for("x"));
+        let mut b = TestRng::from_seed(seed_for("x"));
+        assert_eq!(
+            (0..10).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..10).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

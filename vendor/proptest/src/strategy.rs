@@ -1,0 +1,305 @@
+//! Strategy trait and combinators for the proptest stand-in.
+
+use crate::runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Strategies are taken by reference so range expressions (`0..n`) and
+/// helper-returned `impl Strategy` values can be used in place, exactly like
+/// upstream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects —
+    /// dependent generation.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String strategies from a regex subset: literal chars, `[a-z0-9_]` classes
+/// (with ranges and negation-free members), `.`, and the quantifiers
+/// `{m,n}` / `{n}` / `?` / `*` / `+` (star/plus capped at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex_subset(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_regex_subset(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        set.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                ('a'..='z').chain('A'..='Z').chain('0'..='9').collect()
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                    other => vec![other],
+                }
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("quantifier min"),
+                            n.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty() && min <= max, "bad pattern {pattern:?}");
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident $idx:tt),+);)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (2u32..20).generate(&mut r);
+            assert!((2..20).contains(&v));
+            let s = (-5i64..=5).generate(&mut r);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut r);
+            assert!((1..=8).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let t = "t3_[0-9]{4}".generate(&mut r);
+        assert!(t.starts_with("t3_") && t.len() == 7);
+    }
+
+    #[test]
+    fn map_flat_map_compose() {
+        let mut r = rng();
+        let strat = (1u32..5).prop_flat_map(|n| (Just(n), 0u32..n.max(1)));
+        for _ in 0..100 {
+            let (n, k) = strat.generate(&mut r);
+            assert!(k < n.max(1));
+        }
+        let doubled = (0u32..10).prop_map(|x| x * 2);
+        assert_eq!(doubled.generate(&mut r) % 2, 0);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u32..3, 10i64..20, Just("k")).generate(&mut r);
+        assert!(a < 3);
+        assert!((10..20).contains(&b));
+        assert_eq!(c, "k");
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand_chacha` crate (see `vendor/README.md`).
+//!
+//! Implements a genuine ChaCha8 block cipher keystream as [`ChaCha8Rng`],
+//! seeded through the vendored [`rand::SeedableRng`]. Deterministic per seed
+//! and statistically sound; draw streams are not bit-compatible with upstream
+//! `rand_chacha` (nothing in the workspace pins exact values).
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// A ChaCha8-based deterministic generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key (8 words) as seeded.
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865; // "expa"
+        state[1] = 0x3320_646e; // "nd 3"
+        state[2] = 0x7962_2d32; // "2-by"
+        state[3] = 0x6b20_6574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let va: Vec<u64> = (0..40).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..40).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // mean of 20k unit draws ~ 0.5
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Exposes the parallel-iterator API surface this workspace uses —
+//! `par_iter()` / `into_par_iter()` with `map`, `filter`, `filter_map`,
+//! `flat_map`, `fold`, `reduce`, `for_each`, `sum`, `count`, `min`, `max`,
+//! `collect` — executed **sequentially** on the calling thread. The
+//! fold/reduce contract is honoured exactly (one fold accumulator, reduced
+//! against the identity), so code written against real rayon produces
+//! identical results; it simply runs on one core, which is also all the
+//! hardware this container offers. `ThreadPoolBuilder`/`ThreadPool::install`
+//! are provided as no-op shims for the thread-scaling benches.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep items matching the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Filter and map in one pass.
+    pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Map each item to an iterator and flatten.
+    pub fn flat_map<T, U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator<Item = T>,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Rayon-style fold: produce per-worker accumulators (here: exactly one).
+    /// The result is itself a "parallel iterator" of accumulators, to be
+    /// combined with [`ParIter::reduce`].
+    pub fn fold<A, ID, F>(self, identity: ID, fold: F) -> ParIter<std::iter::Once<A>>
+    where
+        ID: Fn() -> A,
+        F: FnMut(A, I::Item) -> A,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold)))
+    }
+
+    /// Combine all items with `op`, starting from the identity.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Minimum item, if any.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum item, if any.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// By-value conversion into a parallel iterator (`into_par_iter()`).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Wrap this collection's iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// By-reference conversion into a parallel iterator (`par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowing iterator type.
+    type Iter: Iterator;
+
+    /// Wrap a borrowing iterator over this collection.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+{
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    //! The traits that make `.par_iter()` / `.into_par_iter()` resolve.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Error building a thread pool (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Shim of rayon's pool builder; thread count is recorded but unused (the
+/// sequential executor behaves like a one-thread pool).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a thread count (recorded only).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the (sequential) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Shim thread pool: `install` simply runs the closure on the current thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Number of threads the global (sequential) executor uses.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let v: Vec<u64> = (1..=100).collect();
+        let sum: u64 = v
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn map_collect_and_sum() {
+        let doubled: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+        let s: u64 = (0u64..10).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Upstream serde is a zero-copy visitor framework; this stand-in keeps the
+//! same *call sites* working — `#[derive(Serialize, Deserialize)]`,
+//! `serde_json::from_str`, `serde_json::to_writer` — through a much simpler
+//! contract: every serializable type converts to and from the JSON-shaped
+//! [`Value`] tree defined here. The vendored `serde_json` supplies the text
+//! encoding. Only the surface this workspace uses is implemented.
+
+pub use serde_derive::{Deserialize as DeserializeDerive, Serialize as SerializeDerive};
+
+// Derive macros and traits share their names, exactly like upstream serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+/// Deserialization error: a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] data model.
+///
+/// The derive macro implements this field-by-field for structs with named
+/// fields.
+pub trait SerializeTrait {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+///
+/// Unknown object fields are ignored, like upstream serde's default.
+pub trait DeserializeTrait: Sized {
+    /// Reconstruct from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl SerializeTrait for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl SerializeTrait for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl SerializeTrait for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl DeserializeTrait for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl SerializeTrait for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl DeserializeTrait for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl SerializeTrait for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i128(*self as i128))
+            }
+        }
+        impl DeserializeTrait for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => n,
+                    other => return Err(Error::msg(format!("expected number, got {other:?}"))),
+                };
+                n.as_i128()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| Error::msg(concat!("number out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SerializeTrait for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl DeserializeTrait for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: SerializeTrait> SerializeTrait for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(SerializeTrait::to_value).collect())
+    }
+}
+
+impl<T: DeserializeTrait> DeserializeTrait for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: SerializeTrait> SerializeTrait for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: DeserializeTrait> DeserializeTrait for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl SerializeTrait for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl DeserializeTrait for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<i64> = Vec::from_value(&vec![1i64, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(i64::from_value(&Value::String("x".into())).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn option_maps_null() {
+        assert_eq!(Option::<i64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<i64>::from_value(&5i64.to_value()).unwrap(),
+            Some(5)
+        );
+    }
+}

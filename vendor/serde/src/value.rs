@@ -1,0 +1,169 @@
+//! The JSON-shaped data model shared by the vendored `serde` / `serde_json`.
+
+use std::collections::BTreeMap;
+
+/// A JSON number: integer when possible, float otherwise.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Signed integer (covers all negative and most positive literals).
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// Build from a wide integer; falls back to float only when the value is
+    /// outside both `i64` and `u64` (cannot happen for the types we expose).
+    pub fn from_i128(v: i128) -> Self {
+        if let Ok(i) = i64::try_from(v) {
+            Number::I64(i)
+        } else if let Ok(u) = u64::try_from(v) {
+            Number::U64(u)
+        } else {
+            Number::F64(v as f64)
+        }
+    }
+
+    /// Build from a float.
+    pub fn from_f64(v: f64) -> Self {
+        Number::F64(v)
+    }
+
+    /// As a wide integer, if exactly representable.
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::I64(i) => Some(i as i128),
+            Number::U64(u) => Some(u as i128),
+            Number::F64(f) => {
+                if f.fract() == 0.0 && f.abs() < 9.0e18 {
+                    Some(f as i128)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// As a float (lossy for very large integers, like upstream).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I64(i) => i as f64,
+            Number::U64(u) => u as f64,
+            Number::F64(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i128(), other.as_i128()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any numeric literal.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is not preserved (sorted), which this workspace
+    /// never relies on.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i128().and_then(|i| i64::try_from(i).ok()),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_i128().and_then(|i| u64::try_from(i).ok()),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True iff this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_equality_across_kinds() {
+        assert_eq!(Number::I64(5), Number::U64(5));
+        assert_eq!(Number::I64(5), Number::F64(5.0));
+        assert_ne!(Number::I64(5), Number::F64(5.5));
+    }
+
+    #[test]
+    fn object_get() {
+        let mut m = BTreeMap::new();
+        m.insert("author".to_string(), Value::String("alice".into()));
+        let v = Value::Object(m);
+        assert_eq!(v.get("author").and_then(Value::as_str), Some("alice"));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("author").is_none());
+    }
+}

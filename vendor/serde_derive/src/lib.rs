@@ -1,0 +1,135 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Derives the vendored serde's `SerializeTrait` / `DeserializeTrait` for
+//! structs with named fields by hand-parsing the raw token stream (no
+//! `syn`/`quote` — they are registry crates and this build is offline).
+//! Field attributes (`#[serde(...)]`), generics, enums, and tuple structs are
+//! not supported; the workspace derives only on plain named-field structs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The struct name and its named fields, pulled out of a derive input.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parse `struct Name { a: T, b: U, ... }` (attributes and visibility
+/// qualifiers are skipped) from a derive input token stream.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut trees = input.into_iter().peekable();
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = trees.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match trees.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, got {other:?}"),
+                }
+                // Skip to the brace-delimited body (no generics in practice,
+                // but tolerate stray tokens).
+                for rest in trees.by_ref() {
+                    if let TokenTree::Group(g) = &rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => continue,
+        }
+    }
+    let name = name.expect("derive input must be a struct");
+    let body = body.expect("derive supports only structs with named fields");
+
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip field attributes: `#` followed by a bracket group.
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next(); // the [...] group
+        }
+        // Skip visibility: `pub` optionally followed by `(...)`.
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                toks.next();
+            }
+        }
+        let Some(TokenTree::Ident(field)) = toks.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Consume `: Type` up to the next top-level comma.
+        let mut depth = 0i32;
+        for tt in toks.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    StructShape { name, fields }
+}
+
+/// Derive `serde::SerializeTrait` (field-by-field object construction).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let inserts: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!("map.insert({f:?}.to_string(), serde::SerializeTrait::to_value(&self.{f}));\n")
+        })
+        .collect();
+    let code = format!(
+        "impl serde::SerializeTrait for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut map = ::std::collections::BTreeMap::new();\n\
+                 {inserts}\
+                 serde::Value::Object(map)\n\
+             }}\n\
+         }}\n",
+        name = shape.name,
+    );
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::DeserializeTrait` (missing fields error; unknown fields are
+/// ignored, matching upstream serde's default).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let reads: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::DeserializeTrait::from_value(obj.get({f:?}).ok_or_else(|| serde::Error::msg(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
+            )
+        })
+        .collect();
+    let code = format!(
+        "impl serde::DeserializeTrait for {name} {{\n\
+             fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+                 let obj = match v {{\n\
+                     serde::Value::Object(m) => m,\n\
+                     other => return Err(serde::Error::msg(format!(\"expected object, got {{other:?}}\"))),\n\
+                 }};\n\
+                 Ok({name} {{\n\
+                     {reads}\
+                 }})\n\
+             }}\n\
+         }}\n",
+        name = shape.name,
+    );
+    code.parse().expect("generated Deserialize impl must parse")
+}
