@@ -1,0 +1,95 @@
+//! Representation-conversion cost: what does each graph handoff in the
+//! pipeline actually pay?
+//!
+//! The unified CSR layer's claim is that consumers borrow (`ThresholdView`)
+//! instead of copying (`threshold()` + `to_weighted_graph()`). This bench
+//! puts numbers on that claim for the jan2020 preset:
+//!
+//! * **CiGraph → CSR build** — projecting from the BTM (run-emitting sharded
+//!   builder) vs rebuilding a CSR from an edge iterator, the cost the old
+//!   collect-sort-dedup path paid on every handoff;
+//! * **threshold-view vs clone-then-build** — orienting + surveying through
+//!   a borrowed `ThresholdView` vs materializing the thresholded graph first.
+//!   At threshold 1 the view filters nothing, so the comparison isolates the
+//!   copy itself; at 5/10 the view also skips the dropped edges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::jan2020_small;
+use coordination_core::project::project;
+use coordination_core::Window;
+use coordination_graph::CsrGraph;
+use tripoll::survey::{survey, SurveyConfig};
+use tripoll::OrientedGraph;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("representation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g
+}
+
+/// Building the CSR: projection's sharded run-emitting path vs rebuilding
+/// from an already-materialized graph's edge stream (the per-handoff cost
+/// the old representation paid).
+fn representation_build(c: &mut Criterion) {
+    let (_, ds) = jan2020_small();
+    let btm = ds.btm();
+    let w = Window::zero_to_60s();
+    let ci = project(&btm, w);
+    let mut g = quick(c);
+    g.bench_function("project_btm_to_csr", |b| {
+        b.iter(|| black_box(project(&btm, w).n_edges()))
+    });
+    g.bench_function("rebuild_csr_from_edges", |b| {
+        b.iter(|| black_box(CsrGraph::from_edges(ci.n_authors(), ci.edges()).m()))
+    });
+    g.bench_function("clone_csr", |b| {
+        b.iter(|| black_box(ci.as_csr().clone().m()))
+    });
+    g.finish();
+}
+
+/// The zero-copy claim: orient + survey through a borrowed view vs paying
+/// for `threshold()` + `to_weighted_graph()` first.
+fn representation_threshold_handoff(c: &mut Criterion) {
+    let (_, ds) = jan2020_small();
+    let btm = ds.btm();
+    let ci = project(&btm, Window::zero_to_60s());
+    let cfg = SurveyConfig::with_min_weight(10);
+    let mut g = quick(c);
+    for threshold in [1u64, 5, 10] {
+        g.bench_with_input(
+            BenchmarkId::new("survey_via_threshold_view", threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    let view = ci.threshold_view(t);
+                    let o = OrientedGraph::from_ref(&view);
+                    black_box(survey(&o, &cfg, None).total_examined)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("survey_via_clone_then_build", threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    let wg = ci.threshold(t).to_weighted_graph();
+                    let o = OrientedGraph::from_graph(&wg);
+                    black_box(survey(&o, &cfg, None).total_examined)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    representation,
+    representation_build,
+    representation_threshold_handoff
+);
+criterion_main!(representation);

@@ -5,17 +5,25 @@
 //! additionally carry `P'_x`, the count of pages that contributed at least one
 //! projection edge at `x` (Eq. 6), which the normalized triangle score
 //! `T(x,y,z)` (Eq. 7) needs.
+//!
+//! Since the `crates/graph` refactor the edge set is stored as a shared
+//! [`CsrGraph`] rather than a `HashMap<(u32, u32), u64>`: the projection
+//! drivers hand their per-worker sorted edge runs straight to
+//! [`CiGraph::from_runs`], the triangle survey orients [`CiGraph::as_csr`]
+//! directly (`tripoll::WeightedGraph` *is* this CSR type), and thresholding is
+//! a borrowed [`ThresholdView`] instead of an edge-map clone.
 
 use std::collections::HashMap;
+
+use coordination_graph::{CsrGraph, GraphRef, SubsetView, ThresholdView};
 
 use crate::ids::AuthorId;
 
 /// A weighted one-mode author graph plus per-author projection page counts.
 #[derive(Clone, Debug, Default)]
 pub struct CiGraph {
-    n_authors: u32,
-    /// Edge weights `w'` keyed by `(min_id, max_id)`.
-    edges: HashMap<(u32, u32), u64>,
+    /// Edge weights `w'` in shared CSR form (dense author-id vertices).
+    csr: CsrGraph,
     /// `P'_x` per author id (0 for authors with no projection edge).
     page_counts: Vec<u64>,
 }
@@ -24,39 +32,96 @@ impl CiGraph {
     /// An empty graph over `n_authors` vertex slots.
     pub fn new(n_authors: u32) -> Self {
         CiGraph {
-            n_authors,
-            edges: HashMap::new(),
+            csr: CsrGraph::empty(n_authors),
             page_counts: vec![0; n_authors as usize],
         }
     }
 
-    /// Construct from parts (the projection drivers use this).
+    /// Construct from a drained edge map (the distributed projection driver
+    /// collects shard results into one map before building).
     pub fn from_parts(
         n_authors: u32,
         edges: HashMap<(u32, u32), u64>,
         page_counts: Vec<u64>,
     ) -> Self {
+        debug_assert!(edges.keys().all(|&(a, b)| a < b && b < n_authors));
+        let canon: Vec<(u32, u32, u64)> = edges.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        Self::from_runs_inner(
+            n_authors,
+            CsrGraph::from_canonical_unsorted(n_authors, canon),
+            page_counts,
+        )
+    }
+
+    /// Construct from an arbitrary weighted edge list (duplicates in either
+    /// orientation summed, like [`CsrGraph::from_edges`]). The streaming
+    /// engine's snapshots use this to go straight from its live edge table to
+    /// CSR with no intermediate map clone.
+    pub fn from_weighted_edges(
+        n_authors: u32,
+        edges: impl IntoIterator<Item = (u32, u32, u64)>,
+        page_counts: Vec<u64>,
+    ) -> Self {
+        Self::from_runs_inner(
+            n_authors,
+            CsrGraph::from_edges(n_authors, edges),
+            page_counts,
+        )
+    }
+
+    /// Construct from per-worker sorted canonical edge runs — the zero-re-sort
+    /// fast path the projection drivers use ([`CsrGraph::from_canonical_runs`]
+    /// k-way merges the runs, summing duplicate pairs across workers).
+    pub fn from_runs(
+        n_authors: u32,
+        runs: Vec<Vec<(u32, u32, u64)>>,
+        page_counts: Vec<u64>,
+    ) -> Self {
+        Self::from_runs_inner(
+            n_authors,
+            CsrGraph::from_canonical_runs(n_authors, runs),
+            page_counts,
+        )
+    }
+
+    fn from_runs_inner(n_authors: u32, csr: CsrGraph, page_counts: Vec<u64>) -> Self {
         assert_eq!(
             page_counts.len(),
             n_authors as usize,
             "page_counts length mismatch"
         );
-        debug_assert!(edges.keys().all(|&(a, b)| a < b && b < n_authors));
-        CiGraph {
-            n_authors,
-            edges,
-            page_counts,
-        }
+        CiGraph { csr, page_counts }
+    }
+
+    /// The underlying shared CSR representation. `tripoll::WeightedGraph` is
+    /// the same type, so orientation and survey consume this borrow directly —
+    /// no conversion, no copy.
+    pub fn as_csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Borrowed view keeping only edges with `w' >= min_weight` — the paper's
+    /// pre-triangle threshold without cloning the edge set. `P'` counts are
+    /// untouched: thresholding is a search-space reduction, not a
+    /// re-projection.
+    pub fn threshold_view(&self, min_weight: u64) -> ThresholdView<'_, CsrGraph> {
+        ThresholdView::new(&self.csr, min_weight)
+    }
+
+    /// Borrowed view keeping only edges internal to `vertices` (for component
+    /// extraction and subset re-examination).
+    pub fn subset_view(&self, vertices: impl IntoIterator<Item = u32>) -> SubsetView<'_, CsrGraph> {
+        SubsetView::new(&self.csr, vertices)
     }
 
     /// Number of author slots.
     pub fn n_authors(&self) -> u32 {
-        self.n_authors
+        self.csr.n()
     }
 
     /// Number of edges (pairs with `w' ≥ 1`).
     pub fn n_edges(&self) -> u64 {
-        self.edges.len() as u64
+        self.csr.m()
     }
 
     /// Number of authors with at least one incident edge.
@@ -66,8 +131,7 @@ impl CiGraph {
 
     /// `w'_{xy}` (symmetric); 0 if the pair shares no windowed interaction.
     pub fn weight(&self, x: AuthorId, y: AuthorId) -> u64 {
-        let key = (x.0.min(y.0), x.0.max(y.0));
-        self.edges.get(&key).copied().unwrap_or(0)
+        self.csr.edge_weight(x.0, y.0).unwrap_or(0)
     }
 
     /// `P'_x` — pages used to create a projection edge at `x` (Eq. 6).
@@ -80,66 +144,54 @@ impl CiGraph {
         &self.page_counts
     }
 
-    /// Iterate edges as `(x, y, w')` with `x < y`.
+    /// Iterate edges as `(x, y, w')` with `x < y`, ascending.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
-        self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
+        self.csr.edges()
     }
 
-    /// Increment `w'_{xy}` by one (used by merge paths; x ≠ y required).
-    pub fn add_edge_count(&mut self, x: u32, y: u32, n: u64) {
-        assert_ne!(x, y, "self-interactions are never projected");
-        let key = (x.min(y), x.max(y));
-        *self.edges.entry(key).or_insert(0) += n;
-    }
-
-    /// Increment `P'_x` by `n`.
-    pub fn add_page_count(&mut self, x: u32, n: u64) {
-        self.page_counts[x as usize] += n;
-    }
-
-    /// Merge another projection's counts into this one (used by the
-    /// distributed driver's shard collection; *not* a semantically valid way
-    /// to combine different windows — see `project::project_bucketed`).
+    /// Merge another projection's counts into this one (used by shard
+    /// collection; *not* a semantically valid way to combine different
+    /// windows — see `project::project_bucketed`).
     pub fn absorb(&mut self, other: CiGraph) {
-        assert_eq!(self.n_authors, other.n_authors);
-        for ((a, b), w) in other.edges {
-            *self.edges.entry((a, b)).or_insert(0) += w;
-        }
+        assert_eq!(self.n_authors(), other.n_authors());
+        let n = self.n_authors();
+        // both edge iterations are sorted canonical runs: a 2-way merge, no sort
+        let runs = vec![
+            self.csr.edges().collect::<Vec<_>>(),
+            other.csr.edges().collect::<Vec<_>>(),
+        ];
+        self.csr = CsrGraph::from_canonical_runs(n, runs);
         for (i, c) in other.page_counts.into_iter().enumerate() {
             self.page_counts[i] += c;
         }
     }
 
-    /// Drop edges with `w' < min_weight` (the paper's pre-triangle threshold).
-    /// `P'` counts are kept as computed at projection time — thresholding is a
-    /// search-space reduction, not a re-projection.
+    /// Materialize a thresholded copy. Prefer [`CiGraph::threshold_view`]
+    /// everywhere a borrow suffices (orientation, components, iteration) —
+    /// this exists for callers that need an owned thresholded `CiGraph`.
     pub fn threshold(&self, min_weight: u64) -> CiGraph {
         CiGraph {
-            n_authors: self.n_authors,
-            edges: self
-                .edges
-                .iter()
-                .filter(|&(_, &w)| w >= min_weight)
-                .map(|(&k, &w)| (k, w))
-                .collect(),
+            csr: self.threshold_view(min_weight).to_csr(),
             page_counts: self.page_counts.clone(),
         }
     }
 
     /// Largest edge weight (0 for an edgeless graph).
     pub fn max_weight(&self) -> u64 {
-        self.edges.values().copied().max().unwrap_or(0)
+        self.csr.max_weight()
     }
 
-    /// Convert to a [`tripoll::WeightedGraph`] over the same dense vertex ids.
+    /// Clone the edge structure as an owned [`tripoll::WeightedGraph`].
+    /// `WeightedGraph` and the internal CSR are the same type now, so this is
+    /// a plain clone — use [`CiGraph::as_csr`] instead when a borrow suffices.
     pub fn to_weighted_graph(&self) -> tripoll::WeightedGraph {
-        tripoll::WeightedGraph::from_edges(self.n_authors, self.edges())
+        self.csr.clone()
     }
 
     /// Connected components over edges with `w' ≥ min_weight` (≥ 2 vertices,
     /// largest first) — how the paper extracts botnet candidates (Figures 1–2).
     pub fn components(&self, min_weight: u64) -> Vec<Vec<u32>> {
-        self.to_weighted_graph().components(min_weight)
+        self.csr.components(min_weight)
     }
 
     /// Serialize to the versioned TSV format (deterministic row order).
@@ -148,28 +200,23 @@ impl CiGraph {
     /// interchange format (`coordination project` / `survey` in the CLI).
     pub fn write_tsv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         writeln!(w, "#ci-graph\tv1")?;
-        writeln!(w, "#n_authors\t{}", self.n_authors)?;
-        let mut counts: Vec<(u32, u64)> = self
-            .page_counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(a, &c)| (a as u32, c))
-            .collect();
-        counts.sort_unstable();
-        for (a, c) in counts {
-            writeln!(w, "P\t{a}\t{c}")?;
+        writeln!(w, "#n_authors\t{}", self.n_authors())?;
+        // page_counts is dense by author id and edges() is ascending-canonical,
+        // so both sections come out sorted without any collect-and-sort pass.
+        for (a, &c) in self.page_counts.iter().enumerate() {
+            if c > 0 {
+                writeln!(w, "P\t{a}\t{c}")?;
+            }
         }
-        let mut edges: Vec<(u32, u32, u64)> = self.edges().collect();
-        edges.sort_unstable();
-        for (a, b, wt) in edges {
+        for (a, b, wt) in self.edges() {
             writeln!(w, "E\t{a}\t{b}\t{wt}")?;
         }
         Ok(())
     }
 
     /// Parse the TSV format written by [`CiGraph::write_tsv`]. Returns a
-    /// descriptive error string on malformed input.
+    /// descriptive error string on malformed input. Duplicate `E` rows for the
+    /// same pair (which `write_tsv` never emits) have their weights summed.
     pub fn read_tsv<R: std::io::BufRead>(r: R) -> Result<CiGraph, String> {
         let mut lines = r.lines().enumerate();
         let (_, first) = lines.next().ok_or("empty input")?;
@@ -185,7 +232,8 @@ impl CiGraph {
             .trim()
             .parse()
             .map_err(|e| format!("bad n_authors value: {e}"))?;
-        let mut g = CiGraph::new(n_authors);
+        let mut page_counts = vec![0u64; n_authors as usize];
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
         for (lineno, line) in lines {
             let line = line.map_err(|e| e.to_string())?;
             let line = line.trim_end();
@@ -207,7 +255,7 @@ impl CiGraph {
                     if a >= n_authors {
                         return Err(err("author id out of range"));
                     }
-                    g.page_counts[a as usize] = c;
+                    page_counts[a as usize] = c;
                 }
                 Some("E") => {
                     let a: u32 = f
@@ -225,12 +273,55 @@ impl CiGraph {
                     if a >= n_authors || b >= n_authors || a == b {
                         return Err(err("bad edge endpoints"));
                     }
-                    g.edges.insert((a.min(b), a.max(b)), w);
+                    edges.push((a.min(b), a.max(b), w));
                 }
                 _ => return Err(err("unknown record kind")),
             }
         }
-        Ok(g)
+        Ok(CiGraph::from_weighted_edges(n_authors, edges, page_counts))
+    }
+}
+
+/// Incremental construction of a [`CiGraph`] by accumulating counts.
+///
+/// Replaces the removed `add_edge_count` / `add_page_count` mutators: the
+/// CSR-backed `CiGraph` is immutable once built, so accumulation happens here
+/// and [`CiGraphBuilder::build`] runs the sharded builder once at the end.
+#[derive(Clone, Debug)]
+pub struct CiGraphBuilder {
+    n_authors: u32,
+    edges: Vec<(u32, u32, u64)>,
+    page_counts: Vec<u64>,
+}
+
+impl CiGraphBuilder {
+    /// A builder over `n_authors` vertex slots with no counts yet.
+    pub fn new(n_authors: u32) -> Self {
+        CiGraphBuilder {
+            n_authors,
+            edges: Vec::new(),
+            page_counts: vec![0; n_authors as usize],
+        }
+    }
+
+    /// Add `n` to `w'_{xy}` (x ≠ y required).
+    pub fn add_edge_count(&mut self, x: u32, y: u32, n: u64) {
+        assert_ne!(x, y, "self-interactions are never projected");
+        assert!(
+            x < self.n_authors && y < self.n_authors,
+            "author id out of range"
+        );
+        self.edges.push((x.min(y), x.max(y), n));
+    }
+
+    /// Add `n` to `P'_x`.
+    pub fn add_page_count(&mut self, x: u32, n: u64) {
+        self.page_counts[x as usize] += n;
+    }
+
+    /// Build the immutable CSR-backed graph.
+    pub fn build(self) -> CiGraph {
+        CiGraph::from_weighted_edges(self.n_authors, self.edges, self.page_counts)
     }
 }
 
@@ -244,8 +335,9 @@ mod tests {
 
     #[test]
     fn weights_are_symmetric_and_default_zero() {
-        let mut g = CiGraph::new(3);
-        g.add_edge_count(2, 0, 5);
+        let mut b = CiGraphBuilder::new(3);
+        b.add_edge_count(2, 0, 5);
+        let g = b.build();
         assert_eq!(g.weight(a(0), a(2)), 5);
         assert_eq!(g.weight(a(2), a(0)), 5);
         assert_eq!(g.weight(a(0), a(1)), 0);
@@ -255,14 +347,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "self-interactions")]
     fn self_edge_panics() {
-        CiGraph::new(2).add_edge_count(1, 1, 1);
+        CiGraphBuilder::new(2).add_edge_count(1, 1, 1);
+    }
+
+    #[test]
+    fn builder_sums_repeated_pairs() {
+        let mut b = CiGraphBuilder::new(3);
+        b.add_edge_count(0, 1, 2);
+        b.add_edge_count(1, 0, 3);
+        let g = b.build();
+        assert_eq!(g.weight(a(0), a(1)), 5);
+        assert_eq!(g.n_edges(), 1);
     }
 
     #[test]
     fn page_counts_track_active_authors() {
-        let mut g = CiGraph::new(4);
-        g.add_page_count(1, 3);
-        g.add_page_count(2, 1);
+        let mut b = CiGraphBuilder::new(4);
+        b.add_page_count(1, 3);
+        b.add_page_count(2, 1);
+        let g = b.build();
         assert_eq!(g.page_count(a(1)), 3);
         assert_eq!(g.page_count(a(0)), 0);
         assert_eq!(g.active_authors(), 2);
@@ -271,10 +374,11 @@ mod tests {
 
     #[test]
     fn threshold_keeps_heavy_edges_and_page_counts() {
-        let mut g = CiGraph::new(3);
-        g.add_edge_count(0, 1, 10);
-        g.add_edge_count(1, 2, 2);
-        g.add_page_count(0, 7);
+        let mut b = CiGraphBuilder::new(3);
+        b.add_edge_count(0, 1, 10);
+        b.add_edge_count(1, 2, 2);
+        b.add_page_count(0, 7);
+        let g = b.build();
         let t = g.threshold(5);
         assert_eq!(t.n_edges(), 1);
         assert_eq!(t.weight(a(0), a(1)), 10);
@@ -283,39 +387,95 @@ mod tests {
     }
 
     #[test]
+    fn threshold_view_matches_materialized_threshold() {
+        use coordination_graph::GraphRef;
+        let mut b = CiGraphBuilder::new(4);
+        b.add_edge_count(0, 1, 10);
+        b.add_edge_count(1, 2, 2);
+        b.add_edge_count(2, 3, 5);
+        let g = b.build();
+        for min in [1, 2, 5, 10, 11] {
+            let view = g.threshold_view(min);
+            let owned = g.threshold(min);
+            assert_eq!(
+                view.edge_iter().collect::<Vec<_>>(),
+                owned.edges().collect::<Vec<_>>(),
+                "min={min}"
+            );
+            assert_eq!(view.count_edges(), owned.n_edges(), "min={min}");
+        }
+    }
+
+    #[test]
+    fn subset_view_restricts_edges() {
+        use coordination_graph::GraphRef;
+        let mut b = CiGraphBuilder::new(4);
+        b.add_edge_count(0, 1, 1);
+        b.add_edge_count(1, 2, 2);
+        b.add_edge_count(2, 3, 3);
+        let g = b.build();
+        let view = g.subset_view([1, 2]);
+        assert_eq!(view.edge_iter().collect::<Vec<_>>(), vec![(1, 2, 2)]);
+    }
+
+    #[test]
     fn absorb_sums_everything() {
-        let mut g1 = CiGraph::new(3);
-        g1.add_edge_count(0, 1, 2);
-        g1.add_page_count(0, 1);
-        let mut g2 = CiGraph::new(3);
-        g2.add_edge_count(1, 0, 3);
-        g2.add_edge_count(1, 2, 1);
-        g2.add_page_count(0, 2);
-        g1.absorb(g2);
+        let mut b1 = CiGraphBuilder::new(3);
+        b1.add_edge_count(0, 1, 2);
+        b1.add_page_count(0, 1);
+        let mut g1 = b1.build();
+        let mut b2 = CiGraphBuilder::new(3);
+        b2.add_edge_count(1, 0, 3);
+        b2.add_edge_count(1, 2, 1);
+        b2.add_page_count(0, 2);
+        g1.absorb(b2.build());
         assert_eq!(g1.weight(a(0), a(1)), 5);
         assert_eq!(g1.weight(a(1), a(2)), 1);
         assert_eq!(g1.page_count(a(0)), 3);
     }
 
     #[test]
-    fn to_weighted_graph_preserves_weights() {
-        let mut g = CiGraph::new(4);
-        g.add_edge_count(0, 1, 4);
-        g.add_edge_count(2, 3, 9);
-        let wg = g.to_weighted_graph();
+    fn from_parts_and_from_runs_agree() {
+        let mut map = HashMap::new();
+        map.insert((0u32, 1u32), 4u64);
+        map.insert((2u32, 3u32), 9u64);
+        let from_map = CiGraph::from_parts(4, map, vec![1, 1, 1, 1]);
+        let from_runs =
+            CiGraph::from_runs(4, vec![vec![(0, 1, 4)], vec![(2, 3, 9)]], vec![1, 1, 1, 1]);
+        assert_eq!(
+            from_map.edges().collect::<Vec<_>>(),
+            from_runs.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(from_map.page_counts(), from_runs.page_counts());
+    }
+
+    #[test]
+    fn as_csr_is_the_survey_input() {
+        let mut b = CiGraphBuilder::new(4);
+        b.add_edge_count(0, 1, 4);
+        b.add_edge_count(2, 3, 9);
+        let g = b.build();
+        let wg: &tripoll::WeightedGraph = g.as_csr();
         assert_eq!(wg.n(), 4);
         assert_eq!(wg.m(), 2);
         assert_eq!(wg.edge_weight(0, 1), Some(4));
         assert_eq!(wg.edge_weight(2, 3), Some(9));
+        // the owned conversion is now just a clone of the same representation
+        let owned = g.to_weighted_graph();
+        assert_eq!(
+            owned.edges().collect::<Vec<_>>(),
+            wg.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn tsv_roundtrip_is_identity() {
-        let mut g = CiGraph::new(5);
-        g.add_edge_count(0, 3, 12);
-        g.add_edge_count(4, 1, 7);
-        g.add_page_count(0, 9);
-        g.add_page_count(3, 2);
+        let mut b = CiGraphBuilder::new(5);
+        b.add_edge_count(0, 3, 12);
+        b.add_edge_count(4, 1, 7);
+        b.add_page_count(0, 9);
+        b.add_page_count(3, 2);
+        let g = b.build();
         let mut buf = Vec::new();
         g.write_tsv(&mut buf).unwrap();
         let back = CiGraph::read_tsv(&buf[..]).unwrap();
@@ -323,18 +483,18 @@ mod tests {
         assert_eq!(back.weight(a(0), a(3)), 12);
         assert_eq!(back.weight(a(1), a(4)), 7);
         assert_eq!(back.page_counts(), g.page_counts());
-        let mut e1: Vec<_> = g.edges().collect();
-        let mut e2: Vec<_> = back.edges().collect();
-        e1.sort_unstable();
-        e2.sort_unstable();
-        assert_eq!(e1, e2);
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            back.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn tsv_write_is_deterministic() {
-        let mut g = CiGraph::new(4);
-        g.add_edge_count(2, 1, 3);
-        g.add_edge_count(0, 3, 5);
+        let mut b = CiGraphBuilder::new(4);
+        b.add_edge_count(2, 1, 3);
+        b.add_edge_count(0, 3, 5);
+        let g = b.build();
         let render = |g: &CiGraph| {
             let mut b = Vec::new();
             g.write_tsv(&mut b).unwrap();
@@ -362,10 +522,11 @@ mod tests {
 
     #[test]
     fn components_use_threshold() {
-        let mut g = CiGraph::new(4);
-        g.add_edge_count(0, 1, 10);
-        g.add_edge_count(1, 2, 1);
-        g.add_edge_count(2, 3, 10);
+        let mut b = CiGraphBuilder::new(4);
+        b.add_edge_count(0, 1, 10);
+        b.add_edge_count(1, 2, 1);
+        b.add_edge_count(2, 3, 10);
+        let g = b.build();
         let comps = g.components(5);
         assert_eq!(comps.len(), 2);
         assert_eq!(g.components(1).len(), 1);

@@ -1,23 +1,13 @@
 //! Dense ids for authors and pages, and the string interner that produces them.
 //!
-//! The raw data identifies authors and pages by strings; every algorithmic
-//! stage works on dense `u32` ids so graphs can use flat arrays. `u32` holds
-//! 4.3 billion distinct entities — the full Reddit author space (the paper's
-//! biggest projection has 2.95 million authors) with room to spare, at half the
-//! memory of `usize` keys (perf-book: smaller integers in hot types).
+//! The id newtypes themselves live in the shared [`coordination_graph`] layer
+//! (every graph representation keys vertices by them) and are re-exported here
+//! for compatibility; the [`Event`] record and the [`Interner`] are
+//! core-specific.
 
 use std::collections::HashMap;
 
-/// Seconds since the Unix epoch, matching pushshift's `created_utc`.
-pub type Timestamp = i64;
-
-/// Dense author id.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct AuthorId(pub u32);
-
-/// Dense page id (the root submission of a comment tree).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PageId(pub u32);
+pub use coordination_graph::{AuthorId, PageId, Timestamp};
 
 /// One comment: `author` commented on `page` at `ts`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

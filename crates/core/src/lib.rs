@@ -64,8 +64,13 @@ pub mod records;
 pub mod window;
 pub mod windowed_hyperedge;
 
+/// The shared graph-representation layer (CSR storage, typed ids, borrowed
+/// views) — every stage of the pipeline exchanges graphs through these types.
+pub use coordination_graph as graph;
+
 pub use btm::Btm;
-pub use cigraph::CiGraph;
+pub use cigraph::{CiGraph, CiGraphBuilder};
+pub use coordination_graph::{GraphRef, SubsetView, ThresholdView};
 pub use ids::{AuthorId, Event, Interner, PageId, Timestamp};
 pub use metrics::{c_score, t_score, TripletMetrics};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};

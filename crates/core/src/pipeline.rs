@@ -20,7 +20,7 @@ use crate::project;
 use crate::records::Dataset;
 use crate::window::Window;
 use tripoll::survey::{survey, SurveyConfig, SurveyReport};
-use tripoll::OrientedGraph;
+use tripoll::{GraphRef, OrientedGraph};
 
 /// Which projection driver step 1 uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -186,15 +186,16 @@ impl Pipeline {
         };
         let projection_time = t0.elapsed();
 
-        // Step 2: triangle survey on the edge-thresholded graph.
+        // Step 2: triangle survey on the edge-thresholded graph. Thresholding
+        // is a borrowed view over the CI graph's CSR — orientation consumes it
+        // directly, so no filtered copy of the edge set is ever materialized.
         let t1 = Instant::now();
-        let thresholded = if cfg.edge_threshold > 1 {
-            ci.threshold(cfg.edge_threshold)
+        let (oriented, ci_edges_after_threshold) = if cfg.edge_threshold > 1 {
+            let view = ci.threshold_view(cfg.edge_threshold);
+            (OrientedGraph::from_ref(&view), view.count_edges())
         } else {
-            ci.clone()
+            (OrientedGraph::from_ref(ci.as_csr()), ci.n_edges())
         };
-        let wg = thresholded.to_weighted_graph();
-        let oriented = OrientedGraph::from_graph(&wg);
         let report = survey(
             &oriented,
             &SurveyConfig {
@@ -218,7 +219,7 @@ impl Pipeline {
             total_authors: btm.n_authors(),
             projected_authors: ci.active_authors(),
             ci_edges: ci.n_edges(),
-            ci_edges_after_threshold: thresholded.n_edges(),
+            ci_edges_after_threshold,
             triangles_examined: report.total_examined,
             triangles_kept: report.len() as u64,
             triplets_validated: triplets.len() as u64,

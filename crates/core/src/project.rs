@@ -7,7 +7,8 @@
 //! author incident to `S_I` increments its page count `P'` once. Pages are
 //! independent, so the parallel drivers fan out over pages:
 //!
-//! * [`project`] — rayon fold/reduce with per-worker partial maps (the default);
+//! * [`project`] — rayon fold with per-worker partial maps, each drained into
+//!   a sorted edge run and k-way merged by the CSR builder (the default);
 //! * [`project_sequential`] — the literal Algorithm 1 loop (reference and
 //!   baseline for the scaling bench);
 //! * [`project_bucketed`] — the paper's time-bucket decomposition of a long
@@ -71,12 +72,41 @@ fn accumulate_page(
     }
 }
 
+/// One worker's accumulated `(edge weights, page counts)`.
+type Partial = (HashMap<(u32, u32), u64>, HashMap<u32, u64>);
+
 fn finish(n_authors: u32, edges: HashMap<(u32, u32), u64>, counts: HashMap<u32, u64>) -> CiGraph {
     let mut page_counts = vec![0u64; n_authors as usize];
     for (a, c) in counts {
         page_counts[a as usize] = c;
     }
     CiGraph::from_parts(n_authors, edges, page_counts)
+}
+
+/// Turn per-worker partials into sorted canonical edge runs and hand them to
+/// [`CiGraph::from_runs`]. This replaces the old pairwise HashMap reduction:
+/// each worker's map is drained and sorted independently (in parallel), and
+/// the CSR builder k-way merges the runs — no global map merge, no global
+/// re-sort.
+fn finish_runs(n_authors: u32, partials: Vec<Partial>) -> CiGraph {
+    let mut page_counts = vec![0u64; n_authors as usize];
+    let mut edge_maps = Vec::with_capacity(partials.len());
+    for (edges, counts) in partials {
+        for (a, c) in counts {
+            page_counts[a as usize] += c;
+        }
+        edge_maps.push(edges);
+    }
+    let runs: Vec<Vec<(u32, u32, u64)>> = edge_maps
+        .into_par_iter()
+        .map(|m| {
+            let mut run: Vec<(u32, u32, u64)> =
+                m.into_iter().map(|((x, y), w)| (x, y, w)).collect();
+            run.sort_unstable_by_key(|&(x, y, _)| (x, y));
+            run
+        })
+        .collect();
+    CiGraph::from_runs(n_authors, runs, page_counts)
 }
 
 /// Algorithm 1, sequential reference implementation.
@@ -93,10 +123,11 @@ pub fn project_sequential(btm: &Btm, window: Window) -> CiGraph {
 }
 
 /// Algorithm 1 parallelized over pages with rayon (the default driver).
+/// Per-worker partials become sorted edge runs, k-way merged straight into
+/// the CSR-backed [`CiGraph`] — the old pairwise HashMap reduction is gone.
 pub fn project(btm: &Btm, window: Window) -> CiGraph {
-    type Partial = (HashMap<(u32, u32), u64>, HashMap<u32, u64>);
     let pages: Vec<_> = btm.pages().collect();
-    let (edges, counts) = pages
+    let partials: Vec<Partial> = pages
         .par_iter()
         .fold(
             || (HashMap::new(), HashMap::new()),
@@ -108,37 +139,8 @@ pub fn project(btm: &Btm, window: Window) -> CiGraph {
                 (edges, counts)
             },
         )
-        .reduce(
-            || (HashMap::new(), HashMap::new()),
-            |(mut e1, mut c1), (e2, c2)| {
-                if e1.len() < e2.len() {
-                    return reduce_into(e2, c2, e1, c1);
-                }
-                for (k, v) in e2 {
-                    *e1.entry(k).or_insert(0) += v;
-                }
-                for (k, v) in c2 {
-                    *c1.entry(k).or_insert(0) += v;
-                }
-                (e1, c1)
-            },
-        );
-    return finish(btm.n_authors(), edges, counts);
-
-    fn reduce_into(
-        mut big_e: HashMap<(u32, u32), u64>,
-        mut big_c: HashMap<u32, u64>,
-        small_e: HashMap<(u32, u32), u64>,
-        small_c: HashMap<u32, u64>,
-    ) -> (HashMap<(u32, u32), u64>, HashMap<u32, u64>) {
-        for (k, v) in small_e {
-            *big_e.entry(k).or_insert(0) += v;
-        }
-        for (k, v) in small_c {
-            *big_c.entry(k).or_insert(0) += v;
-        }
-        (big_e, big_c)
-    }
+        .collect();
+    finish_runs(btm.n_authors(), partials)
 }
 
 /// The paper's time-bucket strategy for long windows: split `window` into
@@ -149,11 +151,11 @@ pub fn project(btm: &Btm, window: Window) -> CiGraph {
 pub fn project_bucketed(btm: &Btm, window: Window, n_buckets: usize) -> CiGraph {
     let buckets = window.buckets(n_buckets);
     let pages: Vec<_> = btm.pages().collect();
-    let (edges, counts) = pages
+    let partials: Vec<Partial> = pages
         .par_iter()
         .fold(
             || (HashMap::new(), HashMap::new()),
-            |(mut edges, mut counts), (_, comments)| {
+            |(mut edges, mut counts): Partial, (_, comments)| {
                 let mut union: HashSet<(u32, u32)> = HashSet::new();
                 let mut pairs = HashSet::new();
                 for b in &buckets {
@@ -165,19 +167,8 @@ pub fn project_bucketed(btm: &Btm, window: Window, n_buckets: usize) -> CiGraph 
                 (edges, counts)
             },
         )
-        .reduce(
-            || (HashMap::new(), HashMap::new()),
-            |(mut e1, mut c1), (e2, c2)| {
-                for (k, v) in e2 {
-                    *e1.entry(k).or_insert(0) += v;
-                }
-                for (k, v) in c2 {
-                    *c1.entry(k).or_insert(0) += v;
-                }
-                (e1, c1)
-            },
-        );
-    finish(btm.n_authors(), edges, counts)
+        .collect();
+    finish_runs(btm.n_authors(), partials)
 }
 
 /// The YGM-style distributed projection: pages are hash-distributed across
@@ -255,11 +246,11 @@ pub fn project_subset(btm: &Btm, subset: &[AuthorId], window: Window) -> CiGraph
         in_subset[a.0 as usize] = true;
     }
     let pages: Vec<_> = btm.pages().collect();
-    let (edges, counts) = pages
+    let partials: Vec<Partial> = pages
         .par_iter()
         .fold(
             || (HashMap::new(), HashMap::new()),
-            |(mut edges, mut counts), (_, comments)| {
+            |(mut edges, mut counts): Partial, (_, comments)| {
                 // restrict the neighborhood to subset members up front
                 let filtered: Vec<(Timestamp, AuthorId)> = comments
                     .iter()
@@ -275,19 +266,8 @@ pub fn project_subset(btm: &Btm, subset: &[AuthorId], window: Window) -> CiGraph
                 (edges, counts)
             },
         )
-        .reduce(
-            || (HashMap::new(), HashMap::new()),
-            |(mut e1, mut c1), (e2, c2)| {
-                for (k, v) in e2 {
-                    *e1.entry(k).or_insert(0) += v;
-                }
-                for (k, v) in c2 {
-                    *c1.entry(k).or_insert(0) += v;
-                }
-                (e1, c1)
-            },
-        );
-    finish(btm.n_authors(), edges, counts)
+        .collect();
+    finish_runs(btm.n_authors(), partials)
 }
 
 /// Summary statistics of one projection run, for scale reporting

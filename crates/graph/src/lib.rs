@@ -1,0 +1,32 @@
+//! # coordination-graph — the one graph representation the whole pipeline shares
+//!
+//! Every stage of the detection pipeline is graph-representation-bound:
+//! projection produces the common-interaction graph, the triangle survey
+//! orients and enumerates it, component extraction walks it, and the
+//! streaming engine snapshots it. This crate is the single
+//! compressed-sparse-row ([`CsrGraph`]) representation they all share, plus
+//! the machinery that makes the handoffs zero-copy:
+//!
+//! * [`ids`] — the typed [`AuthorId`] / [`PageId`] newtypes every layer keys
+//!   vertices by (re-exported through `coordination-core::ids`);
+//! * [`csr`] — [`CsrGraph`] storage with a **sharded parallel builder**
+//!   ([`CsrGraph::from_edges`] sorts per-shard runs and k-way merges them —
+//!   no global re-sort) and the fast path [`CsrGraph::from_canonical_runs`]
+//!   for producers that already hold sorted runs; also the union-find
+//!   ([`DisjointSets`]) and generic connected-[`components`] extraction;
+//! * [`view`] — the [`GraphRef`] borrowing trait and the allocation-free
+//!   [`ThresholdView`] / [`SubsetView`] adapters, so consumers (edge
+//!   thresholding before a survey, subset extraction for reprojection) filter
+//!   *during iteration* instead of cloning the edge set.
+//!
+//! Downstream, `tripoll::WeightedGraph` is a re-export of [`CsrGraph`], and
+//! `coordination_core::CiGraph` wraps a [`CsrGraph`] plus the `P'` page
+//! counts — one representation end to end.
+
+pub mod csr;
+pub mod ids;
+pub mod view;
+
+pub use csr::{components, CsrGraph, DisjointSets};
+pub use ids::{AuthorId, PageId, Timestamp};
+pub use view::{GraphRef, SubsetView, ThresholdView};

@@ -315,7 +315,9 @@ impl StreamProjector {
         );
         let mut page_counts = self.page_counts.clone();
         page_counts.resize(n_authors as usize, 0);
-        CiGraph::from_parts(n_authors, self.edges.clone(), page_counts)
+        // straight to CSR: the live edge table is drained by iteration, with
+        // no intermediate HashMap clone
+        CiGraph::from_weighted_edges(n_authors, self.edges(), page_counts)
     }
 
     /// Iterate the live edges as `(x, y, w')` with `x < y`.

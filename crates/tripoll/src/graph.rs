@@ -1,321 +1,12 @@
-//! Compressed-sparse-row storage for undirected weighted graphs.
+//! Graph storage, re-exported from the shared [`coordination_graph`] layer.
 //!
-//! Vertices are dense `u32` ids (`0..n`); edge weights are `u64` counts (the
-//! common-interaction weights `w'` are page counts, so integers are exact).
-//! Adjacency lists are sorted by neighbor id, which the triangle enumerator's
-//! sorted-intersection step depends on.
+//! TriPoll used to own its CSR implementation; it now lives in
+//! `crates/graph` so projection, streaming, and analysis share one
+//! representation with zero-copy handoffs. `WeightedGraph` is the historical
+//! tripoll name for [`coordination_graph::CsrGraph`] and remains the name the
+//! survey API documents; both resolve to the same type.
 
-/// An undirected weighted graph in CSR form.
-///
-/// Both directions of every edge are stored, so `degree(u)` is the true
-/// undirected degree and `neighbors(u)` is complete.
-#[derive(Clone, Debug)]
-pub struct WeightedGraph {
-    offsets: Vec<usize>,
-    targets: Vec<u32>,
-    weights: Vec<u64>,
-}
+/// TriPoll's historical name for the shared CSR graph.
+pub use coordination_graph::CsrGraph as WeightedGraph;
 
-impl WeightedGraph {
-    /// Build from an undirected edge list. Each `(u, v, w)` is one undirected
-    /// edge; duplicates (in either orientation) have their weights summed.
-    /// Self-loops are discarded — the projection never produces them and
-    /// triangles cannot use them.
-    ///
-    /// `n` is the vertex-count; every endpoint must be `< n`.
-    pub fn from_edges(n: u32, edges: impl IntoIterator<Item = (u32, u32, u64)>) -> Self {
-        // Collect both directions, then sort and merge duplicates.
-        let mut dir: Vec<(u32, u32, u64)> = Vec::new();
-        for (u, v, w) in edges {
-            assert!(
-                u < n && v < n,
-                "edge endpoint out of range ({u},{v}) for n={n}"
-            );
-            if u == v {
-                continue;
-            }
-            dir.push((u, v, w));
-            dir.push((v, u, w));
-        }
-        dir.sort_unstable_by_key(|e| (e.0, e.1));
-
-        let mut offsets = vec![0usize; n as usize + 1];
-        let mut targets = Vec::with_capacity(dir.len());
-        let mut weights = Vec::with_capacity(dir.len());
-        let mut i = 0;
-        while i < dir.len() {
-            let (u, v, mut w) = dir[i];
-            let mut j = i + 1;
-            while j < dir.len() && dir[j].0 == u && dir[j].1 == v {
-                w += dir[j].2;
-                j += 1;
-            }
-            targets.push(v);
-            weights.push(w);
-            offsets[u as usize + 1] += 1;
-            i = j;
-        }
-        for k in 0..n as usize {
-            offsets[k + 1] += offsets[k];
-        }
-        WeightedGraph {
-            offsets,
-            targets,
-            weights,
-        }
-    }
-
-    /// Number of vertices.
-    #[inline]
-    pub fn n(&self) -> u32 {
-        (self.offsets.len() - 1) as u32
-    }
-
-    /// Number of undirected edges.
-    #[inline]
-    pub fn m(&self) -> u64 {
-        (self.targets.len() / 2) as u64
-    }
-
-    /// Undirected degree of `u`.
-    #[inline]
-    pub fn degree(&self, u: u32) -> u32 {
-        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as u32
-    }
-
-    /// `u`'s neighbors (sorted ascending) and the matching edge weights.
-    #[inline]
-    pub fn neighbors(&self, u: u32) -> (&[u32], &[u64]) {
-        let lo = self.offsets[u as usize];
-        let hi = self.offsets[u as usize + 1];
-        (&self.targets[lo..hi], &self.weights[lo..hi])
-    }
-
-    /// Weight of edge `(u, v)`, or `None` if absent.
-    pub fn edge_weight(&self, u: u32, v: u32) -> Option<u64> {
-        let (nbrs, ws) = self.neighbors(u);
-        nbrs.binary_search(&v).ok().map(|i| ws[i])
-    }
-
-    /// Iterate each undirected edge once, as `(u, v, w)` with `u < v`.
-    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
-        (0..self.n()).flat_map(move |u| {
-            let (nbrs, ws) = self.neighbors(u);
-            nbrs.iter()
-                .zip(ws.iter())
-                .filter(move |(&v, _)| u < v)
-                .map(move |(&v, &w)| (u, v, w))
-        })
-    }
-
-    /// Retain only edges with `weight >= min_weight`; vertex set unchanged.
-    /// This is the paper's pre-survey edge threshold (e.g. weight ≥ 5 before
-    /// enumerating triangles in the 2016 one-hour projection).
-    pub fn filter_weight(&self, min_weight: u64) -> WeightedGraph {
-        WeightedGraph::from_edges(self.n(), self.edges().filter(|&(_, _, w)| w >= min_weight))
-    }
-
-    /// Sum of all edge weights.
-    pub fn total_weight(&self) -> u64 {
-        self.weights.iter().sum::<u64>() / 2
-    }
-
-    /// Maximum degree over all vertices (0 for the empty graph).
-    pub fn max_degree(&self) -> u32 {
-        (0..self.n()).map(|u| self.degree(u)).max().unwrap_or(0)
-    }
-
-    /// Connected components over edges with `weight >= min_weight`; returns
-    /// one sorted vertex list per component with ≥ 2 vertices, largest first.
-    pub fn components(&self, min_weight: u64) -> Vec<Vec<u32>> {
-        let mut dsu = DisjointSets::new(self.n() as usize);
-        for (u, v, w) in self.edges() {
-            if w >= min_weight {
-                dsu.union(u as usize, v as usize);
-            }
-        }
-        let mut groups: std::collections::HashMap<usize, Vec<u32>> =
-            std::collections::HashMap::new();
-        for u in 0..self.n() {
-            groups.entry(dsu.find(u as usize)).or_default().push(u);
-        }
-        let mut comps: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
-        // vertex lists are ascending (built in vertex order); tie-break equal
-        // sizes by content for fully deterministic output
-        comps.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
-        comps
-    }
-}
-
-/// Union-find with path halving and union by size.
-pub struct DisjointSets {
-    parent: Vec<u32>,
-    size: Vec<u32>,
-}
-
-impl DisjointSets {
-    /// `n` singleton sets.
-    pub fn new(n: usize) -> Self {
-        DisjointSets {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-        }
-    }
-
-    /// Representative of `x`'s set.
-    pub fn find(&mut self, x: usize) -> usize {
-        let mut x = x as u32;
-        while self.parent[x as usize] != x {
-            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
-            x = self.parent[x as usize];
-        }
-        x as usize
-    }
-
-    /// Merge the sets of `a` and `b`; returns true if they were distinct.
-    pub fn union(&mut self, a: usize, b: usize) -> bool {
-        let (mut ra, mut rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return false;
-        }
-        if self.size[ra] < self.size[rb] {
-            std::mem::swap(&mut ra, &mut rb);
-        }
-        self.parent[rb] = ra as u32;
-        self.size[ra] += self.size[rb];
-        true
-    }
-
-    /// Size of `x`'s set.
-    pub fn set_size(&mut self, x: usize) -> u32 {
-        let r = self.find(x);
-        self.size[r]
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn path3() -> WeightedGraph {
-        WeightedGraph::from_edges(3, [(0, 1, 2), (1, 2, 3)])
-    }
-
-    #[test]
-    fn csr_basic_shape() {
-        let g = path3();
-        assert_eq!(g.n(), 3);
-        assert_eq!(g.m(), 2);
-        assert_eq!(g.degree(0), 1);
-        assert_eq!(g.degree(1), 2);
-        assert_eq!(g.degree(2), 1);
-        assert_eq!(g.max_degree(), 2);
-    }
-
-    #[test]
-    fn neighbors_are_sorted_with_weights() {
-        let g = WeightedGraph::from_edges(4, [(2, 0, 7), (2, 3, 1), (2, 1, 9)]);
-        let (nbrs, ws) = g.neighbors(2);
-        assert_eq!(nbrs, &[0, 1, 3]);
-        assert_eq!(ws, &[7, 9, 1]);
-    }
-
-    #[test]
-    fn duplicate_edges_sum_weights_in_both_orientations() {
-        let g = WeightedGraph::from_edges(2, [(0, 1, 2), (1, 0, 3), (0, 1, 5)]);
-        assert_eq!(g.m(), 1);
-        assert_eq!(g.edge_weight(0, 1), Some(10));
-        assert_eq!(g.edge_weight(1, 0), Some(10));
-    }
-
-    #[test]
-    fn self_loops_are_dropped() {
-        let g = WeightedGraph::from_edges(2, [(0, 0, 9), (0, 1, 1)]);
-        assert_eq!(g.m(), 1);
-        assert_eq!(g.edge_weight(0, 0), None);
-    }
-
-    #[test]
-    fn edge_weight_absent_edge_is_none() {
-        let g = path3();
-        assert_eq!(g.edge_weight(0, 2), None);
-    }
-
-    #[test]
-    fn edges_iterates_each_edge_once_canonically() {
-        let g = WeightedGraph::from_edges(4, [(3, 1, 4), (0, 2, 5)]);
-        let es: Vec<_> = g.edges().collect();
-        assert_eq!(es, vec![(0, 2, 5), (1, 3, 4)]);
-    }
-
-    #[test]
-    fn filter_weight_drops_light_edges_only() {
-        let g = WeightedGraph::from_edges(4, [(0, 1, 1), (1, 2, 5), (2, 3, 10)]);
-        let f = g.filter_weight(5);
-        assert_eq!(f.n(), 4);
-        assert_eq!(f.m(), 2);
-        assert_eq!(f.edge_weight(0, 1), None);
-        assert_eq!(f.edge_weight(1, 2), Some(5));
-    }
-
-    #[test]
-    fn total_weight_counts_each_edge_once() {
-        let g = WeightedGraph::from_edges(3, [(0, 1, 2), (1, 2, 3), (0, 2, 4)]);
-        assert_eq!(g.total_weight(), 9);
-    }
-
-    #[test]
-    fn empty_graph() {
-        let g = WeightedGraph::from_edges(0, std::iter::empty());
-        assert_eq!(g.n(), 0);
-        assert_eq!(g.m(), 0);
-        assert_eq!(g.max_degree(), 0);
-        assert!(g.components(1).is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_endpoint_panics() {
-        WeightedGraph::from_edges(2, [(0, 2, 1)]);
-    }
-
-    #[test]
-    fn components_respect_threshold() {
-        // two triangles joined by a light bridge
-        let g = WeightedGraph::from_edges(
-            6,
-            [
-                (0, 1, 10),
-                (1, 2, 10),
-                (0, 2, 10),
-                (2, 3, 1), // bridge below threshold
-                (3, 4, 10),
-                (4, 5, 10),
-                (3, 5, 10),
-            ],
-        );
-        let comps = g.components(5);
-        assert_eq!(comps.len(), 2);
-        assert_eq!(comps[0].len(), 3);
-        assert_eq!(comps[1].len(), 3);
-        let all: std::collections::HashSet<u32> = comps.iter().flatten().copied().collect();
-        assert_eq!(all.len(), 6);
-
-        let merged = g.components(1);
-        assert_eq!(merged.len(), 1);
-        assert_eq!(merged[0].len(), 6);
-    }
-
-    #[test]
-    fn disjoint_sets_union_find() {
-        let mut d = DisjointSets::new(5);
-        assert!(d.union(0, 1));
-        assert!(!d.union(1, 0));
-        assert!(d.union(2, 3));
-        assert_ne!(d.find(0), d.find(2));
-        assert!(d.union(1, 3));
-        assert_eq!(d.find(0), d.find(2));
-        assert_eq!(d.set_size(3), 4);
-        assert_eq!(d.set_size(4), 1);
-    }
-}
+pub use coordination_graph::{components, DisjointSets, GraphRef, SubsetView, ThresholdView};

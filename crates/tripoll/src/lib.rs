@@ -46,6 +46,6 @@ pub mod survey;
 pub mod truss;
 
 pub use enumerate::Triangle;
-pub use graph::WeightedGraph;
+pub use graph::{GraphRef, SubsetView, ThresholdView, WeightedGraph};
 pub use orient::OrientedGraph;
 pub use survey::{SurveyConfig, SurveyReport, SurveyedTriangle};

@@ -8,7 +8,7 @@
 //! intersection-based enumeration fast on skewed social graphs; this is the
 //! standard trick TriPoll builds on.
 
-use crate::graph::WeightedGraph;
+use crate::graph::{GraphRef, WeightedGraph};
 
 /// How edges are oriented. Degree order is the default and the right choice
 /// for skewed graphs; id order exists as the ablation baseline (it degrades
@@ -37,27 +37,58 @@ pub struct OrientedGraph {
 impl OrientedGraph {
     /// Orient `g` by degree order.
     pub fn from_graph(g: &WeightedGraph) -> Self {
-        Self::with_strategy(g, OrientationStrategy::DegreeOrder)
+        Self::from_ref(g)
     }
 
     /// Orient `g` with an explicit strategy.
     pub fn with_strategy(g: &WeightedGraph, strategy: OrientationStrategy) -> Self {
+        Self::with_strategy_ref(g, strategy)
+    }
+
+    /// Orient any borrowed [`GraphRef`] view by degree order. This is the
+    /// zero-copy entry point: thresholding via
+    /// [`ThresholdView`](crate::graph::ThresholdView) composes directly, so
+    /// survey setup never materializes a filtered copy of the graph.
+    pub fn from_ref<G: GraphRef>(g: &G) -> Self {
+        Self::with_strategy_ref(g, OrientationStrategy::DegreeOrder)
+    }
+
+    /// Orient any borrowed [`GraphRef`] view with an explicit strategy.
+    ///
+    /// The view's adjacency is scanned exactly **once** (via `edge_iter`);
+    /// the surviving canonical edges are staged in one flat buffer and
+    /// everything after — degrees, counting, scatter — is O(|E'|) on that
+    /// buffer. A sparse threshold view therefore costs a single filtered
+    /// pass, where filter-then-rebuild pays the same pass *plus* a full CSR
+    /// construction and copy.
+    pub fn with_strategy_ref<G: GraphRef>(g: &G, strategy: OrientationStrategy) -> Self {
+        let n = g.n_vertices();
+        let edges: Vec<(u32, u32, u64)> = g.edge_iter().collect();
         match strategy {
             OrientationStrategy::DegreeOrder => {
-                Self::build(g, |g, u, v| (g.degree(u), u) < (g.degree(v), v))
+                // Degrees in the *view* (post-filter), tallied from the
+                // staged edges rather than per-vertex degree_of scans.
+                let mut deg = vec![0u32; n as usize];
+                for &(x, y, _) in &edges {
+                    deg[x as usize] += 1;
+                    deg[y as usize] += 1;
+                }
+                Self::build(n, &edges, move |u, v| {
+                    (deg[u as usize], u) < (deg[v as usize], v)
+                })
             }
-            OrientationStrategy::IdOrder => Self::build(g, |_, u, v| u < v),
+            OrientationStrategy::IdOrder => Self::build(n, &edges, |u, v| u < v),
         }
     }
 
-    fn build(g: &WeightedGraph, points_up: impl Fn(&WeightedGraph, u32, u32) -> bool) -> Self {
-        let n = g.n() as usize;
+    /// `edges` must be canonical (`x < y`) and sorted by `(x, y)` — the
+    /// [`GraphRef::edge_iter`] contract.
+    fn build(n: u32, edges: &[(u32, u32, u64)], points_up: impl Fn(u32, u32) -> bool) -> Self {
+        let n = n as usize;
         let mut offsets = vec![0usize; n + 1];
-        // First pass: count surviving out-edges.
-        for u in 0..g.n() {
-            let (nbrs, _) = g.neighbors(u);
-            let cnt = nbrs.iter().filter(|&&v| points_up(g, u, v)).count();
-            offsets[u as usize + 1] = cnt;
+        for &(x, y, _) in edges {
+            let src = if points_up(x, y) { x } else { y };
+            offsets[src as usize + 1] += 1;
         }
         for k in 0..n {
             offsets[k + 1] += offsets[k];
@@ -66,22 +97,22 @@ impl OrientedGraph {
         let mut targets = vec![0u32; total];
         let mut weights = vec![0u64; total];
         let mut cursor = offsets.clone();
-        for u in 0..g.n() {
-            let (nbrs, ws) = g.neighbors(u);
-            for (&v, &w) in nbrs.iter().zip(ws) {
-                if points_up(g, u, v) {
-                    let c = cursor[u as usize];
-                    targets[c] = v;
-                    weights[c] = w;
-                    cursor[u as usize] += 1;
-                }
-            }
-            // CSR adjacency was sorted by id, and we preserved order, so the
-            // out-list is sorted by id too.
-            debug_assert!(targets[offsets[u as usize]..cursor[u as usize]]
-                .windows(2)
-                .all(|p| p[0] < p[1]));
+        for &(x, y, w) in edges {
+            let (src, dst) = if points_up(x, y) { (x, y) } else { (y, x) };
+            let c = cursor[src as usize];
+            targets[c] = dst;
+            weights[c] = w;
+            cursor[src as usize] += 1;
         }
+        // (x, y)-sorted canonical input scatters every out-list already
+        // sorted: for a source u, all below-id targets arrive first (their
+        // edges lead with the smaller id, ascending), then above-id targets
+        // (u's own block, ascending second coordinate).
+        debug_assert!((0..n).all(|u| {
+            targets[offsets[u]..cursor[u]]
+                .windows(2)
+                .all(|p| p[0] < p[1])
+        }));
         OrientedGraph {
             offsets,
             targets,
@@ -234,6 +265,22 @@ mod tests {
         assert_eq!(id.max_out_degree(), 499);
         let deg = OrientedGraph::with_strategy(&g, OrientationStrategy::DegreeOrder);
         assert_eq!(deg.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn orienting_a_threshold_view_matches_filter_then_orient() {
+        use crate::graph::ThresholdView;
+        let g =
+            WeightedGraph::from_edges(5, [(0, 1, 1), (0, 2, 7), (1, 2, 3), (2, 3, 9), (3, 4, 2)]);
+        for min in [1, 2, 3, 7, 10] {
+            let via_view = OrientedGraph::from_ref(&ThresholdView::new(&g, min));
+            let via_rebuild = OrientedGraph::from_graph(&g.filter_weight(min));
+            assert_eq!(via_view.n(), via_rebuild.n(), "min={min}");
+            assert_eq!(via_view.m(), via_rebuild.m(), "min={min}");
+            for u in 0..via_view.n() {
+                assert_eq!(via_view.out(u), via_rebuild.out(u), "u={u} min={min}");
+            }
+        }
     }
 
     #[test]

@@ -253,8 +253,7 @@ fn cmd_survey(flags: &Flags) -> Result<(), String> {
         .get("top")
         .map(|v| v.parse().map_err(|_| "--top: bad value"))
         .transpose()?;
-    let wg = ci.to_weighted_graph();
-    let oriented = coordination::tripoll::OrientedGraph::from_graph(&wg);
+    let oriented = coordination::tripoll::OrientedGraph::from_ref(ci.as_csr());
     let t0 = std::time::Instant::now();
     let report = coordination::tripoll::survey::survey(
         &oriented,

@@ -4,6 +4,9 @@
 //! Detection in Social Networks via Clustering Analysis* (2023). It re-exports:
 //!
 //! * [`ygm`] — YGM-style SPMD runtime with distributed containers (substrate);
+//! * [`graph`] — the shared graph-representation layer: CSR storage with a
+//!   sharded parallel builder, typed ids, and borrowed threshold/subset views
+//!   that every stage exchanges zero-copy;
 //! * [`tripoll`] — TriPoll-style triangle surveying with metadata (substrate);
 //! * [`core`] — the paper's three-step pipeline: bipartite temporal multigraph,
 //!   windowed projection to a common interaction graph, high-weight triangle
@@ -20,6 +23,7 @@
 
 pub use analysis;
 pub use coordination_core as core;
+pub use coordination_graph as graph;
 pub use redditgen;
 pub use stream;
 pub use tripoll;

@@ -249,6 +249,49 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// CiGraph TSV persistence round-trips through the CSR-backed
+    /// representation: same edges, same P' vector, byte-identical re-render.
+    #[test]
+    fn cigraph_tsv_roundtrip((na, np, events) in arb_events(15, 12, 250), w in arb_window()) {
+        let btm = Btm::from_events(na, np, &events);
+        let ci = project(&btm, w);
+        let mut buf = Vec::new();
+        ci.write_tsv(&mut buf).expect("write");
+        let back = coordination::core::CiGraph::read_tsv(&buf[..]).expect("read");
+        prop_assert_eq!(back.n_authors(), ci.n_authors());
+        prop_assert_eq!(back.edges().collect::<Vec<_>>(), ci.edges().collect::<Vec<_>>());
+        prop_assert_eq!(back.page_counts(), ci.page_counts());
+        let mut buf2 = Vec::new();
+        back.write_tsv(&mut buf2).expect("rewrite");
+        prop_assert_eq!(buf, buf2);
+    }
+
+    /// Thresholding through the borrowed view is equivalent to the old
+    /// materialize-then-survey path: same components, same surviving
+    /// triangle set.
+    #[test]
+    fn threshold_view_equals_materialized_pipeline((na, np, events) in arb_events(12, 10, 250), cutoff in 1u64..5) {
+        use coordination::core::GraphRef;
+        let btm = Btm::from_events(na, np, &events);
+        let ci = project(&btm, Window::new(0, 250));
+        let view = ci.threshold_view(cutoff);
+        let owned = ci.threshold(cutoff).to_weighted_graph();
+        prop_assert_eq!(view.count_edges(), owned.m());
+        prop_assert_eq!(
+            coordination::graph::components(&view, 0),
+            owned.components(0)
+        );
+        let from_view = OrientedGraph::from_ref(&view);
+        let from_owned = OrientedGraph::from_graph(&owned);
+        let collect = |o: &OrientedGraph| {
+            let mut ts = Vec::new();
+            coordination::tripoll::enumerate::for_each_triangle(o, |t| ts.push(t));
+            ts.sort_unstable_by_key(|t| t.vertices());
+            ts
+        };
+        prop_assert_eq!(collect(&from_view), collect(&from_owned));
+    }
+
     /// The survey's min-weight predicate is exact: everything returned passes,
     /// nothing passing is dropped.
     #[test]

@@ -89,7 +89,7 @@ proptest! {
         let snap = projector.snapshot(na);
 
         let mut expect: Vec<[u32; 3]> = Vec::new();
-        let oriented = OrientedGraph::from_graph(&snap.to_weighted_graph());
+        let oriented = OrientedGraph::from_ref(snap.as_csr());
         let report = coordination::tripoll::survey::survey(
             &oriented,
             &SurveyConfig { min_edge_weight: cutoff, min_t_score: 0.0, top_k: None },

@@ -56,8 +56,7 @@ fn distributed_projection_agrees_at_scenario_scale() {
 #[test]
 fn distributed_survey_agrees_on_a_projected_graph() {
     let (_, ci) = scenario_ci();
-    let wg = ci.threshold(5).to_weighted_graph();
-    let oriented = OrientedGraph::from_graph(&wg);
+    let oriented = OrientedGraph::from_ref(&ci.threshold_view(5));
     let shared = coordination::tripoll::survey::triangles_above(&oriented, 20);
     let mut shared_sorted = shared;
     shared_sorted.sort_unstable_by_key(|t| t.vertices());
@@ -72,10 +71,10 @@ fn distributed_survey_agrees_on_a_projected_graph() {
 #[test]
 fn distributed_components_agree_on_a_projected_graph() {
     let (_, ci) = scenario_ci();
-    let wg = ci.to_weighted_graph();
+    let wg = ci.as_csr();
     for cutoff in [20u64, 25] {
         let expect = wg.components(cutoff);
-        let got = distributed_components(&wg, cutoff, 4);
+        let got = distributed_components(wg, cutoff, 4);
         assert_eq!(got, expect, "cutoff {cutoff}");
     }
 }
