@@ -1,0 +1,432 @@
+//! End-to-end pipeline bench harness: per-stage wall times, throughput and
+//! peak RSS, plus the kernel ablations (flat vs hashed projection, adaptive
+//! vs linear triple intersection), written to `BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin pipeline -- [--smoke] [--out PATH] [--check BASELINE]
+//! ```
+//!
+//! * `--smoke` — single repetition and smaller ablation inputs (the CI mode);
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_pipeline.json` in the working directory);
+//! * `--check BASELINE` — compare this run's stage times against a previous
+//!   report and exit non-zero if any stage regressed more than
+//!   [`REGRESSION_FACTOR`]×. Stages faster than [`CHECK_FLOOR_SECS`] in the
+//!   baseline are skipped (pure noise at that size).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::{jan2020_small, oct2016_small, run_figures_config};
+use coordination_core::hypergraph::{triple_intersection_count, triple_intersection_count_linear};
+use coordination_core::ids::{AuthorId, Event, PageId};
+use coordination_core::project::{project, project_hashed};
+use coordination_core::records::Dataset;
+use coordination_core::{Btm, PageId as CorePageId, Window};
+
+/// A stage must be this much slower than the baseline to fail `--check`.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Baseline stage times below this are noise, not a gate.
+const CHECK_FLOOR_SECS: f64 = 0.002;
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+struct StageRow {
+    stage: &'static str,
+    seconds: f64,
+    /// Items per second; what an "item" is depends on the stage.
+    throughput: f64,
+}
+
+struct ScenarioReport {
+    name: &'static str,
+    comments: u64,
+    stages: Vec<StageRow>,
+}
+
+/// Time the three pipeline stages on one scenario, best of `reps` runs per
+/// stage (the pipeline reports per-stage wall time itself).
+fn bench_scenario(name: &'static str, ds: &Dataset, reps: usize) -> ScenarioReport {
+    let mut best: Option<ScenarioReport> = None;
+    for _ in 0..reps {
+        let out = run_figures_config(ds, Window::zero_to_60s());
+        let s = &out.stats;
+        let t = &out.timings;
+        let projection = t.projection.as_secs_f64();
+        let survey = t.survey.as_secs_f64();
+        let validation = t.validation.as_secs_f64();
+        let rep = ScenarioReport {
+            name,
+            comments: s.comments_reviewed,
+            stages: vec![
+                StageRow {
+                    stage: "projection",
+                    seconds: projection,
+                    throughput: s.comments_reviewed as f64 / projection.max(1e-9),
+                },
+                StageRow {
+                    stage: "survey",
+                    seconds: survey,
+                    throughput: s.ci_edges_after_threshold as f64 / survey.max(1e-9),
+                },
+                StageRow {
+                    stage: "validation",
+                    seconds: validation,
+                    throughput: s.triplets_validated as f64 / validation.max(1e-9),
+                },
+            ],
+        };
+        let total = |r: &ScenarioReport| r.stages.iter().map(|s| s.seconds).sum::<f64>();
+        if best.as_ref().is_none_or(|b| total(&rep) < total(b)) {
+            best = Some(rep);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// A worst-case projection input: a handful of very dense pages where many
+/// authors comment seconds apart, so nearly every comment pairs with a full
+/// window of successors. This is the shape where the per-candidate hash
+/// insert of the old kernel dominates.
+fn dense_page_btm(n_pages: u32, page_len: usize, n_authors: u32) -> Btm {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    let mut events = Vec::with_capacity(n_pages as usize * page_len);
+    for p in 0..n_pages {
+        for i in 0..page_len {
+            events.push(Event::new(
+                AuthorId(rng.gen_range(0..n_authors)),
+                PageId(p),
+                i as i64,
+            ));
+        }
+    }
+    Btm::from_events(n_authors, n_pages, &events)
+}
+
+struct Ablation {
+    label: &'static str,
+    baseline_secs: f64,
+    kernel_secs: f64,
+}
+
+impl Ablation {
+    fn speedup(&self) -> f64 {
+        self.baseline_secs / self.kernel_secs.max(1e-12)
+    }
+}
+
+/// The seed per-page kernel, replicated verbatim for the ablation: a
+/// `HashSet` insert per window-qualifying candidate pair.
+fn page_pairs_hashset(
+    comments: &[(i64, AuthorId)],
+    window: &Window,
+    pairs: &mut std::collections::HashSet<(u32, u32)>,
+) {
+    pairs.clear();
+    let n = comments.len();
+    for i in 0..n {
+        let (ti, ai) = comments[i];
+        for &(tj, aj) in &comments[i + 1..] {
+            let dt = tj - ti;
+            if dt > window.d2() {
+                break;
+            }
+            if dt >= window.d1() && ai != aj {
+                pairs.insert((ai.0.min(aj.0), ai.0.max(aj.0)));
+            }
+        }
+    }
+}
+
+/// Flat vs hashed projection on the dense-page workload, best of `reps`:
+/// the per-page kernels head to head, and the full drivers (which share the
+/// CSR merge, so their gap is smaller by construction).
+fn ablation_projection(smoke: bool, reps: usize) -> (Ablation, Ablation, u64) {
+    let (n_pages, page_len, n_authors) = if smoke {
+        (2, 2_500, 2_000)
+    } else {
+        (4, 6_000, 5_000)
+    };
+    let btm = dense_page_btm(n_pages, page_len, n_authors);
+    let w = Window::new(0, 240);
+    // warm up + correctness guard: both drivers must agree here
+    let flat = project(&btm, w);
+    let hashed = project_hashed(&btm, w);
+    assert_eq!(flat.n_edges(), hashed.n_edges(), "kernels disagree");
+
+    // kernel microbench: dedup one page's pair multiset, both ways
+    let mut flat_kernel = f64::INFINITY;
+    let mut hash_kernel = f64::INFINITY;
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut set: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for _ in 0..reps {
+        let t = Instant::now();
+        for (_, comments) in btm.pages() {
+            coordination_core::project::page_pairs_flat(comments, &w, &mut scratch);
+            std::hint::black_box(scratch.len());
+        }
+        flat_kernel = flat_kernel.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for (_, comments) in btm.pages() {
+            page_pairs_hashset(comments, &w, &mut set);
+            std::hint::black_box(set.len());
+        }
+        hash_kernel = hash_kernel.min(t.elapsed().as_secs_f64());
+    }
+
+    let mut flat_secs = f64::INFINITY;
+    let mut hashed_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(project(&btm, w));
+        flat_secs = flat_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(project_hashed(&btm, w));
+        hashed_secs = hashed_secs.min(t.elapsed().as_secs_f64());
+    }
+    (
+        Ablation {
+            label: "projection_dense_page_kernel",
+            baseline_secs: hash_kernel,
+            kernel_secs: flat_kernel,
+        },
+        Ablation {
+            label: "projection_dense_page_driver",
+            baseline_secs: hashed_secs,
+            kernel_secs: flat_secs,
+        },
+        btm.n_comments(),
+    )
+}
+
+/// Adaptive vs linear triple intersection on degree-skewed page lists.
+fn ablation_triple(smoke: bool, reps: usize) -> Ablation {
+    let (short_len, mid_len, long_len) = if smoke {
+        (32usize, 2_000usize, 100_000usize)
+    } else {
+        (64, 5_000, 500_000)
+    };
+    let p = |i: usize| CorePageId(i as u32);
+    let short: Vec<CorePageId> = (0..short_len)
+        .map(|i| p(i * long_len / short_len))
+        .collect();
+    let mid: Vec<CorePageId> = (0..mid_len).map(|i| p(i * long_len / mid_len)).collect();
+    let long: Vec<CorePageId> = (0..long_len).map(p).collect();
+    let expect = triple_intersection_count_linear(&short, &mid, &long);
+    assert_eq!(triple_intersection_count(&short, &mid, &long), expect);
+    let inner = if smoke { 20 } else { 50 };
+    let mut adaptive_secs = f64::INFINITY;
+    let mut linear_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            std::hint::black_box(triple_intersection_count(&short, &mid, &long));
+        }
+        adaptive_secs = adaptive_secs.min(t.elapsed().as_secs_f64() / inner as f64);
+        let t = Instant::now();
+        for _ in 0..inner {
+            std::hint::black_box(triple_intersection_count_linear(&short, &mid, &long));
+        }
+        linear_secs = linear_secs.min(t.elapsed().as_secs_f64() / inner as f64);
+    }
+    Ablation {
+        label: "triple_intersection_skewed",
+        baseline_secs: linear_secs,
+        kernel_secs: adaptive_secs,
+    }
+}
+
+fn json_report(
+    smoke: bool,
+    scenarios: &[ScenarioReport],
+    ablations: &[Ablation],
+    dense_comments: u64,
+) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"bench-pipeline-v1\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        j,
+        "  \"peak_rss_kb\": {},",
+        peak_rss_kb().map_or("null".to_string(), |v| v.to_string())
+    );
+    let _ = writeln!(j, "  \"scenarios\": [");
+    for (si, s) in scenarios.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", s.name);
+        let _ = writeln!(j, "      \"comments\": {},", s.comments);
+        let _ = writeln!(j, "      \"stages\": [");
+        for (ti, row) in s.stages.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "        {{\"stage\": \"{}\", \"seconds\": {:.6}, \"throughput_per_s\": {:.1}}}{}",
+                row.stage,
+                row.seconds,
+                row.throughput,
+                if ti + 1 < s.stages.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(j, "      ]");
+        let _ = writeln!(
+            j,
+            "    }}{}",
+            if si + 1 < scenarios.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"ablations\": [");
+    for (ai, a) in ablations.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"baseline_seconds\": {:.6}, \"kernel_seconds\": {:.6}, \"speedup\": {:.2}}}{}",
+            a.label,
+            a.baseline_secs,
+            a.kernel_secs,
+            a.speedup(),
+            if ai + 1 < ablations.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"dense_page_comments\": {dense_comments},");
+    // flat key/value view of every stage time, for the --check comparator
+    let _ = writeln!(j, "  \"checks\": {{");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    for s in scenarios {
+        for row in &s.stages {
+            entries.push((format!("{}/{}", s.name, row.stage), row.seconds));
+        }
+    }
+    for (ei, (k, v)) in entries.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    \"{k}\": {v:.6}{}",
+            if ei + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Pull the flat `"checks"` map back out of a report, without a JSON parser.
+fn parse_checks(json: &str) -> Vec<(String, f64)> {
+    let Some(start) = json.find("\"checks\"") else {
+        return Vec::new();
+    };
+    let Some(open) = json[start..].find('{') else {
+        return Vec::new();
+    };
+    let body_start = start + open + 1;
+    let Some(close) = json[body_start..].find('}') else {
+        return Vec::new();
+    };
+    json[body_start..body_start + close]
+        .split(',')
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once(':')?;
+            Some((
+                k.trim().trim_matches('"').to_string(),
+                v.trim().parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+fn check_regressions(current: &str, baseline_path: &str) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let base = parse_checks(&baseline);
+    let cur = parse_checks(current);
+    if base.is_empty() {
+        return Err(format!("baseline {baseline_path} has no checks section"));
+    }
+    let mut failures = Vec::new();
+    for (key, base_secs) in &base {
+        if *base_secs < CHECK_FLOOR_SECS {
+            continue;
+        }
+        if let Some((_, cur_secs)) = cur.iter().find(|(k, _)| k == key) {
+            let ratio = cur_secs / base_secs;
+            println!("  check {key}: {cur_secs:.4}s vs baseline {base_secs:.4}s ({ratio:.2}x)");
+            if ratio > REGRESSION_FACTOR {
+                failures.push(format!(
+                    "{key} regressed {ratio:.2}x (baseline {base_secs:.4}s, now {cur_secs:.4}s)"
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let baseline = flag_value("--check");
+    let reps = if smoke { 1 } else { 3 };
+
+    println!("pipeline bench ({}):", if smoke { "smoke" } else { "full" });
+    let (_, jan) = jan2020_small();
+    let (_, oct) = oct2016_small();
+    let scenarios = vec![
+        bench_scenario("jan2020_small", jan, reps),
+        bench_scenario("oct2016_small", oct, reps),
+    ];
+    for s in &scenarios {
+        println!("  {} ({} comments):", s.name, s.comments);
+        for row in &s.stages {
+            println!(
+                "    {:<11} {:>9.4}s  {:>14.0} items/s",
+                row.stage, row.seconds, row.throughput
+            );
+        }
+    }
+
+    let abl_reps = if smoke { 2 } else { 3 };
+    let (kernel_abl, driver_abl, dense_comments) = ablation_projection(smoke, abl_reps);
+    let triple_abl = ablation_triple(smoke, abl_reps);
+    for a in [&kernel_abl, &driver_abl, &triple_abl] {
+        println!(
+            "  ablation {:<28} baseline {:.4}s, kernel {:.4}s → {:.2}x",
+            a.label,
+            a.baseline_secs,
+            a.kernel_secs,
+            a.speedup()
+        );
+    }
+    let ablations = vec![kernel_abl, driver_abl, triple_abl];
+
+    let report = json_report(smoke, &scenarios, &ablations, dense_comments);
+    std::fs::write(&out_path, &report).expect("write bench report");
+    println!("wrote {out_path}");
+
+    if let Some(baseline_path) = baseline {
+        println!("checking against baseline {baseline_path}:");
+        if let Err(msg) = check_regressions(&report, &baseline_path) {
+            eprintln!("REGRESSION: {msg}");
+            std::process::exit(1);
+        }
+        println!("no stage regressed more than {REGRESSION_FACTOR}x");
+    }
+}

@@ -129,6 +129,39 @@ impl Btm {
     pub fn max_page_degree(&self) -> usize {
         self.page_comments.iter().map(Vec::len).max().unwrap_or(0)
     }
+
+    /// Distribution of page neighborhood sizes over active pages. The
+    /// projection drivers pre-size their per-worker scratch buffers from the
+    /// p95 (sizing for the typical page, not the mega-thread outlier) and
+    /// pick the heavy-page split from `max`.
+    pub fn page_degree_stats(&self) -> PageDegreeStats {
+        let mut lens: Vec<usize> = self
+            .page_comments
+            .iter()
+            .map(Vec::len)
+            .filter(|&l| l > 0)
+            .collect();
+        if lens.is_empty() {
+            return PageDegreeStats::default();
+        }
+        lens.sort_unstable();
+        PageDegreeStats {
+            active_pages: lens.len(),
+            max: *lens.last().unwrap(),
+            p95: lens[(lens.len() - 1) * 95 / 100],
+        }
+    }
+}
+
+/// Page neighborhood size distribution — see [`Btm::page_degree_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageDegreeStats {
+    /// Pages with at least one comment.
+    pub active_pages: usize,
+    /// Largest neighborhood (equals [`Btm::max_page_degree`]).
+    pub max: usize,
+    /// 95th-percentile neighborhood size among active pages.
+    pub p95: usize,
 }
 
 #[cfg(test)]
@@ -201,5 +234,19 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_event_panics() {
         Btm::from_events(1, 1, &[ev(1, 0, 0)]);
+    }
+
+    #[test]
+    fn page_degree_stats_summarize_active_pages() {
+        let btm = Btm::from_events(1, 3, &[]);
+        assert_eq!(btm.page_degree_stats(), PageDegreeStats::default());
+
+        // page 0: 3 comments, page 2: 1 comment, page 1 empty
+        let btm = Btm::from_events(1, 3, &[ev(0, 0, 1), ev(0, 0, 2), ev(0, 0, 3), ev(0, 2, 4)]);
+        let s = btm.page_degree_stats();
+        assert_eq!(s.active_pages, 2);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.max, btm.max_page_degree());
+        assert!(s.p95 <= s.max && s.p95 >= 1);
     }
 }

@@ -68,7 +68,7 @@ pub mod windowed_hyperedge;
 /// views) — every stage of the pipeline exchanges graphs through these types.
 pub use coordination_graph as graph;
 
-pub use btm::Btm;
+pub use btm::{Btm, PageDegreeStats};
 pub use cigraph::{CiGraph, CiGraphBuilder};
 pub use coordination_graph::{GraphRef, SubsetView, ThresholdView};
 pub use ids::{AuthorId, Event, Interner, PageId, Timestamp};

@@ -25,8 +25,12 @@ use tripoll::{GraphRef, OrientedGraph};
 /// Which projection driver step 1 uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProjectionStrategy {
-    /// rayon fold/reduce over pages (default).
+    /// Parallel flat-vector kernels with heavy-page splitting (default; see
+    /// [`project::project`]).
     Rayon,
+    /// The previous hash-based rayon driver, kept as the kernel-ablation
+    /// baseline ([`project::project_hashed`]).
+    Hashed,
     /// Literal single-threaded Algorithm 1.
     Sequential,
     /// Time-bucketed scan with the given bucket count (exact; see
@@ -180,6 +184,7 @@ impl Pipeline {
         let t0 = Instant::now();
         let ci = match cfg.strategy {
             ProjectionStrategy::Rayon => project::project(btm, cfg.window),
+            ProjectionStrategy::Hashed => project::project_hashed(btm, cfg.window),
             ProjectionStrategy::Sequential => project::project_sequential(btm, cfg.window),
             ProjectionStrategy::Bucketed(n) => project::project_bucketed(btm, cfg.window, n),
             ProjectionStrategy::Distributed(n) => project::project_distributed(btm, cfg.window, n),
@@ -367,6 +372,7 @@ mod tests {
         let ds = scenario();
         let base = Pipeline::default().run_dataset(&ds);
         for strategy in [
+            ProjectionStrategy::Hashed,
             ProjectionStrategy::Sequential,
             ProjectionStrategy::Bucketed(4),
             ProjectionStrategy::Distributed(3),

@@ -7,8 +7,17 @@
 //! author incident to `S_I` increments its page count `P'` once. Pages are
 //! independent, so the parallel drivers fan out over pages:
 //!
-//! * [`project`] — rayon fold with per-worker partial maps, each drained into
-//!   a sorted edge run and k-way merged by the CSR builder (the default);
+//! * [`project`] — the default driver, built on **flat-vector kernels**:
+//!   candidate pairs are pushed into a reusable scratch `Vec` and
+//!   sort+deduped per page ([`page_pairs_flat`]), pages whose neighborhoods
+//!   exceed [`HEAVY_PAGE_SPLIT_LEN`] are chunked by comment-index range
+//!   across workers (exact — see DESIGN.md on the dedup-after-union
+//!   invariant), and each worker's output is an append-only occurrence
+//!   buffer sorted and run-length-counted **once** at the end, feeding the
+//!   CSR k-way merge directly. No per-page hashing anywhere on the path;
+//! * [`project_hashed`] — the previous `HashSet`-per-page /
+//!   `HashMap`-per-worker driver, kept as the kernel-ablation baseline the
+//!   bench harness compares against;
 //! * [`project_sequential`] — the literal Algorithm 1 loop (reference and
 //!   baseline for the scaling bench);
 //! * [`project_bucketed`] — the paper's time-bucket decomposition of a long
@@ -23,13 +32,307 @@ use std::collections::{HashMap, HashSet};
 
 use rayon::prelude::*;
 
-use crate::btm::Btm;
+use crate::btm::{Btm, PageDegreeStats};
 use crate::cigraph::CiGraph;
 use crate::ids::{AuthorId, Timestamp};
 use crate::window::Window;
 
+/// Comment count above which a page's pair generation is split into
+/// comment-index-range chunks enumerated by separate workers. Dense pages
+/// dominate projection time (pair candidates grow quadratically with the
+/// in-window neighborhood), and a single mega-thread otherwise serializes
+/// the whole run behind one page.
+pub const HEAVY_PAGE_SPLIT_LEN: usize = 4096;
+
+/// Pack a canonical author pair into one machine word: sort order of the
+/// packed value equals `(x, y)` lexicographic order, and the single-word
+/// compare is what makes the flat kernels' sort+dedup fast.
+#[inline]
+pub fn pack_pair(x: u32, y: u32) -> u64 {
+    ((x as u64) << 32) | y as u64
+}
+
+/// Inverse of [`pack_pair`].
+#[inline]
+pub fn unpack_pair(p: u64) -> (u32, u32) {
+    ((p >> 32) as u32, p as u32)
+}
+
+/// Candidate buffers are sort+dedup-compacted whenever they grow past twice
+/// their last deduplicated size (but never below this floor), so a dense
+/// page's working set stays proportional to its *distinct* pair count while
+/// each candidate still costs an amortized O(log) — not a hash probe.
+const COMPACT_MIN: usize = 1 << 14;
+
+/// Below this length comparison sort beats the fixed cost of counting passes.
+const RADIX_MIN: usize = 1 << 15;
+
+/// Sort packed pairs: LSD radix over 16-bit digits for large buffers
+/// (skipping the digits that are zero for every element — author ids are
+/// dense, so a packed pair rarely uses more than ~40 of its 64 bits),
+/// `sort_unstable` otherwise. A mega-thread's candidate buffer sorts in a
+/// few linear passes instead of `O(n log n)` comparisons.
+fn sort_packed(v: &mut Vec<u64>) {
+    if v.len() < RADIX_MIN {
+        v.sort_unstable();
+        return;
+    }
+    let max = v.iter().copied().max().unwrap_or(0);
+    let bits = 64 - max.leading_zeros() as usize;
+    let passes = bits.div_ceil(16).max(1);
+    let mut tmp = vec![0u64; v.len()];
+    let mut counts = vec![0u32; 1 << 16];
+    for pass in 0..passes {
+        let shift = pass * 16;
+        counts.fill(0);
+        for &x in v.iter() {
+            counts[((x >> shift) & 0xFFFF) as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            let t = *c;
+            *c = sum;
+            sum += t;
+        }
+        for &x in v.iter() {
+            let d = ((x >> shift) & 0xFFFF) as usize;
+            tmp[counts[d] as usize] = x;
+            counts[d] += 1;
+        }
+        std::mem::swap(v, &mut tmp);
+    }
+}
+
+/// Push every window-qualifying candidate author pair with a *start* index in
+/// `lo..hi` (canonicalized, packed via [`pack_pair`], self-pairs dropped)
+/// onto `out`, compacting periodically. The inner cursor runs past `hi` to
+/// the end of the window — chunking by start index is what keeps the split
+/// exact. `out` need not be empty; its existing contents survive (modulo
+/// dedup against them).
+#[inline]
+fn push_pair_candidates(
+    comments: &[(Timestamp, AuthorId)],
+    window: &Window,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<u64>,
+) {
+    let mut compact_at = (out.len() * 2).max(COMPACT_MIN);
+    for i in lo..hi {
+        let (ti, ai) = comments[i];
+        for &(tj, aj) in &comments[i + 1..] {
+            let dt = tj - ti;
+            if dt > window.d2() {
+                break; // sorted: later comments are only farther away
+            }
+            if dt >= window.d1() && ai != aj {
+                out.push(pack_pair(ai.0.min(aj.0), ai.0.max(aj.0)));
+                if out.len() >= compact_at {
+                    let before = out.len();
+                    sort_packed(out);
+                    out.dedup();
+                    // Compaction earns its keep only on duplicate-heavy pages
+                    // (a bot pile-on repeating few author pairs). If it barely
+                    // shrank the buffer the candidates are mostly distinct —
+                    // stop compacting and let the caller's single final sort
+                    // handle them.
+                    if out.len() * 2 > before {
+                        compact_at = usize::MAX;
+                    } else {
+                        compact_at = (out.len() * 2).max(COMPACT_MIN);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collect the deduplicated author pairs of one page under `window` into the
+/// reusable flat scratch `pairs` (cleared first; packed via [`pack_pair`],
+/// sorted ascending on return): push every qualifying candidate, then
+/// sort + dedup. This replaces the old per-page `HashSet` — a flat push is a
+/// handful of cycles where every set insert paid a SipHash probe, and the
+/// batched single-word sorts are cache friendly. Shared with the streaming
+/// engine's warm start.
+pub fn page_pairs_flat(comments: &[(Timestamp, AuthorId)], window: &Window, pairs: &mut Vec<u64>) {
+    pairs.clear();
+    push_pair_candidates(comments, window, 0, comments.len(), pairs);
+    sort_packed(pairs);
+    pairs.dedup();
+}
+
+/// [`page_pairs_flat`] for a heavy page: the start-index range is cut into
+/// `chunk_len`-sized chunks enumerated in parallel (each sorted + deduped
+/// locally), then the chunk outputs are concatenated and deduped again.
+/// The same author pair can qualify from start indices in different chunks,
+/// so the final dedup is what preserves the exact `S_I` — dedup happens
+/// after the union, never before.
+fn page_pairs_heavy(
+    comments: &[(Timestamp, AuthorId)],
+    window: &Window,
+    chunk_len: usize,
+    pairs: &mut Vec<u64>,
+) {
+    let n = comments.len();
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = n.div_ceil(chunk_len);
+    let chunks: Vec<Vec<u64>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let mut v = Vec::new();
+            let lo = c * chunk_len;
+            push_pair_candidates(comments, window, lo, (lo + chunk_len).min(n), &mut v);
+            sort_packed(&mut v);
+            v.dedup();
+            v
+        })
+        .collect();
+    pairs.clear();
+    for c in &chunks {
+        pairs.extend_from_slice(c);
+    }
+    sort_packed(pairs);
+    pairs.dedup();
+}
+
+/// Run-length-count a sorted occurrence buffer of packed canonical pairs into
+/// a sorted `(x, y, w)` edge run — the [`CiGraph::from_runs`] input format.
+fn run_length_pairs(occ: &[u64]) -> Vec<(u32, u32, u64)> {
+    let mut run = Vec::new();
+    let mut it = occ.iter().copied();
+    if let Some(mut cur) = it.next() {
+        let mut w = 1u64;
+        for p in it {
+            if p == cur {
+                w += 1;
+            } else {
+                let (x, y) = unpack_pair(cur);
+                run.push((x, y, w));
+                cur = p;
+                w = 1;
+            }
+        }
+        let (x, y) = unpack_pair(cur);
+        run.push((x, y, w));
+    }
+    run
+}
+
+/// One worker chunk's accumulated output: a sorted run-length-counted
+/// `(x, y, w)` edge run plus a sorted `(author, pages)` P'-contribution run.
+type ChunkRuns = (Vec<(u32, u32, u64)>, Vec<(u32, u64)>);
+
+/// Run-length-count a sorted author occurrence buffer into `(author, P')`.
+fn run_length_counts(occ: &[u32]) -> Vec<(u32, u64)> {
+    let mut counts = Vec::new();
+    let mut it = occ.iter().copied();
+    if let Some(mut cur) = it.next() {
+        let mut c = 1u64;
+        for a in it {
+            if a == cur {
+                c += 1;
+            } else {
+                counts.push((cur, c));
+                cur = a;
+                c = 1;
+            }
+        }
+        counts.push((cur, c));
+    }
+    counts
+}
+
+/// The flat chunked driver all vector-kernel projections share. Pages are cut
+/// into contiguous chunks (a few per worker); each chunk walks its pages
+/// through `kernel` (which must leave the page's deduplicated sorted pair set
+/// in the scratch vec), appending pair and author occurrences to append-only
+/// buffers that are sorted and run-length-counted **once** per chunk. The
+/// per-chunk runs k-way merge in [`CiGraph::from_runs`] — no hash map on the
+/// whole path. Scratch vecs are pre-sized from `stats` and reused across all
+/// pages of a chunk.
+fn project_pages_flat<K>(
+    n_authors: u32,
+    pages: &[(crate::ids::PageId, &[(Timestamp, AuthorId)])],
+    stats: &PageDegreeStats,
+    kernel: K,
+) -> CiGraph
+where
+    K: Fn(&[(Timestamp, AuthorId)], &mut Vec<u64>) + Sync + Send,
+{
+    // p95 of page neighborhoods bounds the *typical* page's candidate count;
+    // clamp so one mega-page doesn't pre-reserve quadratic memory per worker.
+    let pair_cap = (stats.p95 * stats.p95 / 2).clamp(16, 1 << 16);
+    let author_cap = stats.p95.clamp(8, 1 << 12);
+    let n_chunks = (rayon::current_num_threads().max(1) * 4)
+        .min(pages.len())
+        .max(1);
+    let chunk_len = pages.len().div_ceil(n_chunks).max(1);
+    let parts: Vec<ChunkRuns> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = (c * chunk_len).min(pages.len());
+            let hi = (lo + chunk_len).min(pages.len());
+            let mut pairs: Vec<u64> = Vec::with_capacity(pair_cap);
+            let mut authors_scratch: Vec<u32> = Vec::with_capacity(author_cap);
+            let mut occ: Vec<u64> = Vec::new();
+            let mut authors: Vec<u32> = Vec::new();
+            for &(_, comments) in &pages[lo..hi] {
+                kernel(comments, &mut pairs);
+                occ.extend_from_slice(&pairs);
+                authors_scratch.clear();
+                for &p in &pairs {
+                    let (x, y) = unpack_pair(p);
+                    authors_scratch.push(x);
+                    authors_scratch.push(y);
+                }
+                authors_scratch.sort_unstable();
+                authors_scratch.dedup();
+                authors.extend_from_slice(&authors_scratch);
+            }
+            sort_packed(&mut occ);
+            let run = run_length_pairs(&occ);
+            authors.sort_unstable();
+            (run, run_length_counts(&authors))
+        })
+        .collect();
+    let mut page_counts = vec![0u64; n_authors as usize];
+    let mut runs = Vec::with_capacity(parts.len());
+    for (run, counts) in parts {
+        for (a, c) in counts {
+            page_counts[a as usize] += c;
+        }
+        runs.push(run);
+    }
+    CiGraph::from_runs(n_authors, runs, page_counts)
+}
+
+/// Algorithm 1 parallelized over pages — the default driver, on the flat
+/// vector kernels (see the module docs). Pages with neighborhoods of
+/// [`HEAVY_PAGE_SPLIT_LEN`] or more comments are additionally split by
+/// comment-index range across workers.
+pub fn project(btm: &Btm, window: Window) -> CiGraph {
+    project_with_heavy_split(btm, window, HEAVY_PAGE_SPLIT_LEN)
+}
+
+/// [`project`] with an explicit heavy-page threshold, so tests and benches
+/// can force the split path on small inputs.
+#[doc(hidden)]
+pub fn project_with_heavy_split(btm: &Btm, window: Window, split_len: usize) -> CiGraph {
+    let split_len = split_len.max(2);
+    let pages: Vec<_> = btm.pages().collect();
+    let stats = btm.page_degree_stats();
+    project_pages_flat(btm.n_authors(), &pages, &stats, move |comments, pairs| {
+        if comments.len() >= split_len {
+            page_pairs_heavy(comments, &window, split_len, pairs);
+        } else {
+            page_pairs_flat(comments, &window, pairs);
+        }
+    })
+}
+
 /// Collect the deduplicated author pairs of one page under `window` into
 /// `pairs`. `comments` must be sorted by timestamp (BTM guarantees this).
+/// Hash-set variant backing the reference drivers.
 fn page_pairs(
     comments: &[(Timestamp, AuthorId)],
     window: &Window,
@@ -84,10 +387,9 @@ fn finish(n_authors: u32, edges: HashMap<(u32, u32), u64>, counts: HashMap<u32, 
 }
 
 /// Turn per-worker partials into sorted canonical edge runs and hand them to
-/// [`CiGraph::from_runs`]. This replaces the old pairwise HashMap reduction:
-/// each worker's map is drained and sorted independently (in parallel), and
-/// the CSR builder k-way merges the runs — no global map merge, no global
-/// re-sort.
+/// [`CiGraph::from_runs`]: each worker's map is drained and sorted
+/// independently (in parallel), and the CSR builder k-way merges the runs —
+/// no global map merge, no global re-sort.
 fn finish_runs(n_authors: u32, partials: Vec<Partial>) -> CiGraph {
     let mut page_counts = vec![0u64; n_authors as usize];
     let mut edge_maps = Vec::with_capacity(partials.len());
@@ -122,10 +424,11 @@ pub fn project_sequential(btm: &Btm, window: Window) -> CiGraph {
     finish(btm.n_authors(), edges, counts)
 }
 
-/// Algorithm 1 parallelized over pages with rayon (the default driver).
-/// Per-worker partials become sorted edge runs, k-way merged straight into
-/// the CSR-backed [`CiGraph`] — the old pairwise HashMap reduction is gone.
-pub fn project(btm: &Btm, window: Window) -> CiGraph {
+/// The previous default driver: rayon fold with a `HashSet` pair set per page
+/// and `HashMap` partials per worker. Kept verbatim as the kernel-ablation
+/// baseline — the bench harness measures [`project`]'s flat kernels against
+/// it (EXPERIMENTS.md, "kernel ablation").
+pub fn project_hashed(btm: &Btm, window: Window) -> CiGraph {
     let pages: Vec<_> = btm.pages().collect();
     let partials: Vec<Partial> = pages
         .par_iter()
@@ -147,28 +450,23 @@ pub fn project(btm: &Btm, window: Window) -> CiGraph {
 /// `n_buckets` contiguous sub-windows, scan each page once per bucket, and
 /// union the page's pair sets before counting. Produces exactly the same
 /// CI graph as [`project`] on the full window, while each scan's working pair
-/// set stays bounded by the sub-window's density.
+/// set stays bounded by the sub-window's density. Runs on the flat kernels:
+/// per-bucket pair vecs are concatenated and deduped after the union (the
+/// same invariant that makes the heavy-page split exact).
 pub fn project_bucketed(btm: &Btm, window: Window, n_buckets: usize) -> CiGraph {
     let buckets = window.buckets(n_buckets);
     let pages: Vec<_> = btm.pages().collect();
-    let partials: Vec<Partial> = pages
-        .par_iter()
-        .fold(
-            || (HashMap::new(), HashMap::new()),
-            |(mut edges, mut counts): Partial, (_, comments)| {
-                let mut union: HashSet<(u32, u32)> = HashSet::new();
-                let mut pairs = HashSet::new();
-                for b in &buckets {
-                    page_pairs(comments, b, &mut pairs);
-                    union.extend(pairs.iter().copied());
-                }
-                let mut scratch = HashSet::new();
-                accumulate_page(&union, &mut edges, &mut counts, &mut scratch);
-                (edges, counts)
-            },
-        )
-        .collect();
-    finish_runs(btm.n_authors(), partials)
+    let stats = btm.page_degree_stats();
+    project_pages_flat(btm.n_authors(), &pages, &stats, move |comments, pairs| {
+        let mut bucket_pairs = Vec::new();
+        pairs.clear();
+        for b in &buckets {
+            page_pairs_flat(comments, b, &mut bucket_pairs);
+            pairs.extend_from_slice(&bucket_pairs);
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+    })
 }
 
 /// The YGM-style distributed projection: pages are hash-distributed across
@@ -246,28 +544,19 @@ pub fn project_subset(btm: &Btm, subset: &[AuthorId], window: Window) -> CiGraph
         in_subset[a.0 as usize] = true;
     }
     let pages: Vec<_> = btm.pages().collect();
-    let partials: Vec<Partial> = pages
-        .par_iter()
-        .fold(
-            || (HashMap::new(), HashMap::new()),
-            |(mut edges, mut counts): Partial, (_, comments)| {
-                // restrict the neighborhood to subset members up front
-                let filtered: Vec<(Timestamp, AuthorId)> = comments
-                    .iter()
-                    .copied()
-                    .filter(|&(_, a)| in_subset[a.0 as usize])
-                    .collect();
-                if filtered.len() >= 2 {
-                    let mut pairs = HashSet::new();
-                    let mut scratch = HashSet::new();
-                    page_pairs(&filtered, &window, &mut pairs);
-                    accumulate_page(&pairs, &mut edges, &mut counts, &mut scratch);
-                }
-                (edges, counts)
-            },
-        )
-        .collect();
-    finish_runs(btm.n_authors(), partials)
+    let stats = btm.page_degree_stats();
+    project_pages_flat(btm.n_authors(), &pages, &stats, move |comments, pairs| {
+        // restrict the neighborhood to subset members up front
+        let filtered: Vec<(Timestamp, AuthorId)> = comments
+            .iter()
+            .copied()
+            .filter(|&(_, a)| in_subset[a.0 as usize])
+            .collect();
+        pairs.clear();
+        if filtered.len() >= 2 {
+            page_pairs_flat(&filtered, &window, pairs);
+        }
+    })
 }
 
 /// Summary statistics of one projection run, for scale reporting
@@ -421,6 +710,29 @@ mod tests {
             let b = random_btm(seed, 40, 30, 600);
             let w = Window::new(0, 120);
             assert_ci_eq(&project(&b, w), &project_sequential(&b, w));
+        }
+    }
+
+    #[test]
+    fn flat_matches_hashed_baseline() {
+        for seed in 0..5 {
+            let b = random_btm(seed + 500, 40, 30, 600);
+            let w = Window::new(0, 120);
+            assert_ci_eq(&project(&b, w), &project_hashed(&b, w));
+        }
+    }
+
+    #[test]
+    fn heavy_split_matches_unsplit() {
+        // force the split path with a tiny threshold: every page goes heavy
+        for seed in 0..3 {
+            let b = random_btm(seed + 300, 25, 8, 500);
+            let w = Window::new(0, 400);
+            let unsplit = project_with_heavy_split(&b, w, usize::MAX);
+            for split_len in [2, 3, 7, 64] {
+                assert_ci_eq(&unsplit, &project_with_heavy_split(&b, w, split_len));
+            }
+            assert_ci_eq(&unsplit, &project_sequential(&b, w));
         }
     }
 

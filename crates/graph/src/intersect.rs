@@ -1,0 +1,221 @@
+//! Adaptive intersection of sorted slices — the shared hot primitive.
+//!
+//! Two consumers burn most of their cycles intersecting sorted lists: the
+//! triangle enumerator (`tripoll::enumerate` intersects oriented out-lists)
+//! and hypergraph validation (`coordination_core::hypergraph` intersects
+//! three author page lists). Both previously used one-size-fits-all linear
+//! merges, which is optimal when the inputs are near-equal length but wastes
+//! `O(|long|)` work when one side is much shorter — exactly the skewed shape
+//! degree-skewed social graphs and hyperactive-author page lists produce.
+//!
+//! [`intersect_indices`] dispatches on the length ratio: below
+//! [`GALLOP_RATIO`] it runs the classic two-cursor linear merge; above it,
+//! it walks the *short* side and locates each element in the long side by
+//! galloping (exponential probe + binary search within the bracketed range),
+//! giving `O(|short| · log |long|)` — and, because the short side is sorted,
+//! the gallop restarts from the previous match's position, so the total is
+//! also bounded by `O(|short| + |long|)` even in the worst case. The linear
+//! reference ([`intersect_indices_linear`]) stays public: property tests pin
+//! the adaptive kernel to it and the kernel-ablation bench measures the gap.
+
+/// Length ratio above which galloping beats the linear merge. Chosen from the
+/// kernel-ablation bench (`cargo run -p bench --bin pipeline`): below ~8× the
+/// branchy binary search loses to the branch-predictable linear scan.
+pub const GALLOP_RATIO: usize = 8;
+
+/// Find `target` in `xs[from..]`, returning `Ok(absolute index)` if present
+/// or `Err(absolute insertion point)` if not, by exponential probing followed
+/// by binary search over the bracketed range. `O(log distance)` — cheap when
+/// successive targets land near each other, which sorted callers guarantee.
+#[inline]
+pub fn gallop_search<T: Ord>(xs: &[T], from: usize, target: &T) -> Result<usize, usize> {
+    let n = xs.len();
+    if from >= n {
+        return Err(n);
+    }
+    // exponential probe: bracket the target between xs[from + step/2] and
+    // xs[from + step]
+    let mut step = 1usize;
+    let mut lo = from;
+    loop {
+        let probe = from + step;
+        if probe >= n {
+            break;
+        }
+        match xs[probe].cmp(target) {
+            std::cmp::Ordering::Less => {
+                lo = probe + 1;
+                step <<= 1;
+            }
+            std::cmp::Ordering::Equal => return Ok(probe),
+            std::cmp::Ordering::Greater => {
+                return xs[lo..probe]
+                    .binary_search(target)
+                    .map(|i| lo + i)
+                    .map_err(|i| lo + i);
+            }
+        }
+    }
+    xs[lo..n]
+        .binary_search(target)
+        .map(|i| lo + i)
+        .map_err(|i| lo + i)
+}
+
+/// Visit every common element of two sorted, strictly-increasing slices as
+/// `f(index_in_a, index_in_b)`, by two-cursor linear merge. The reference
+/// implementation the adaptive kernel is pinned to.
+#[inline]
+pub fn intersect_indices_linear<T: Ord, F: FnMut(usize, usize)>(a: &[T], b: &[T], f: &mut F) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(i, j);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Walk the shorter slice and gallop for each element in the longer one.
+/// `swap` reports whether the roles were swapped so callbacks keep (a, b)
+/// index order.
+#[inline]
+fn intersect_indices_gallop<T: Ord, F: FnMut(usize, usize)>(
+    short: &[T],
+    long: &[T],
+    swapped: bool,
+    f: &mut F,
+) {
+    let mut from = 0usize;
+    for (si, v) in short.iter().enumerate() {
+        match gallop_search(long, from, v) {
+            Ok(li) => {
+                if swapped {
+                    f(li, si);
+                } else {
+                    f(si, li);
+                }
+                from = li + 1;
+            }
+            Err(li) => from = li,
+        }
+        if from >= long.len() {
+            break;
+        }
+    }
+}
+
+/// Visit every common element of two sorted, strictly-increasing slices as
+/// `f(index_in_a, index_in_b)`, choosing the kernel by length ratio:
+/// linear merge for comparable lengths, galloping from the shorter side when
+/// one input is ≥ [`GALLOP_RATIO`]× the other. Exactly the visit sequence of
+/// [`intersect_indices_linear`] (ascending in both indices).
+#[inline]
+pub fn intersect_indices<T: Ord, F: FnMut(usize, usize)>(a: &[T], b: &[T], f: &mut F) {
+    let (la, lb) = (a.len(), b.len());
+    if la == 0 || lb == 0 {
+        return;
+    }
+    if la * GALLOP_RATIO < lb {
+        intersect_indices_gallop(a, b, false, f);
+    } else if lb * GALLOP_RATIO < la {
+        intersect_indices_gallop(b, a, true, f);
+    } else {
+        intersect_indices_linear(a, b, f);
+    }
+}
+
+/// `|a ∩ b|` for sorted strictly-increasing slices, via the adaptive kernel.
+#[inline]
+pub fn intersect_count<T: Ord>(a: &[T], b: &[T]) -> u64 {
+    let mut n = 0u64;
+    intersect_indices(a, b, &mut |_, _| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        intersect_indices(a, b, &mut |i, j| out.push((i, j)));
+        out
+    }
+
+    fn pairs_linear<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        intersect_indices_linear(a, b, &mut |i, j| out.push((i, j)));
+        out
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(pairs::<u32>(&[], &[]).is_empty());
+        assert!(pairs(&[1u32, 2], &[]).is_empty());
+        assert!(pairs::<u32>(&[], &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn balanced_lists_match_linear() {
+        let a = [1u32, 3, 5, 7, 9, 11];
+        let b = [2u32, 3, 4, 7, 10, 11];
+        assert_eq!(pairs(&a, &b), pairs_linear(&a, &b));
+        assert_eq!(pairs(&a, &b), vec![(1, 1), (3, 3), (5, 5)]);
+        assert_eq!(intersect_count(&a, &b), 3);
+    }
+
+    #[test]
+    fn skewed_lists_trigger_gallop_and_match_linear() {
+        let short = [7u32, 500, 900, 2_000];
+        let long: Vec<u32> = (0..1_000).collect();
+        assert!(short.len() * GALLOP_RATIO < long.len());
+        assert_eq!(pairs(&short, &long), pairs_linear(&short, &long));
+        assert_eq!(pairs(&short, &long), vec![(0, 7), (1, 500), (2, 900)]);
+        // swapped roles keep (a, b) index order
+        assert_eq!(pairs(&long, &short), vec![(7, 0), (500, 1), (900, 2)]);
+    }
+
+    #[test]
+    fn gallop_search_brackets_correctly() {
+        let xs: Vec<u32> = (0..100).map(|i| i * 3).collect(); // 0, 3, .., 297
+        for from in [0usize, 1, 50, 99, 100] {
+            for t in 0u32..300 {
+                let got = gallop_search(&xs, from, &t);
+                let expect = match xs[from.min(xs.len())..].binary_search(&t) {
+                    Ok(i) => Ok(from + i),
+                    Err(i) => Err(from + i),
+                };
+                assert_eq!(got, expect, "from={from} t={t}");
+            }
+        }
+        assert_eq!(gallop_search(&xs, 200, &5), Err(100));
+    }
+
+    #[test]
+    fn identical_lists_intersect_fully() {
+        let a: Vec<u32> = (0..50).collect();
+        assert_eq!(intersect_count(&a, &a), 50);
+    }
+
+    #[test]
+    fn disjoint_interleaved_lists() {
+        let a: Vec<u32> = (0..500).map(|i| i * 2).collect();
+        let b = [1u32, 3, 999];
+        assert_eq!(intersect_count(&a, &b), 0);
+        assert_eq!(intersect_count(&b, &a), 0);
+    }
+
+    #[test]
+    fn works_over_any_ord_type() {
+        // newtype-style tuples, like (PageId) lists
+        let a = [(1u32, 'a'), (4, 'b'), (9, 'c')];
+        let b = [(4u32, 'b'), (8, 'x'), (9, 'c')];
+        assert_eq!(intersect_count(&a, &b), 2);
+    }
+}

@@ -14,6 +14,9 @@
 //!   no global re-sort) and the fast path [`CsrGraph::from_canonical_runs`]
 //!   for producers that already hold sorted runs; also the union-find
 //!   ([`DisjointSets`]) and generic connected-[`components`] extraction;
+//! * [`intersect`] — the adaptive sorted-slice intersection kernel (linear
+//!   merge for comparable lengths, galloping from the short side for skewed
+//!   ones) shared by the triangle enumerator and hypergraph validation;
 //! * [`view`] — the [`GraphRef`] borrowing trait and the allocation-free
 //!   [`ThresholdView`] / [`SubsetView`] adapters, so consumers (edge
 //!   thresholding before a survey, subset extraction for reprojection) filter
@@ -25,8 +28,10 @@
 
 pub mod csr;
 pub mod ids;
+pub mod intersect;
 pub mod view;
 
 pub use csr::{components, CsrGraph, DisjointSets};
 pub use ids::{AuthorId, PageId, Timestamp};
+pub use intersect::{intersect_count, intersect_indices, intersect_indices_linear};
 pub use view::{GraphRef, SubsetView, ThresholdView};

@@ -5,7 +5,10 @@
 
 use proptest::prelude::*;
 
-use coordination_graph::{components, CsrGraph, GraphRef, SubsetView, ThresholdView};
+use coordination_graph::{
+    components, intersect_count, intersect_indices, intersect_indices_linear, CsrGraph, GraphRef,
+    SubsetView, ThresholdView,
+};
 
 /// Arbitrary edge soup over a small vertex space: duplicates and self-loops
 /// are common by construction.
@@ -38,6 +41,22 @@ fn reference_adjacency(n: u32, edges: &[(u32, u32, u64)]) -> Vec<(u32, u32, u64)
     }
     assert!(merged.iter().all(|&(u, v, _)| u < n && v < n));
     merged
+}
+
+/// A pair of sorted, deduplicated lists with wildly skewed lengths — the
+/// degree distribution that makes the adaptive (galloping) intersection take
+/// its binary-search path. Drawing both from the same small value space keeps
+/// overlaps common.
+fn arb_skewed_lists() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    let short = prop::collection::vec(0u32..300, 0..12);
+    let long = prop::collection::vec(0u32..300, 0..260);
+    (short, long).prop_map(|(mut a, mut b)| {
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        (a, b)
+    })
 }
 
 /// Full directed adjacency of a [`GraphRef`], for exact comparison.
@@ -108,6 +127,22 @@ proptest! {
         );
         prop_assert_eq!(adjacency(&view), adjacency(&rebuilt));
         prop_assert_eq!(view.count_edges(), rebuilt.m());
+    }
+
+    /// The adaptive intersection visits exactly the index pairs the linear
+    /// merge visits, in the same order, on degree-skewed out-lists — in both
+    /// argument orders (the adaptive kernel swaps internally).
+    #[test]
+    fn adaptive_intersection_matches_linear((a, b) in arb_skewed_lists()) {
+        let mut linear = Vec::new();
+        intersect_indices_linear(&a, &b, &mut |i, j| linear.push((i, j)));
+        let mut adaptive = Vec::new();
+        intersect_indices(&a, &b, &mut |i, j| adaptive.push((i, j)));
+        prop_assert_eq!(&adaptive, &linear);
+        let mut swapped = Vec::new();
+        intersect_indices(&b, &a, &mut |j, i| swapped.push((i, j)));
+        prop_assert_eq!(&swapped, &linear);
+        prop_assert_eq!(intersect_count(&a, &b), linear.len() as u64);
     }
 
     /// Materializing any view with to_csr() round-trips exactly.

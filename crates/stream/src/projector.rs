@@ -29,8 +29,10 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use coordination_core::btm::Btm;
 use coordination_core::cigraph::CiGraph;
 use coordination_core::ids::Timestamp;
+use coordination_core::project::{page_pairs_flat, unpack_pair};
 use coordination_core::window::Window;
 
 /// An unordered author pair, stored as `(min, max)`.
@@ -130,6 +132,62 @@ impl StreamProjector {
             expiry: BinaryHeap::new(),
             scratch: Vec::new(),
         }
+    }
+
+    /// Warm-start a **cumulative** projector from an already-materialised
+    /// BTM: the result is state-equivalent to ingesting every BTM event one
+    /// at a time, but is built with the batch flat kernel
+    /// ([`coordination_core::project::page_pairs_flat`]) — one sort+dedup
+    /// pass per page instead of a backward pairing scan per event. Use it to
+    /// bootstrap a live projector from a historical log before switching to
+    /// per-event ingestion; subsequent [`ingest`](Self::ingest) timestamps
+    /// must be ≥ the BTM's newest event, as always.
+    pub fn warm_start(window: Window, btm: &Btm) -> Self {
+        let mut p = Self::new(window);
+        let mut pairs: Vec<u64> = Vec::new();
+        for (pid, comments) in btm.pages() {
+            let page = pid.0;
+            let &(last_ts, _) = comments.last().expect("pages() yields non-empty pages");
+            if !p.started || last_ts > p.now {
+                p.now = last_ts;
+            }
+            p.started = true;
+            for &(_, a) in comments {
+                if p.n_authors <= a.0 {
+                    p.n_authors = a.0 + 1;
+                }
+            }
+            // The recent buffer is exactly what per-event pruning would have
+            // left: comments still within δ2 of the page's own newest
+            // arrival (stale pages keep their tail — pruning only ever
+            // happens on an arrival to the same page).
+            let keep = comments
+                .iter()
+                .position(|&(t, _)| last_ts - t <= window.d2())
+                .unwrap_or(comments.len());
+            p.buffers.insert(
+                page,
+                comments[keep..].iter().map(|&(t, a)| (t, a.0)).collect(),
+            );
+            // Supported pairs via the shared flat kernel. Cumulative mode
+            // never reads the support timestamp (only presence matters, and
+            // nothing expires), so the page's newest comment stands in for
+            // the pair's last qualifying interaction.
+            page_pairs_flat(comments, &window, &mut pairs);
+            for &packed in &pairs {
+                let pair = unpack_pair(packed);
+                p.support.insert((page, pair), last_ts);
+                *p.edges.entry(pair).or_insert(0) += 1;
+                for a in [pair.0, pair.1] {
+                    *p.incident.entry((page, a)).or_insert(0) += 1;
+                }
+            }
+        }
+        p.page_counts = vec![0; p.n_authors as usize];
+        for &(_, a) in p.incident.keys() {
+            p.page_counts[a as usize] += 1;
+        }
+        p
     }
 
     /// The projection window.
@@ -537,6 +595,84 @@ mod tests {
             assert_eq!(snap.weight(AuthorId(x), AuthorId(y)), w, "edge ({x},{y})");
         }
         assert_eq!(snap.page_counts(), batch.page_counts());
+    }
+
+    #[test]
+    fn warm_start_matches_batch_and_incremental() {
+        let events = vec![
+            (0u32, 0u32, 100i64),
+            (1, 0, 100),
+            (2, 0, 160),
+            (3, 0, 161),
+            (0, 1, 500),
+            (2, 1, 540),
+            (0, 1, 560),
+            (4, 2, 900),
+        ];
+        let window = Window::new(0, 60);
+        let evs: Vec<Event> = events
+            .iter()
+            .map(|&(a, g, t)| Event::new(AuthorId(a), PageId(g), t))
+            .collect();
+        let btm = Btm::from_events(5, 3, &evs);
+        let warm = StreamProjector::warm_start(window, &btm);
+        let batch = project::project(&btm, window);
+        let snap = warm.snapshot(5);
+        assert_eq!(snap.n_edges(), batch.n_edges());
+        for (x, y, w) in batch.edges() {
+            assert_eq!(snap.weight(AuthorId(x), AuthorId(y)), w, "edge ({x},{y})");
+        }
+        assert_eq!(snap.page_counts(), batch.page_counts());
+
+        // State equivalence, not just snapshot equivalence: the incremental
+        // drive of the same log must agree field-for-field on the queryable
+        // surface.
+        let inc = drive(&events, window);
+        assert_eq!(warm.n_edges(), inc.n_edges());
+        assert_eq!(warm.now(), inc.now());
+    }
+
+    #[test]
+    fn warm_start_then_ingest_matches_full_drive() {
+        // Split a log mid-page so the warm-started buffers matter: the
+        // suffix events pair with prefix comments still inside δ2.
+        let events = vec![
+            (0u32, 0u32, 100i64),
+            (1, 0, 110),
+            (0, 1, 200),
+            (2, 0, 150), // prefix ends here (sorted order: 100,110,150,200)
+            (3, 0, 205), // pairs with (2,0,150) across the split
+            (1, 1, 230), // pairs with (0,1,200) across the split
+            (4, 2, 300),
+            (0, 2, 350),
+        ];
+        let window = Window::new(0, 60);
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(_, _, t)| t);
+        let (prefix, suffix) = sorted.split_at(4);
+
+        let evs: Vec<Event> = prefix
+            .iter()
+            .map(|&(a, g, t)| Event::new(AuthorId(a), PageId(g), t))
+            .collect();
+        let btm = Btm::from_events(5, 3, &evs);
+        let mut warm = StreamProjector::warm_start(window, &btm);
+        for &(a, g, t) in suffix {
+            warm.ingest(a, g, t);
+        }
+
+        let full = drive(&events, window);
+        assert_eq!(warm.n_edges(), full.n_edges());
+        let warm_snap = warm.snapshot(5);
+        let full_snap = full.snapshot(5);
+        for (x, y, w) in full_snap.edges() {
+            assert_eq!(
+                warm_snap.weight(AuthorId(x), AuthorId(y)),
+                w,
+                "edge ({x},{y})"
+            );
+        }
+        assert_eq!(warm_snap.page_counts(), full_snap.page_counts());
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! With the graph oriented by degree order, every triangle `{a, b, c}` appears
 //! exactly once: at its lowest-order vertex `u`, as a pair `(v, w)` present in
 //! both `out(u)` and such that `w ∈ out(v)`. Enumeration therefore reduces to
-//! intersecting sorted out-lists — `O(Σ_u Σ_{v∈out(u)} (|out(u)| + |out(v)|))`,
-//! which on social-network-like degree distributions is near-linear in the
-//! triangle count.
+//! intersecting sorted out-lists through the shared adaptive kernel
+//! ([`coordination_graph::intersect`]): `O(min + log·short)` per wedge when
+//! the two out-lists are skewed, `O(|out(u)| + |out(v)|)` linear merge when
+//! they are comparable — near-linear in the triangle count on
+//! social-network-like degree distributions either way.
 //!
 //! The parallel driver partitions the *wedge apex* vertices over rayon tasks;
 //! out-lists are read-only, so the map step is embarrassingly parallel.
@@ -102,34 +104,23 @@ pub fn for_each_apex_triangle<F: FnMut(Triangle)>(oriented: &OrientedGraph, u: u
 }
 
 /// All triangles whose wedge apex (lowest degree-order vertex) is `u`.
+///
+/// Intersects the *whole* of `out(u)` with `out(v)` for every `v ∈ out(u)` —
+/// the third vertex can sit anywhere in `out(u)`, not only past `v`, because
+/// degree order ≠ id order. The intersection runs through the shared adaptive
+/// kernel: linear merge when the two out-lists are comparable, galloping from
+/// the shorter side when their lengths are skewed (id-order orientation and
+/// hub-heavy graphs produce exactly that skew). `v` itself never matches —
+/// `v ∉ out(v)` since the orientation has no self-loops.
 #[inline]
 fn wedge_close<F: FnMut(Triangle)>(oriented: &OrientedGraph, u: u32, f: &mut F) {
     let (u_nbrs, u_ws) = oriented.out(u);
-    for (i, (&v, &w_uv)) in u_nbrs.iter().zip(u_ws).enumerate() {
+    for (&v, &w_uv) in u_nbrs.iter().zip(u_ws) {
         let (v_nbrs, v_ws) = oriented.out(v);
-        // Intersect out(u) (beyond nothing — w can be anywhere in out(u),
-        // not only past v, because degree order ≠ id order) with out(v).
-        let mut ai = 0usize;
-        let mut bi = 0usize;
-        let _ = i;
-        while ai < u_nbrs.len() && bi < v_nbrs.len() {
-            let x = u_nbrs[ai];
-            let y = v_nbrs[bi];
-            if x == v {
-                ai += 1;
-                continue;
-            }
-            match x.cmp(&y) {
-                std::cmp::Ordering::Less => ai += 1,
-                std::cmp::Ordering::Greater => bi += 1,
-                std::cmp::Ordering::Equal => {
-                    // triangle u–v–x: w_uv, w_ux, w_vx
-                    f(Triangle::new(u, v, x, w_uv, u_ws[ai], v_ws[bi]));
-                    ai += 1;
-                    bi += 1;
-                }
-            }
-        }
+        coordination_graph::intersect_indices(u_nbrs, v_nbrs, &mut |ai, bi| {
+            // triangle u–v–x with x = u_nbrs[ai]: w_uv, w_ux, w_vx
+            f(Triangle::new(u, v, u_nbrs[ai], w_uv, u_ws[ai], v_ws[bi]));
+        });
     }
 }
 

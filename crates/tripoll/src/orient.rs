@@ -32,6 +32,8 @@ pub struct OrientedGraph {
     offsets: Vec<usize>,
     targets: Vec<u32>,
     weights: Vec<u64>,
+    /// Largest out-degree, folded into the counting pass at build time.
+    max_out: u32,
 }
 
 impl OrientedGraph {
@@ -90,7 +92,9 @@ impl OrientedGraph {
             let src = if points_up(x, y) { x } else { y };
             offsets[src as usize + 1] += 1;
         }
+        let mut max_out = 0u32;
         for k in 0..n {
+            max_out = max_out.max(offsets[k + 1] as u32);
             offsets[k + 1] += offsets[k];
         }
         let total = offsets[n];
@@ -117,6 +121,7 @@ impl OrientedGraph {
             offsets,
             targets,
             weights,
+            max_out,
         }
     }
 
@@ -152,9 +157,12 @@ impl OrientedGraph {
         nbrs.binary_search(&v).ok().map(|i| ws[i])
     }
 
-    /// Maximum out-degree — the quantity the √m bound constrains.
+    /// Maximum out-degree — the quantity the √m bound constrains. Cached at
+    /// build time, so per-run reporting (the bench harness logs it as the
+    /// intersection-skew indicator) is O(1).
+    #[inline]
     pub fn max_out_degree(&self) -> u32 {
-        (0..self.n()).map(|u| self.out_degree(u)).max().unwrap_or(0)
+        self.max_out
     }
 }
 

@@ -41,7 +41,10 @@ fn usage() -> ExitCode {
          `project` persists the expensive step-1 graph; `survey` re-queries it\n\
          at any cutoff without reprojecting. `stream` replays the input as a\n\
          live event stream and alerts on coordinated triplets mid-stream.\n\
-         Input is pushshift-style NDJSON."
+         Input is pushshift-style NDJSON.\n\
+         \n\
+         Global: --threads N runs the command inside an N-thread rayon pool\n\
+         (default: rayon's own sizing)."
     );
     ExitCode::from(2)
 }
@@ -492,29 +495,53 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn dispatch(cmd: &str, flags: &Flags) -> Option<Result<(), String>> {
+    Some(match cmd {
+        "generate" => cmd_generate(flags),
+        "stats" => cmd_stats(flags),
+        "project" => cmd_project(flags),
+        "survey" => cmd_survey(flags),
+        "hunt" => cmd_hunt(flags),
+        "validate" => cmd_validate(flags),
+        "groups" => cmd_groups(flags),
+        "refine" => cmd_refine(flags),
+        "stream" => cmd_stream(flags),
+        _ => return None,
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        return usage();
+    }
     let Some(flags) = Flags::parse(rest) else {
         return usage();
     };
-    let result = match cmd.as_str() {
-        "generate" => cmd_generate(&flags),
-        "stats" => cmd_stats(&flags),
-        "project" => cmd_project(&flags),
-        "survey" => cmd_survey(&flags),
-        "hunt" => cmd_hunt(&flags),
-        "validate" => cmd_validate(&flags),
-        "groups" => cmd_groups(&flags),
-        "refine" => cmd_refine(&flags),
-        "stream" => cmd_stream(&flags),
-        "--help" | "-h" | "help" => return usage(),
-        other => {
-            eprintln!("unknown command: {other}");
-            return usage();
-        }
+    // `--threads N` scopes every parallel stage (projection fan-out, survey)
+    // to an N-thread rayon pool instead of the global one.
+    let result = match flags.num::<usize>("threads", 0) {
+        Err(e) => Err(e),
+        Ok(0) => match dispatch(cmd, &flags) {
+            Some(r) => r,
+            None => {
+                eprintln!("unknown command: {cmd}");
+                return usage();
+            }
+        },
+        Ok(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+            Err(e) => Err(format!("build {n}-thread pool: {e}")),
+            Ok(pool) => match pool.install(|| dispatch(cmd, &flags)) {
+                Some(r) => r,
+                None => {
+                    eprintln!("unknown command: {cmd}");
+                    return usage();
+                }
+            },
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

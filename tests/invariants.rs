@@ -8,7 +8,7 @@ use coordination::core::hypergraph::hyperedge_weight;
 use coordination::core::ids::{AuthorId, Event, PageId};
 use coordination::core::metrics::c_score;
 use coordination::core::project::{
-    project, project_bucketed, project_distributed, project_sequential,
+    project, project_bucketed, project_distributed, project_sequential, project_with_heavy_split,
 };
 use coordination::core::Window;
 use coordination::tripoll::survey::t_score;
@@ -310,5 +310,95 @@ proptest! {
         prop_assert_eq!(report.len(), expected);
         prop_assert!(report.triangles.iter().all(|s| s.min_weight >= cutoff));
         prop_assert_eq!(report.total_examined as usize, all.len());
+    }
+
+    /// Adversarial projection input #1: one mega-dense page holding every
+    /// event. This is the shape that routes through the heavy-page split
+    /// kernel; every chunking factor must reproduce the sequential reference
+    /// exactly (the same author pair can be generated by several chunks — the
+    /// post-union dedup has to erase that).
+    #[test]
+    fn mega_dense_page_survives_any_heavy_split(
+        events in prop::collection::vec((0u32..12, 0i64..400), 1..250),
+        split in 2usize..40,
+        w in arb_window(),
+    ) {
+        let na = 12;
+        let evs: Vec<Event> = events
+            .iter()
+            .map(|&(a, t)| Event { author: AuthorId(a), page: PageId(0), ts: t })
+            .collect();
+        let btm = Btm::from_events(na, 1, &evs);
+        let reference = project_sequential(&btm, w);
+        let canon = |g: &coordination::core::CiGraph| {
+            let mut e: Vec<_> = g.edges().collect();
+            e.sort_unstable();
+            (e, g.page_counts().to_vec())
+        };
+        prop_assert_eq!(canon(&project_with_heavy_split(&btm, w, split)), canon(&reference));
+        prop_assert_eq!(canon(&project(&btm, w)), canon(&reference));
+    }
+
+    /// Adversarial projection input #2: every comment carries the same
+    /// timestamp, so with δ1 = 0 every author pair on a page qualifies and the
+    /// candidate stream is maximally duplicate-heavy (the compaction path).
+    #[test]
+    fn all_equal_timestamps_project_exactly(
+        events in prop::collection::vec((0u32..10, 0u32..4), 1..200),
+        ts in 0i64..1_000,
+    ) {
+        let evs: Vec<Event> = events
+            .iter()
+            .map(|&(a, p)| Event { author: AuthorId(a), page: PageId(p), ts })
+            .collect();
+        let btm = Btm::from_events(10, 4, &evs);
+        let w = Window::new(0, 60);
+        let canon = |g: &coordination::core::CiGraph| {
+            let mut e: Vec<_> = g.edges().collect();
+            e.sort_unstable();
+            (e, g.page_counts().to_vec())
+        };
+        prop_assert_eq!(canon(&project(&btm, w)), canon(&project_sequential(&btm, w)));
+        prop_assert_eq!(canon(&project_with_heavy_split(&btm, w, 3)), canon(&project_sequential(&btm, w)));
+    }
+
+    /// Adversarial projection input #3: duplicate (author, ts) rows — the
+    /// same author commenting "twice in the same second" on the same page —
+    /// must not inflate pair weights (pages are deduped per pair).
+    #[test]
+    fn duplicate_author_ts_rows_project_exactly(
+        base in prop::collection::vec((0u32..8, 0u32..3, 0i64..300), 1..60),
+        copies in 1usize..4,
+    ) {
+        let evs: Vec<Event> = base
+            .iter()
+            .flat_map(|&(a, p, t)| {
+                std::iter::repeat_n(
+                    Event { author: AuthorId(a), page: PageId(p), ts: t },
+                    copies + 1,
+                )
+            })
+            .collect();
+        let btm = Btm::from_events(8, 3, &evs);
+        let w = Window::new(0, 45);
+        let once = Btm::from_events(
+            8,
+            3,
+            &base
+                .iter()
+                .map(|&(a, p, t)| Event { author: AuthorId(a), page: PageId(p), ts: t })
+                .collect::<Vec<_>>(),
+        );
+        let canon = |g: &coordination::core::CiGraph| {
+            let mut e: Vec<_> = g.edges().collect();
+            e.sort_unstable();
+            (e, g.page_counts().to_vec())
+        };
+        // duplicates agree with the sequential reference…
+        prop_assert_eq!(canon(&project(&btm, w)), canon(&project_sequential(&btm, w)));
+        // …and change nothing relative to the deduplicated log (δ1 = 0: the
+        // duplicate row pairs with its twin at dt = 0, same as with itself —
+        // page-level dedup absorbs both).
+        prop_assert_eq!(canon(&project(&btm, w)), canon(&project(&once, w)));
     }
 }
