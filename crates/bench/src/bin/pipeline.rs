@@ -1,18 +1,23 @@
-//! End-to-end pipeline bench harness: per-stage wall times, throughput and
-//! peak RSS, plus the kernel ablations (flat vs hashed projection, adaptive
-//! vs linear triple intersection), written to `BENCH_pipeline.json`.
+//! End-to-end pipeline bench harness: per-stage wall times (ingest,
+//! projection, survey, validation), throughput and peak RSS, plus the kernel
+//! ablations (parallel vs serial ingest, zero-copy scanner vs serde, flat vs
+//! hashed projection, adaptive vs linear triple intersection), written to
+//! `BENCH_pipeline.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin pipeline -- [--smoke] [--out PATH] [--check BASELINE]
+//! cargo run --release -p bench --bin pipeline -- [--smoke] [--threads N] [--out PATH] [--check BASELINE]
 //! ```
 //!
 //! * `--smoke` — single repetition and smaller ablation inputs (the CI mode);
+//! * `--threads N` — run inside an N-thread rayon pool (chunked ingest and
+//!   the parallel pipeline stages scale with it);
 //! * `--out PATH` — where to write the JSON report (default
 //!   `BENCH_pipeline.json` in the working directory);
 //! * `--check BASELINE` — compare this run's stage times against a previous
 //!   report and exit non-zero if any stage regressed more than
-//!   [`REGRESSION_FACTOR`]×. Stages faster than [`CHECK_FLOOR_SECS`] in the
-//!   baseline are skipped (pure noise at that size).
+//!   [`REGRESSION_FACTOR`]× or disappeared from the report. Stages faster
+//!   than [`CHECK_FLOOR_SECS`] in the baseline are skipped (pure noise at
+//!   that size).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -20,8 +25,9 @@ use std::time::Instant;
 use bench::{jan2020_small, oct2016_small, run_figures_config};
 use coordination_core::hypergraph::{triple_intersection_count, triple_intersection_count_linear};
 use coordination_core::ids::{AuthorId, Event, PageId};
+use coordination_core::ingest::{self, IngestConfig};
 use coordination_core::project::{project, project_hashed};
-use coordination_core::records::Dataset;
+use coordination_core::records::{read_ndjson_into_dataset, write_ndjson, CommentRecord, Dataset};
 use coordination_core::{Btm, PageId as CorePageId, Window};
 
 /// A stage must be this much slower than the baseline to fail `--check`.
@@ -53,11 +59,37 @@ struct ScenarioReport {
     stages: Vec<StageRow>,
 }
 
-/// Time the three pipeline stages on one scenario, best of `reps` runs per
-/// stage (the pipeline reports per-stage wall time itself).
-fn bench_scenario(name: &'static str, ds: &Dataset, reps: usize) -> ScenarioReport {
+/// Serialize scenario records to the NDJSON wire format the ingest layer
+/// parses (the bench equivalent of a pushshift archive slice).
+fn ndjson_bytes(records: &[CommentRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_ndjson(&mut buf, records).expect("serialize bench records");
+    buf
+}
+
+/// Time the four pipeline stages on one scenario, best of `reps` runs per
+/// stage (the pipeline reports per-stage wall time itself; ingest is timed
+/// here, re-parsing the scenario's NDJSON serialization).
+fn bench_scenario(
+    name: &'static str,
+    records: &[CommentRecord],
+    ds: &Dataset,
+    ingest_cfg: &IngestConfig,
+    reps: usize,
+) -> ScenarioReport {
+    let ndjson = ndjson_bytes(records);
+    // untimed warm-up so a single-rep smoke run isn't timing cold allocation
+    std::hint::black_box(ingest::ingest_slice(&ndjson, ingest_cfg).expect("ingest bench NDJSON"));
     let mut best: Option<ScenarioReport> = None;
     for _ in 0..reps {
+        let t = Instant::now();
+        let ingested = ingest::ingest_slice(&ndjson, ingest_cfg).expect("ingest bench NDJSON");
+        let ingest_secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            ingested.dataset.events.len(),
+            records.len(),
+            "ingest dropped events"
+        );
         let out = run_figures_config(ds, Window::zero_to_60s());
         let s = &out.stats;
         let t = &out.timings;
@@ -68,6 +100,11 @@ fn bench_scenario(name: &'static str, ds: &Dataset, reps: usize) -> ScenarioRepo
             name,
             comments: s.comments_reviewed,
             stages: vec![
+                StageRow {
+                    stage: "ingest",
+                    seconds: ingest_secs,
+                    throughput: ingested.stats.events as f64 / ingest_secs.max(1e-9),
+                },
                 StageRow {
                     stage: "projection",
                     seconds: projection,
@@ -246,8 +283,88 @@ fn ablation_triple(smoke: bool, reps: usize) -> Ablation {
     }
 }
 
+/// Parallel chunked ingest vs the serial reference reader, and the zero-copy
+/// field scanner vs full serde deserialization, on the same NDJSON corpus.
+///
+/// Both comparisons carry a correctness guard: the parallel path must produce
+/// the exact dataset (events and dense ids) the serial reader does, and the
+/// scanner must accept every line serde accepts with identical fields.
+fn ablation_ingest(
+    records: &[CommentRecord],
+    smoke: bool,
+    threads: usize,
+    reps: usize,
+) -> (Ablation, Ablation) {
+    // Full mode replays the scenario several times over so the corpus is big
+    // enough for stable per-byte timings (the dense-vocabulary shape — few
+    // new names after the first pass — matches a real archive month).
+    let corpus_reps = if smoke { 1 } else { 8 };
+    let mut corpus = Vec::with_capacity(records.len() * corpus_reps);
+    for _ in 0..corpus_reps {
+        corpus.extend_from_slice(records);
+    }
+    let records = &corpus[..];
+    let ndjson = ndjson_bytes(records);
+    let text = std::str::from_utf8(&ndjson).expect("bench NDJSON is UTF-8");
+    let cfg = IngestConfig {
+        chunks: 4 * threads.max(1),
+        ..IngestConfig::default()
+    };
+
+    // correctness guard: byte-identical datasets, any chunking
+    let serial = read_ndjson_into_dataset(ndjson.as_slice()).expect("serial read");
+    let parallel = ingest::ingest_slice(&ndjson, &cfg).expect("parallel ingest");
+    assert_eq!(serial.events, parallel.dataset.events, "ingest diverged");
+    assert_eq!(serial.authors.len(), parallel.dataset.authors.len());
+    assert_eq!(serial.pages.len(), parallel.dataset.pages.len());
+
+    let mut serial_secs = f64::INFINITY;
+    let mut parallel_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(read_ndjson_into_dataset(ndjson.as_slice()).expect("serial read"));
+        serial_secs = serial_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(ingest::ingest_slice(&ndjson, &cfg).expect("parallel ingest"));
+        parallel_secs = parallel_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    // scanner vs serde, line by line on the same corpus; every line here is
+    // scanner-eligible, so fallbacks would show up as a throughput cliff
+    let mut scanner_secs = f64::INFINITY;
+    let mut serde_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for line in text.lines() {
+            let rec = ingest::scan_record(line).expect("scanner handles bench lines");
+            std::hint::black_box(rec.created_utc);
+        }
+        scanner_secs = scanner_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for line in text.lines() {
+            let rec: CommentRecord = serde_json::from_str(line).expect("serde parses bench lines");
+            std::hint::black_box(rec.created_utc);
+        }
+        serde_secs = serde_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    (
+        Ablation {
+            label: "ingest_parallel_vs_serial",
+            baseline_secs: serial_secs,
+            kernel_secs: parallel_secs,
+        },
+        Ablation {
+            label: "ingest_scanner_vs_serde",
+            baseline_secs: serde_secs,
+            kernel_secs: scanner_secs,
+        },
+    )
+}
+
 fn json_report(
     smoke: bool,
+    threads: usize,
     scenarios: &[ScenarioReport],
     ablations: &[Ablation],
     dense_comments: u64,
@@ -256,6 +373,7 @@ fn json_report(
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"schema\": \"bench-pipeline-v1\",");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"threads\": {threads},");
     let _ = writeln!(
         j,
         "  \"peak_rss_kb\": {},",
@@ -364,6 +482,10 @@ fn check_regressions(current: &str, baseline_path: &str) -> Result<(), String> {
                     "{key} regressed {ratio:.2}x (baseline {base_secs:.4}s, now {cur_secs:.4}s)"
                 ));
             }
+        } else {
+            failures.push(format!(
+                "{key} present in baseline ({base_secs:.4}s) but missing from current report"
+            ));
         }
     }
     if failures.is_empty() {
@@ -373,25 +495,36 @@ fn check_regressions(current: &str, baseline_path: &str) -> Result<(), String> {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let flag_value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
-    let baseline = flag_value("--check");
+fn run(smoke: bool, threads: usize, out_path: &str, baseline: Option<&str>) {
     let reps = if smoke { 1 } else { 3 };
+    // The ingest chunk count is tied to the requested thread count so the
+    // bench exercises the same chunking the CLI would use on an N-way pool.
+    let ingest_cfg = IngestConfig {
+        chunks: 4 * threads,
+        ..IngestConfig::default()
+    };
 
-    println!("pipeline bench ({}):", if smoke { "smoke" } else { "full" });
-    let (_, jan) = jan2020_small();
-    let (_, oct) = oct2016_small();
+    println!(
+        "pipeline bench ({}, {threads} threads):",
+        if smoke { "smoke" } else { "full" }
+    );
+    let (jan_scenario, jan) = jan2020_small();
+    let (oct_scenario, oct) = oct2016_small();
     let scenarios = vec![
-        bench_scenario("jan2020_small", jan, reps),
-        bench_scenario("oct2016_small", oct, reps),
+        bench_scenario(
+            "jan2020_small",
+            &jan_scenario.records,
+            jan,
+            &ingest_cfg,
+            reps,
+        ),
+        bench_scenario(
+            "oct2016_small",
+            &oct_scenario.records,
+            oct,
+            &ingest_cfg,
+            reps,
+        ),
     ];
     for s in &scenarios {
         println!("  {} ({} comments):", s.name, s.comments);
@@ -406,7 +539,16 @@ fn main() {
     let abl_reps = if smoke { 2 } else { 3 };
     let (kernel_abl, driver_abl, dense_comments) = ablation_projection(smoke, abl_reps);
     let triple_abl = ablation_triple(smoke, abl_reps);
-    for a in [&kernel_abl, &driver_abl, &triple_abl] {
+    let (parallel_abl, scanner_abl) =
+        ablation_ingest(&jan_scenario.records, smoke, threads, abl_reps);
+    let ablations = vec![
+        kernel_abl,
+        driver_abl,
+        triple_abl,
+        parallel_abl,
+        scanner_abl,
+    ];
+    for a in &ablations {
         println!(
             "  ablation {:<28} baseline {:.4}s, kernel {:.4}s → {:.2}x",
             a.label,
@@ -415,18 +557,40 @@ fn main() {
             a.speedup()
         );
     }
-    let ablations = vec![kernel_abl, driver_abl, triple_abl];
 
-    let report = json_report(smoke, &scenarios, &ablations, dense_comments);
-    std::fs::write(&out_path, &report).expect("write bench report");
+    let report = json_report(smoke, threads, &scenarios, &ablations, dense_comments);
+    std::fs::write(out_path, &report).expect("write bench report");
     println!("wrote {out_path}");
 
     if let Some(baseline_path) = baseline {
         println!("checking against baseline {baseline_path}:");
-        if let Err(msg) = check_regressions(&report, &baseline_path) {
+        if let Err(msg) = check_regressions(&report, baseline_path) {
             eprintln!("REGRESSION: {msg}");
             std::process::exit(1);
         }
         println!("no stage regressed more than {REGRESSION_FACTOR}x");
     }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let baseline = flag_value("--check");
+    let threads: usize = flag_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(rayon::current_num_threads)
+        .max(1);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build bench thread pool");
+    pool.install(|| run(smoke, threads, &out_path, baseline.as_deref()));
 }

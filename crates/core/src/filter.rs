@@ -79,11 +79,12 @@ impl ExclusionList {
 /// utilities worth reviewing for exclusion. Returns names sorted by volume,
 /// heaviest first.
 pub fn high_volume_accounts(ds: &Dataset, threshold: u64) -> Vec<(String, u64)> {
-    let counts = crate::records::comment_counts(ds);
+    let counts = crate::records::comment_counts_dense(ds);
     let mut out: Vec<(String, u64)> = counts
         .into_iter()
-        .filter(|&(_, c)| c >= threshold)
-        .map(|(n, c)| (n.to_owned(), c))
+        .enumerate()
+        .filter(|&(_, c)| c >= threshold && c > 0)
+        .map(|(id, c)| (ds.authors.name(id as u32).to_owned(), c))
         .collect();
     out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out

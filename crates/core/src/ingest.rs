@@ -1,0 +1,774 @@
+//! Parallel NDJSON ingest: chunked parsing, a zero-copy field scanner, and
+//! sharded deterministic interning.
+//!
+//! The paper's raw input is a month of pushshift.io Reddit comments — tens of
+//! GB of NDJSON — and after the analysis stages went parallel, the serial
+//! `read_line` + `serde_json::from_str` loop in [`crate::records`] dominates
+//! end-to-end wall time. This module is the archive-scale replacement. Three
+//! pieces, composed by [`ingest_str`]:
+//!
+//! 1. **Chunked parallel parsing.** The input buffer is split on line
+//!    boundaries into per-worker chunks and the chunks are
+//!    parsed on the current rayon pool (so the CLI's `--threads N` scoping
+//!    applies). Each worker counts the lines it consumes, so a parse error in
+//!    any chunk is still reported with its exact 1-based line number in the
+//!    whole input.
+//! 2. **Zero-copy field scanning.** [`scan_record`] extracts only `author`,
+//!    `link_id` and `created_utc` from a line without allocating or building a
+//!    value tree for the dozens of unused pushshift fields. The scanner is
+//!    deliberately conservative: any construct it is not certain about
+//!    (escape sequences, non-integer timestamps, malformed syntax) makes it
+//!    bail, and the line is re-parsed by `serde_json` — so the fast path can
+//!    never change what gets accepted or rejected.
+//! 3. **Sharded deterministic interning.** Workers intern author/page names
+//!    into thread-local [`Interner`]s, then a sequential merge pass re-interns
+//!    each shard's names *in shard-local id order, shard by shard in input
+//!    order*. Local first-occurrence order within a chunk plus chunk order
+//!    equals global first-occurrence order, so the merged dense ids are
+//!    exactly the ids the serial reader would have assigned — the resulting
+//!    [`Dataset`] is identical regardless of thread or chunk count.
+//!
+//! A strict-vs-lossy switch ([`IngestConfig::skip_bad_lines`]) lets multi-hour
+//! archive runs count and skip malformed lines instead of aborting on line 80
+//! million; the default remains strict, matching the serial reader.
+
+use std::io::Read;
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use crate::ids::{AuthorId, Event, Interner, PageId, Timestamp};
+use crate::records::{CommentRecord, Dataset, ReadError};
+
+/// Ingest tuning knobs. The default is strict parsing with automatic
+/// chunking sized to the current rayon pool.
+#[derive(Clone, Debug, Default)]
+pub struct IngestConfig {
+    /// Number of chunks to split the input into; `0` picks
+    /// `4 × rayon::current_num_threads()`, bounded so chunks stay ≥ 1 MiB.
+    /// The produced [`Dataset`] is identical for every value.
+    pub chunks: usize,
+    /// Lossy mode: count malformed lines in
+    /// [`IngestStats::skipped_lines`] and keep going, instead of aborting
+    /// with [`ReadError::Parse`]. Blank lines are always skipped silently.
+    pub skip_bad_lines: bool,
+}
+
+/// Counters from one ingest run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Total input lines seen (including blank and malformed ones).
+    pub lines: u64,
+    /// Records successfully parsed into events.
+    pub events: u64,
+    /// Malformed lines skipped (always 0 in strict mode).
+    pub skipped_lines: u64,
+    /// Lines the zero-copy scanner bailed on and handed to `serde_json`
+    /// (includes every malformed line — the scanner never rejects on its own).
+    pub scanner_fallbacks: u64,
+    /// Chunks the input was actually split into.
+    pub chunks: usize,
+}
+
+/// A parsed dataset plus the run's [`IngestStats`].
+#[derive(Clone, Debug)]
+pub struct Ingest {
+    /// The interned dataset, identical to what the serial reader produces.
+    pub dataset: Dataset,
+    /// Ingest counters.
+    pub stats: IngestStats,
+}
+
+/// The three fields the BTM needs, borrowed straight from the input line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordRef<'a> {
+    /// Account name.
+    pub author: &'a str,
+    /// Submission (page) id the comment tree roots at.
+    pub link_id: &'a str,
+    /// Seconds since the epoch.
+    pub created_utc: Timestamp,
+}
+
+// ---------------------------------------------------------------- scanner
+
+/// Byte cursor over one line. All helpers return `None`/`false` to signal
+/// "bail to serde" — the scanner never errors on its own.
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Same whitespace set as the JSON parser this falls back to.
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A string with no escape sequences, returned as a borrowed slice.
+    /// Bails on the first backslash: unescaping needs an allocation and the
+    /// serde fallback already knows how to do it.
+    fn simple_string(&mut self) -> Option<&'a str> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let start = self.pos;
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    let s = &self.b[start..self.pos];
+                    self.pos += 1;
+                    // The line is valid UTF-8 and both bounds sit on '"'
+                    // bytes, which never occur inside a multi-byte sequence.
+                    return std::str::from_utf8(s).ok();
+                }
+                b'\\' => return None,
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A plain integer literal. Bails on fractions, exponents and overflow —
+    /// the fallback decides whether e.g. `created_utc: 5.0` is acceptable.
+    fn integer(&mut self) -> Option<i64> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits || matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return None;
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// A number in strict grammar: `-? digits (.digits)? ([eE][+-]?digits)?`.
+    /// Anything looser (which serde might reject) bails.
+    fn skip_number(&mut self) -> bool {
+        self.eat(b'-');
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return false;
+        }
+        if self.eat(b'.') {
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return false;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if !self.eat(b'+') {
+                self.eat(b'-');
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Skip any JSON value without materializing it. Conservative: only
+    /// accepts constructs the fallback parser would definitely accept too,
+    /// so a scanner-accepted line can never hide a serde parse error.
+    fn skip_value(&mut self) -> bool {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.simple_string().is_some(),
+            Some(b'-' | b'0'..=b'9') => self.skip_number(),
+            Some(b't') => self.eat_literal("true"),
+            Some(b'f') => self.eat_literal("false"),
+            Some(b'n') => self.eat_literal("null"),
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.eat(b'}') {
+                    return true;
+                }
+                loop {
+                    self.skip_ws();
+                    if self.simple_string().is_none() {
+                        return false;
+                    }
+                    self.skip_ws();
+                    if !self.eat(b':') || !self.skip_value() {
+                        return false;
+                    }
+                    self.skip_ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    return self.eat(b'}');
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.eat(b']') {
+                    return true;
+                }
+                loop {
+                    if !self.skip_value() {
+                        return false;
+                    }
+                    self.skip_ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    return self.eat(b']');
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Extract `author`, `link_id` and `created_utc` from one NDJSON line without
+/// allocating. Returns `None` whenever the line contains *anything* the
+/// scanner is not certain about (escapes in a needed string, a non-integer
+/// timestamp, unusual syntax); the caller then re-parses with `serde_json`,
+/// which makes the accept/reject decision. Duplicate keys follow
+/// last-occurrence-wins, matching the fallback's object semantics.
+pub fn scan_record(line: &str) -> Option<RecordRef<'_>> {
+    let mut c = Cursor {
+        b: line.as_bytes(),
+        pos: 0,
+    };
+    c.skip_ws();
+    if !c.eat(b'{') {
+        return None;
+    }
+    let mut author = None;
+    let mut link_id = None;
+    let mut created_utc = None;
+    c.skip_ws();
+    if !c.eat(b'}') {
+        loop {
+            c.skip_ws();
+            let key = c.simple_string()?;
+            c.skip_ws();
+            if !c.eat(b':') {
+                return None;
+            }
+            c.skip_ws();
+            match key {
+                "author" => author = Some(c.simple_string()?),
+                "link_id" => link_id = Some(c.simple_string()?),
+                "created_utc" => created_utc = Some(c.integer()?),
+                _ => {
+                    if !c.skip_value() {
+                        return None;
+                    }
+                }
+            }
+            c.skip_ws();
+            if c.eat(b',') {
+                continue;
+            }
+            if c.eat(b'}') {
+                break;
+            }
+            return None;
+        }
+    }
+    c.skip_ws();
+    if c.pos != c.b.len() {
+        return None; // trailing garbage: serde turns this into a parse error
+    }
+    Some(RecordRef {
+        author: author?,
+        link_id: link_id?,
+        created_utc: created_utc?,
+    })
+}
+
+// ---------------------------------------------------------------- chunking
+
+/// Split `text` into at most `want` non-overlapping chunks covering it
+/// exactly, each ending on a line boundary (the final chunk may lack a
+/// trailing newline). Chunk boundaries never split a line.
+fn split_chunks(text: &str, want: usize) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut chunks = Vec::with_capacity(want.max(1));
+    let mut start = 0;
+    for k in 1..want {
+        let target = text.len() * k / want;
+        if target <= start {
+            continue;
+        }
+        match bytes[target..].iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let end = target + i + 1;
+                chunks.push(&text[start..end]);
+                start = end;
+            }
+            None => break, // no newline left: the remainder is one chunk
+        }
+    }
+    if start < text.len() {
+        chunks.push(&text[start..]);
+    }
+    chunks
+}
+
+fn effective_chunks(cfg: &IngestConfig, len: usize) -> usize {
+    if cfg.chunks > 0 {
+        return cfg.chunks;
+    }
+    // Below ~1 MiB per chunk the split/merge overhead outweighs the
+    // parallelism; tiny inputs collapse to a single chunk.
+    const MIN_CHUNK_BYTES: usize = 1 << 20;
+    let by_pool = rayon::current_num_threads().saturating_mul(4).max(1);
+    by_pool.min(len / MIN_CHUNK_BYTES + 1)
+}
+
+// ---------------------------------------------------------------- workers
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ChunkStats {
+    lines: u64,
+    skipped: u64,
+    fallbacks: u64,
+}
+
+/// Parse every line of one chunk, feeding each record's three fields to
+/// `emit`. On a strict-mode parse failure, returns the 1-based line number
+/// *within this chunk* plus the serde error.
+fn for_each_record(
+    chunk: &str,
+    skip_bad: bool,
+    mut emit: impl FnMut(&str, &str, Timestamp),
+) -> Result<ChunkStats, (u64, serde_json::Error)> {
+    let mut st = ChunkStats::default();
+    for line in chunk.split_terminator('\n') {
+        st.lines += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(r) = scan_record(trimmed) {
+            emit(r.author, r.link_id, r.created_utc);
+            continue;
+        }
+        st.fallbacks += 1;
+        match serde_json::from_str::<CommentRecord>(trimmed) {
+            Ok(rec) => emit(&rec.author, &rec.link_id, rec.created_utc),
+            Err(_) if skip_bad => st.skipped += 1,
+            Err(source) => return Err((st.lines, source)),
+        }
+    }
+    Ok(st)
+}
+
+/// One worker's output: events under chunk-local dense ids.
+struct Shard {
+    authors: Interner,
+    pages: Interner,
+    events: Vec<Event>,
+    stats: ChunkStats,
+}
+
+fn parse_chunk(chunk: &str, skip_bad: bool) -> Result<Shard, (u64, serde_json::Error)> {
+    let mut authors = Interner::new();
+    let mut pages = Interner::new();
+    let mut events = Vec::new();
+    let stats = for_each_record(chunk, skip_bad, |author, link_id, ts| {
+        let a = AuthorId(authors.intern(author));
+        let p = PageId(pages.intern(link_id));
+        events.push(Event::new(a, p, ts));
+    })?;
+    Ok(Shard {
+        authors,
+        pages,
+        events,
+        stats,
+    })
+}
+
+/// Turn per-chunk worker results into a globally consistent outcome: the
+/// earliest chunk failure wins (with its line number offset by the full line
+/// counts of the chunks before it), otherwise the `Ok` shards in chunk order.
+fn sequence_shards<T>(
+    results: Vec<Result<T, (u64, serde_json::Error)>>,
+    lines_of: impl Fn(&T) -> u64,
+) -> Result<Vec<T>, ReadError> {
+    let mut ok = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(shard) => ok.push(shard),
+            Err((local_line, source)) => {
+                let prior: u64 = ok.iter().map(&lines_of).sum();
+                return Err(ReadError::Parse {
+                    line: (prior + local_line) as usize,
+                    source,
+                });
+            }
+        }
+    }
+    Ok(ok)
+}
+
+// ---------------------------------------------------------------- drivers
+
+/// Parallel ingest of an NDJSON buffer into a [`Dataset`].
+///
+/// The merge re-interns each shard's names in shard-local id order, shard by
+/// shard in input order. Within a chunk, local ids are first-occurrence
+/// ordered; chunks are input-ordered; therefore the merge sees every name in
+/// global first-occurrence order and assigns **exactly the dense ids the
+/// serial reader would** — the output is identical for any chunk count.
+pub fn ingest_str(text: &str, cfg: &IngestConfig) -> Result<Ingest, ReadError> {
+    let chunks = split_chunks(text, effective_chunks(cfg, text.len()));
+    let results: Vec<Result<Shard, (u64, serde_json::Error)>> = chunks
+        .par_iter()
+        .map(|chunk| parse_chunk(chunk, cfg.skip_bad_lines))
+        .collect();
+    let shards = sequence_shards(results, |s: &Shard| s.stats.lines)?;
+
+    let mut authors = Interner::new();
+    let mut pages = Interner::new();
+    let mut events = Vec::with_capacity(shards.iter().map(|s| s.events.len()).sum());
+    let mut stats = IngestStats {
+        chunks: shards.len(),
+        ..IngestStats::default()
+    };
+    let mut author_map: Vec<u32> = Vec::new();
+    let mut page_map: Vec<u32> = Vec::new();
+    for shard in &shards {
+        author_map.clear();
+        author_map.extend(shard.authors.iter().map(|(_, name)| authors.intern(name)));
+        page_map.clear();
+        page_map.extend(shard.pages.iter().map(|(_, name)| pages.intern(name)));
+        events.extend(shard.events.iter().map(|e| {
+            Event::new(
+                AuthorId(author_map[e.author.0 as usize]),
+                PageId(page_map[e.page.0 as usize]),
+                e.ts,
+            )
+        }));
+        stats.lines += shard.stats.lines;
+        stats.skipped_lines += shard.stats.skipped;
+        stats.scanner_fallbacks += shard.stats.fallbacks;
+    }
+    stats.events = events.len() as u64;
+    Ok(Ingest {
+        dataset: Dataset {
+            authors: Arc::new(authors),
+            pages: Arc::new(pages),
+            events,
+        },
+        stats,
+    })
+}
+
+/// [`ingest_str`] over raw bytes; non-UTF-8 input is an I/O error, as it is
+/// for the serial line reader.
+pub fn ingest_slice(buf: &[u8], cfg: &IngestConfig) -> Result<Ingest, ReadError> {
+    let text = std::str::from_utf8(buf).map_err(|e| {
+        ReadError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("input is not valid UTF-8: {e}"),
+        ))
+    })?;
+    ingest_str(text, cfg)
+}
+
+/// Drain `reader` and ingest it in parallel. Chunked parsing needs the whole
+/// buffer; month-scale archives fit, and the parse wins dwarf the extra copy.
+pub fn ingest_reader<R: Read>(mut reader: R, cfg: &IngestConfig) -> Result<Ingest, ReadError> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    ingest_slice(&buf, cfg)
+}
+
+/// Parallel parse to owned records (no interning), in input order — the
+/// streaming path wants [`CommentRecord`]s it can sort and replay.
+pub fn ingest_records_slice(
+    buf: &[u8],
+    cfg: &IngestConfig,
+) -> Result<(Vec<CommentRecord>, IngestStats), ReadError> {
+    let text = std::str::from_utf8(buf).map_err(|e| {
+        ReadError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("input is not valid UTF-8: {e}"),
+        ))
+    })?;
+    type RecordShard = (Vec<CommentRecord>, ChunkStats);
+    let chunks = split_chunks(text, effective_chunks(cfg, text.len()));
+    let results: Vec<Result<RecordShard, (u64, serde_json::Error)>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut records = Vec::new();
+            let stats = for_each_record(chunk, cfg.skip_bad_lines, |author, link_id, ts| {
+                records.push(CommentRecord::new(author, link_id, ts));
+            })?;
+            Ok((records, stats))
+        })
+        .collect();
+    let shards = sequence_shards(results, |s: &RecordShard| s.1.lines)?;
+
+    let mut records = Vec::with_capacity(shards.iter().map(|(r, _)| r.len()).sum());
+    let mut stats = IngestStats {
+        chunks: shards.len(),
+        ..IngestStats::default()
+    };
+    for (shard_records, st) in shards {
+        stats.lines += st.lines;
+        stats.skipped_lines += st.skipped;
+        stats.scanner_fallbacks += st.fallbacks;
+        records.extend(shard_records);
+    }
+    stats.events = records.len() as u64;
+    Ok((records, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::read_ndjson_into_dataset;
+
+    fn line(author: &str, page: &str, ts: i64) -> String {
+        format!("{{\"author\":\"{author}\",\"link_id\":\"{page}\",\"created_utc\":{ts}}}")
+    }
+
+    fn names(i: &Interner) -> Vec<String> {
+        i.iter().map(|(_, n)| n.to_owned()).collect()
+    }
+
+    fn assert_same(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.events, b.events);
+        assert_eq!(names(&a.authors), names(&b.authors));
+        assert_eq!(names(&a.pages), names(&b.pages));
+    }
+
+    #[test]
+    fn scanner_reads_plain_records() {
+        let r = scan_record(r#"{"author":"alice","link_id":"t3_x","created_utc":99}"#).unwrap();
+        assert_eq!(r.author, "alice");
+        assert_eq!(r.link_id, "t3_x");
+        assert_eq!(r.created_utc, 99);
+    }
+
+    #[test]
+    fn scanner_skips_unused_fields_of_every_shape() {
+        let line = concat!(
+            r#"{"score":-3,"body":"no escapes here","edited":false,"gildings":{"a":[1,2.5e3]},"#,
+            r#""author":"a","tags":[null,true,{"k":"v"}],"link_id":"p","created_utc":7}"#
+        );
+        let r = scan_record(line).unwrap();
+        assert_eq!((r.author, r.link_id, r.created_utc), ("a", "p", 7));
+    }
+
+    #[test]
+    fn scanner_bails_to_serde_on_escapes_and_floats() {
+        // escape in a needed field
+        assert_eq!(
+            scan_record(r#"{"author":"a\"b","link_id":"p","created_utc":1}"#),
+            None
+        );
+        // escape in a skipped field
+        assert_eq!(
+            scan_record(r#"{"body":"say \"hi\"","author":"a","link_id":"p","created_utc":1}"#),
+            None
+        );
+        // non-integer timestamp
+        assert_eq!(
+            scan_record(r#"{"author":"a","link_id":"p","created_utc":1.5}"#),
+            None
+        );
+        // missing field
+        assert_eq!(scan_record(r#"{"author":"a","created_utc":1}"#), None);
+        // trailing garbage
+        assert_eq!(
+            scan_record(r#"{"author":"a","link_id":"p","created_utc":1} x"#),
+            None
+        );
+    }
+
+    #[test]
+    fn scanner_duplicate_keys_are_last_wins_like_serde() {
+        let text = r#"{"author":"first","author":"second","link_id":"p","created_utc":1}"#;
+        let r = scan_record(text).unwrap();
+        let via_serde: CommentRecord = serde_json::from_str(text).unwrap();
+        assert_eq!(r.author, via_serde.author);
+        assert_eq!(r.author, "second");
+    }
+
+    #[test]
+    fn fallback_accepts_what_the_scanner_punts_on() {
+        let text = format!(
+            "{}\n{}\n",
+            r#"{"author":"a\\b","link_id":"p","created_utc":1}"#, // escaped backslash
+            r#"{"author":"c","link_id":"p","created_utc":2.0}"#,  // integral float ts
+        );
+        let ing = ingest_str(&text, &IngestConfig::default()).unwrap();
+        assert_eq!(ing.stats.events, 2);
+        assert_eq!(ing.stats.scanner_fallbacks, 2);
+        assert_eq!(ing.dataset.authors.name(0), "a\\b");
+        assert_eq!(ing.dataset.events[1].ts, 2);
+        assert_same(
+            &ing.dataset,
+            &read_ndjson_into_dataset(text.as_bytes()).unwrap(),
+        );
+    }
+
+    #[test]
+    fn chunked_ingest_matches_serial_at_every_chunk_count() {
+        let mut text = String::new();
+        for i in 0..40 {
+            // interleave so first occurrences straddle chunk boundaries
+            text.push_str(&line(
+                &format!("u{}", i % 7),
+                &format!("p{}", (i * 3) % 11),
+                i,
+            ));
+            text.push('\n');
+        }
+        text.push('\n'); // blank line
+        text.push_str(&line("tail", "p0", 1000)); // no trailing newline
+        let serial = read_ndjson_into_dataset(text.as_bytes()).unwrap();
+        for chunks in [1, 2, 3, 5, 8, 64] {
+            let cfg = IngestConfig {
+                chunks,
+                ..IngestConfig::default()
+            };
+            let ing = ingest_str(&text, &cfg).unwrap();
+            assert_same(&ing.dataset, &serial);
+            assert_eq!(ing.stats.events, 41);
+            assert_eq!(ing.stats.lines, 42);
+        }
+    }
+
+    #[test]
+    fn parse_error_line_numbers_survive_chunk_boundaries() {
+        // 9 lines, line 7 malformed; force enough chunks that line 7 lands in
+        // a non-first chunk.
+        let mut text = String::new();
+        for i in 0..9 {
+            if i == 6 {
+                text.push_str("definitely not json\n");
+            } else {
+                text.push_str(&line("u", &format!("p{i}"), i));
+                text.push('\n');
+            }
+        }
+        for chunks in [1, 3, 4, 9] {
+            let cfg = IngestConfig {
+                chunks,
+                ..IngestConfig::default()
+            };
+            match ingest_str(&text, &cfg) {
+                Err(ReadError::Parse { line, .. }) => assert_eq!(line, 7, "chunks={chunks}"),
+                other => panic!("expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn skip_bad_lines_counts_instead_of_aborting() {
+        let text = format!(
+            "{}\nnot json\n{}\n{{\"author\":3}}\n{}\n",
+            line("a", "p", 1),
+            line("b", "q", 2),
+            line("c", "p", 3)
+        );
+        let cfg = IngestConfig {
+            chunks: 2,
+            skip_bad_lines: true,
+        };
+        let ing = ingest_str(&text, &cfg).unwrap();
+        assert_eq!(ing.stats.events, 3);
+        assert_eq!(ing.stats.skipped_lines, 2);
+        assert_eq!(ing.stats.lines, 5);
+        assert_eq!(names(&ing.dataset.authors), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_and_blank_inputs() {
+        let ing = ingest_str("", &IngestConfig::default()).unwrap();
+        assert!(ing.dataset.is_empty());
+        assert_eq!(ing.stats.lines, 0);
+        let ing = ingest_str("\n  \n\n", &IngestConfig::default()).unwrap();
+        assert!(ing.dataset.is_empty());
+        assert_eq!(ing.stats.lines, 3);
+    }
+
+    #[test]
+    fn non_utf8_is_an_io_error() {
+        let bad = [b'{', 0xFF, 0xFE, b'}'];
+        match ingest_slice(&bad, &IngestConfig::default()) {
+            Err(ReadError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn records_driver_preserves_input_order_and_stats() {
+        let text = format!("{}\njunk\n{}\n", line("z", "p", 5), line("a", "q", 1));
+        let cfg = IngestConfig {
+            chunks: 3,
+            skip_bad_lines: true,
+        };
+        let (records, stats) = ingest_records_slice(text.as_bytes(), &cfg).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], CommentRecord::new("z", "p", 5));
+        assert_eq!(records[1], CommentRecord::new("a", "q", 1));
+        assert_eq!(stats.skipped_lines, 1);
+    }
+
+    #[test]
+    fn split_chunks_covers_input_exactly() {
+        let text = "aa\nbbb\nc\n\ndddd\ne";
+        for want in 1..10 {
+            let chunks = split_chunks(text, want);
+            assert_eq!(chunks.concat(), text, "want={want}");
+            for c in &chunks[..chunks.len().saturating_sub(1)] {
+                assert!(c.ends_with('\n'), "non-final chunk must end a line");
+            }
+        }
+        assert!(split_chunks("", 4).is_empty());
+    }
+}

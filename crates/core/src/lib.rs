@@ -57,6 +57,7 @@ pub mod filter;
 pub mod groups;
 pub mod hypergraph;
 pub mod ids;
+pub mod ingest;
 pub mod metrics;
 pub mod pipeline;
 pub mod project;
@@ -72,6 +73,7 @@ pub use btm::{Btm, PageDegreeStats};
 pub use cigraph::{CiGraph, CiGraphBuilder};
 pub use coordination_graph::{GraphRef, SubsetView, ThresholdView};
 pub use ids::{AuthorId, Event, Interner, PageId, Timestamp};
+pub use ingest::{IngestConfig, IngestStats};
 pub use metrics::{c_score, t_score, TripletMetrics};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};
 pub use window::Window;

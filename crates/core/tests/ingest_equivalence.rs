@@ -1,0 +1,197 @@
+//! Property tests pinning the parallel ingest layer to the serial reference
+//! reader and the zero-copy scanner to full serde deserialization.
+//!
+//! The deterministic-merge invariant under test: for ANY chunk count, the
+//! chunked parallel reader must produce a byte-identical [`Dataset`] — same
+//! events, same dense id assignment, same interner contents in the same
+//! order — as `read_ndjson_into_dataset` reading the whole input serially.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+use coordination_core::ids::Interner;
+use coordination_core::ingest::{self, scan_record, IngestConfig};
+use coordination_core::records::{read_ndjson_into_dataset, write_ndjson, CommentRecord, Dataset};
+
+/// Author/page name pool, heavy on serialization hazards: empty strings,
+/// JSON metacharacters, escapes, unicode, whitespace. Names needing escapes
+/// force the scanner down its serde-fallback path, so both scanner-handled
+/// and fallback lines appear in most generated corpora.
+const NAMES: &[&str] = &[
+    "alice",
+    "bob",
+    "carol_9",
+    "",
+    "[deleted]",
+    "AutoModerator",
+    "with space",
+    "quote\"inside",
+    "back\\slash",
+    "uni—codé✓",
+    "tab\tchar",
+    "line\nbreak",
+    "a",
+    "t3_dupe",
+];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_string())
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<CommentRecord>> {
+    prop::collection::vec(
+        (arb_name(), arb_name(), -1_000i64..1_000_000_000)
+            .prop_map(|(author, link_id, ts)| CommentRecord::new(author, link_id, ts)),
+        0..60,
+    )
+}
+
+fn interner_names(i: &Interner) -> Vec<&str> {
+    (0..i.len() as u32).map(|id| i.name(id)).collect()
+}
+
+fn assert_datasets_identical(serial: &Dataset, parallel: &Dataset) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&serial.events, &parallel.events);
+    prop_assert_eq!(
+        interner_names(&serial.authors),
+        interner_names(&parallel.authors)
+    );
+    prop_assert_eq!(
+        interner_names(&serial.pages),
+        interner_names(&parallel.pages)
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunked parallel ingest equals the serial reference reader — same
+    /// events, same dense ids, same interner order — for every chunk count,
+    /// including far more chunks than lines.
+    #[test]
+    fn parallel_matches_serial_for_any_chunking(
+        records in arb_records(),
+        chunks in 1usize..10,
+        chunk_scale in 0usize..3,
+    ) {
+        let mut ndjson = Vec::new();
+        write_ndjson(&mut ndjson, &records).unwrap();
+        let serial = read_ndjson_into_dataset(ndjson.as_slice()).unwrap();
+        let cfg = IngestConfig {
+            // 1..10 chunks, then the same corpus again at 10x and 100x that
+            chunks: chunks * 10usize.pow(chunk_scale as u32),
+            ..IngestConfig::default()
+        };
+        let out = ingest::ingest_slice(&ndjson, &cfg).unwrap();
+        assert_datasets_identical(&serial, &out.dataset)?;
+        prop_assert_eq!(out.stats.events, records.len() as u64);
+        prop_assert_eq!(out.stats.skipped_lines, 0);
+    }
+
+    /// Auto chunking (`chunks: 0`, sized off the rayon pool) is covered by
+    /// the same invariant.
+    #[test]
+    fn parallel_matches_serial_with_auto_chunking(records in arb_records()) {
+        let mut ndjson = Vec::new();
+        write_ndjson(&mut ndjson, &records).unwrap();
+        let serial = read_ndjson_into_dataset(ndjson.as_slice()).unwrap();
+        let out = ingest::ingest_slice(&ndjson, &IngestConfig::default()).unwrap();
+        assert_datasets_identical(&serial, &out.dataset)?;
+    }
+
+    /// On every serialized record line the scanner either bails (handing the
+    /// line to serde) or extracts exactly the fields serde would.
+    #[test]
+    fn scanner_agrees_with_serde_on_valid_lines(
+        author in arb_name(),
+        link_id in arb_name(),
+        ts in -1_000i64..1_000_000_000,
+    ) {
+        let record = CommentRecord::new(author, link_id, ts);
+        let mut line = Vec::new();
+        write_ndjson(&mut line, std::slice::from_ref(&record)).unwrap();
+        let line = std::str::from_utf8(&line).unwrap().trim_end_matches('\n');
+        match scan_record(line) {
+            Some(r) => {
+                prop_assert_eq!(r.author, record.author.as_str());
+                prop_assert_eq!(r.link_id, record.link_id.as_str());
+                prop_assert_eq!(r.created_utc, record.created_utc);
+            }
+            None => {
+                // bail is always safe: the fallback parses it
+                let parsed: CommentRecord = serde_json::from_str(line).unwrap();
+                prop_assert_eq!(parsed, record);
+            }
+        }
+    }
+
+    /// Soundness on corrupted input: whenever the scanner accepts a mutated
+    /// line, serde must also accept it and agree on every field. (The scanner
+    /// may bail where serde succeeds — that is the fallback path — but must
+    /// never accept where serde fails or disagrees.)
+    #[test]
+    fn scanner_never_accepts_what_serde_rejects(
+        author in arb_name(),
+        link_id in arb_name(),
+        ts in -1_000i64..1_000_000_000,
+        cut in 0usize..80,
+        junk in "[ {}\":,a-z0-9._-]{0,6}",
+    ) {
+        let record = CommentRecord::new(author, link_id, ts);
+        let mut buf = Vec::new();
+        write_ndjson(&mut buf, std::slice::from_ref(&record)).unwrap();
+        let valid = std::str::from_utf8(&buf).unwrap().trim_end_matches('\n');
+        // corrupt: truncate at an arbitrary char boundary, splice junk in
+        let at = valid
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([valid.len()])
+            .nth(cut.min(valid.chars().count()))
+            .unwrap_or(valid.len());
+        let mutated = format!("{}{}{}", &valid[..at], junk, &valid[at..]);
+        if let Some(r) = scan_record(&mutated) {
+            let parsed: Result<CommentRecord, _> = serde_json::from_str(&mutated);
+            let parsed = match parsed {
+                Ok(p) => p,
+                Err(e) => {
+                    return Err(TestCaseError::fail(format!(
+                        "scanner accepted {mutated:?} but serde rejected it: {e}"
+                    )));
+                }
+            };
+            prop_assert_eq!(r.author, parsed.author.as_str());
+            prop_assert_eq!(r.link_id, parsed.link_id.as_str());
+            prop_assert_eq!(r.created_utc, parsed.created_utc);
+        }
+    }
+
+    /// Lossy mode over a corpus with malformed lines spliced in: the good
+    /// records all survive with serial-identical ids, and the counters add
+    /// up (`events + skipped + blank = lines`).
+    #[test]
+    fn lossy_mode_keeps_good_records_across_chunks(
+        records in arb_records(),
+        every in 2usize..5,
+        chunks in 1usize..8,
+    ) {
+        let mut good = Vec::new();
+        write_ndjson(&mut good, &records).unwrap();
+        let mut corrupt = String::new();
+        let mut bad = 0u64;
+        for (i, line) in std::str::from_utf8(&good).unwrap().lines().enumerate() {
+            corrupt.push_str(line);
+            corrupt.push('\n');
+            if i % every == 0 {
+                corrupt.push_str("{\"author\": 12, \"oops\n");
+                bad += 1;
+            }
+        }
+        let cfg = IngestConfig { chunks, skip_bad_lines: true };
+        let out = ingest::ingest_slice(corrupt.as_bytes(), &cfg).unwrap();
+        let serial = read_ndjson_into_dataset(good.as_slice()).unwrap();
+        assert_datasets_identical(&serial, &out.dataset)?;
+        prop_assert_eq!(out.stats.skipped_lines, bad);
+        prop_assert_eq!(out.stats.events + bad, out.stats.lines);
+    }
+}

@@ -17,7 +17,8 @@
 use std::io::BufRead;
 use std::time::{Duration, Instant};
 
-use coordination_core::records::{read_ndjson, CommentRecord, ReadError};
+use coordination_core::ingest::{ingest_records_slice, IngestConfig, IngestStats};
+use coordination_core::records::{CommentRecord, ReadError};
 use redditgen::Scenario;
 
 /// Sort records into the engine's required order: by timestamp, with
@@ -29,11 +30,29 @@ pub fn sort_records(records: &mut [CommentRecord]) {
     });
 }
 
-/// Read NDJSON comment records and return them in stream order.
-pub fn read_ndjson_sorted<R: BufRead>(reader: R) -> Result<Vec<CommentRecord>, ReadError> {
-    let mut records = read_ndjson(reader)?;
+/// Read NDJSON comment records from a byte buffer — parsed in parallel by
+/// the chunked [`coordination_core::ingest`] layer — and return them in
+/// stream order plus the ingest counters (skipped lines in lossy mode,
+/// scanner fallbacks).
+pub fn read_ndjson_sorted_slice(
+    buf: &[u8],
+    skip_bad_lines: bool,
+) -> Result<(Vec<CommentRecord>, IngestStats), ReadError> {
+    let cfg = IngestConfig {
+        skip_bad_lines,
+        ..IngestConfig::default()
+    };
+    let (mut records, stats) = ingest_records_slice(buf, &cfg)?;
     sort_records(&mut records);
-    Ok(records)
+    Ok((records, stats))
+}
+
+/// Read NDJSON comment records and return them in stream order. Drains the
+/// reader and delegates to the parallel [`read_ndjson_sorted_slice`].
+pub fn read_ndjson_sorted<R: BufRead>(mut reader: R) -> Result<Vec<CommentRecord>, ReadError> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    read_ndjson_sorted_slice(&buf, false).map(|(records, _)| records)
 }
 
 /// A scenario's records in stream order (cloned; the scenario keeps its
@@ -121,6 +140,23 @@ mod tests {
         let records = read_ndjson_sorted(Cursor::new(input)).unwrap();
         let ts: Vec<i64> = records.iter().map(|r| r.created_utc).collect();
         assert_eq!(ts, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn lossy_slice_source_skips_and_counts_bad_lines() {
+        let input = concat!(
+            r#"{"author":"b","link_id":"t3_x","created_utc":300}"#,
+            "\n",
+            "garbage line\n",
+            r#"{"author":"a","link_id":"t3_y","created_utc":100}"#,
+            "\n",
+        );
+        let (records, stats) = read_ndjson_sorted_slice(input.as_bytes(), true).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].created_utc, 100);
+        assert_eq!(stats.skipped_lines, 1);
+        // strict mode aborts on the same input
+        assert!(read_ndjson_sorted_slice(input.as_bytes(), false).is_err());
     }
 
     #[test]

@@ -13,12 +13,13 @@
 //! usage error.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Read};
 use std::process::ExitCode;
 
 use coordination::analysis::components::{component_dot, describe, named_components};
+use coordination::core::ingest::{self, IngestConfig, IngestStats};
 use coordination::core::pipeline::{Pipeline, PipelineConfig};
-use coordination::core::records::{read_ndjson_into_dataset, write_ndjson, Dataset};
+use coordination::core::records::{write_ndjson, Dataset};
 use coordination::core::Window;
 use coordination::redditgen::ScenarioConfig;
 
@@ -44,7 +45,9 @@ fn usage() -> ExitCode {
          Input is pushshift-style NDJSON.\n\
          \n\
          Global: --threads N runs the command inside an N-thread rayon pool\n\
-         (default: rayon's own sizing)."
+         (default: rayon's own sizing); ingest parses input chunks on the\n\
+         same pool. --skip-bad-lines counts and skips malformed input lines\n\
+         instead of aborting (default: strict)."
     );
     ExitCode::from(2)
 }
@@ -90,15 +93,45 @@ impl Flags {
     }
 }
 
-fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
+/// Slurp `--input` (a path or `-` for stdin) into memory for the chunked
+/// parallel ingest layer.
+fn read_input_bytes(flags: &Flags) -> Result<(Vec<u8>, &str), String> {
     let path = flags.get("input").ok_or("--input is required")?;
-    let ds = if path == "-" {
-        read_ndjson_into_dataset(std::io::stdin().lock())
+    let buf = if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .lock()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("read stdin: {e}"))?;
+        buf
     } else {
-        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        read_ndjson_into_dataset(BufReader::new(file))
+        std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?
+    };
+    Ok((buf, path))
+}
+
+fn ingest_config(flags: &Flags) -> IngestConfig {
+    IngestConfig {
+        skip_bad_lines: flags.has("skip-bad-lines"),
+        ..IngestConfig::default()
     }
-    .map_err(|e| format!("read {path}: {e}"))?;
+}
+
+fn report_skipped(stats: &IngestStats) {
+    if stats.skipped_lines > 0 {
+        eprintln!(
+            "skipped {} malformed lines (of {})",
+            stats.skipped_lines, stats.lines
+        );
+    }
+}
+
+fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
+    let (buf, path) = read_input_bytes(flags)?;
+    let ing = ingest::ingest_slice(&buf, &ingest_config(flags))
+        .map_err(|e| format!("read {path}: {e}"))?;
+    report_skipped(&ing.stats);
+    let ds = ing.dataset;
     eprintln!(
         "loaded {} comments, {} authors, {} pages",
         ds.len(),
@@ -397,14 +430,12 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
     // Source: an NDJSON file / stdin, or a generated preset scenario (which
     // also gives us ground truth to judge the alerts against).
     let (records, truth) = match (flags.get("input"), flags.get("preset")) {
-        (Some(path), None) => {
-            let records = if path == "-" {
-                source::read_ndjson_sorted(std::io::stdin().lock())
-            } else {
-                let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-                source::read_ndjson_sorted(BufReader::new(file))
-            }
-            .map_err(|e| format!("read {path}: {e}"))?;
+        (Some(_), None) => {
+            let (buf, path) = read_input_bytes(flags)?;
+            let (records, stats) =
+                source::read_ndjson_sorted_slice(&buf, flags.has("skip-bad-lines"))
+                    .map_err(|e| format!("read {path}: {e}"))?;
+            report_skipped(&stats);
             (records, None)
         }
         (None, Some(preset)) => {
