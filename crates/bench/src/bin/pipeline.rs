@@ -283,6 +283,35 @@ fn ablation_triple(smoke: bool, reps: usize) -> Ablation {
     }
 }
 
+/// Instrumentation overhead: the full figure pipeline with the obs registry
+/// enabled vs disabled. "speedup" here reads as the overhead ratio —
+/// `enabled / disabled`, expected within a couple percent of 1.0 (disabled
+/// call sites are one relaxed atomic load; enabled spans merge thread-local
+/// buffers once per scope). The stage times in `checks` are measured with
+/// obs disabled, so the regression gate also bounds the no-op path.
+fn ablation_obs(ds: &Dataset, reps: usize) -> Ablation {
+    std::hint::black_box(run_figures_config(ds, Window::zero_to_60s()));
+    let mut disabled_secs = f64::INFINITY;
+    let mut enabled_secs = f64::INFINITY;
+    for _ in 0..reps {
+        obs::Obs::disable();
+        let t = Instant::now();
+        std::hint::black_box(run_figures_config(ds, Window::zero_to_60s()));
+        disabled_secs = disabled_secs.min(t.elapsed().as_secs_f64());
+        obs::Obs::enable();
+        let t = Instant::now();
+        std::hint::black_box(run_figures_config(ds, Window::zero_to_60s()));
+        enabled_secs = enabled_secs.min(t.elapsed().as_secs_f64());
+    }
+    obs::Obs::disable();
+    obs::reset();
+    Ablation {
+        label: "pipeline_obs_enabled_vs_disabled",
+        baseline_secs: enabled_secs,
+        kernel_secs: disabled_secs,
+    }
+}
+
 /// Parallel chunked ingest vs the serial reference reader, and the zero-copy
 /// field scanner vs full serde deserialization, on the same NDJSON corpus.
 ///
@@ -541,12 +570,14 @@ fn run(smoke: bool, threads: usize, out_path: &str, baseline: Option<&str>) {
     let triple_abl = ablation_triple(smoke, abl_reps);
     let (parallel_abl, scanner_abl) =
         ablation_ingest(&jan_scenario.records, smoke, threads, abl_reps);
+    let obs_abl = ablation_obs(jan, abl_reps);
     let ablations = vec![
         kernel_abl,
         driver_abl,
         triple_abl,
         parallel_abl,
         scanner_abl,
+        obs_abl,
     ];
     for a in &ablations {
         println!(

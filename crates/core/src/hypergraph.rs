@@ -122,10 +122,14 @@ pub fn validate_all(
     ci_page_counts: &[u64],
     triangles: &[Triangle],
 ) -> Vec<TripletMetrics> {
-    triangles
+    let _stage = obs::span("validate");
+    let metrics: Vec<TripletMetrics> = triangles
         .par_iter()
         .map(|t| validate_triangle(btm, ci_page_counts, t))
-        .collect()
+        .collect();
+    obs::counter("validate.triplets").add(metrics.len() as u64);
+    obs::record_stage_rss("validate");
+    metrics
 }
 
 #[cfg(test)]

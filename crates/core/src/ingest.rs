@@ -453,6 +453,19 @@ fn sequence_shards<T>(
 
 // ---------------------------------------------------------------- drivers
 
+/// Route one run's [`IngestStats`] through the metrics registry, making
+/// lossy runs (`--skip-bad-lines`) auditable in the run report rather than
+/// stderr-only. Counter registration is unconditional so every documented
+/// `ingest.*` name appears in the report even when it stays 0.
+fn record_ingest_stats(stats: &IngestStats) {
+    obs::counter("ingest.lines").add(stats.lines);
+    obs::counter("ingest.events").add(stats.events);
+    obs::counter("ingest.skipped_lines").add(stats.skipped_lines);
+    obs::counter("ingest.scanner_fallbacks").add(stats.scanner_fallbacks);
+    obs::counter("ingest.chunks").add(stats.chunks as u64);
+    obs::record_stage_rss("ingest");
+}
+
 /// Parallel ingest of an NDJSON buffer into a [`Dataset`].
 ///
 /// The merge re-interns each shard's names in shard-local id order, shard by
@@ -461,13 +474,17 @@ fn sequence_shards<T>(
 /// global first-occurrence order and assigns **exactly the dense ids the
 /// serial reader would** — the output is identical for any chunk count.
 pub fn ingest_str(text: &str, cfg: &IngestConfig) -> Result<Ingest, ReadError> {
+    let _stage = obs::span("ingest");
     let chunks = split_chunks(text, effective_chunks(cfg, text.len()));
+    let parse_span = obs::span("ingest.parse");
     let results: Vec<Result<Shard, (u64, serde_json::Error)>> = chunks
         .par_iter()
         .map(|chunk| parse_chunk(chunk, cfg.skip_bad_lines))
         .collect();
+    drop(parse_span);
     let shards = sequence_shards(results, |s: &Shard| s.stats.lines)?;
 
+    let _merge = obs::span("ingest.merge");
     let mut authors = Interner::new();
     let mut pages = Interner::new();
     let mut events = Vec::with_capacity(shards.iter().map(|s| s.events.len()).sum());
@@ -494,6 +511,7 @@ pub fn ingest_str(text: &str, cfg: &IngestConfig) -> Result<Ingest, ReadError> {
         stats.scanner_fallbacks += shard.stats.fallbacks;
     }
     stats.events = events.len() as u64;
+    record_ingest_stats(&stats);
     Ok(Ingest {
         dataset: Dataset {
             authors: Arc::new(authors),
@@ -536,6 +554,7 @@ pub fn ingest_records_slice(
             format!("input is not valid UTF-8: {e}"),
         ))
     })?;
+    let _stage = obs::span("ingest");
     type RecordShard = (Vec<CommentRecord>, ChunkStats);
     let chunks = split_chunks(text, effective_chunks(cfg, text.len()));
     let results: Vec<Result<RecordShard, (u64, serde_json::Error)>> = chunks
@@ -562,6 +581,7 @@ pub fn ingest_records_slice(
         records.extend(shard_records);
     }
     stats.events = records.len() as u64;
+    record_ingest_stats(&stats);
     Ok((records, stats))
 }
 

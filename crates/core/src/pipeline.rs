@@ -195,12 +195,14 @@ impl Pipeline {
         // is a borrowed view over the CI graph's CSR — orientation consumes it
         // directly, so no filtered copy of the edge set is ever materialized.
         let t1 = Instant::now();
+        let orient_span = obs::span("survey.orient");
         let (oriented, ci_edges_after_threshold) = if cfg.edge_threshold > 1 {
             let view = ci.threshold_view(cfg.edge_threshold);
             (OrientedGraph::from_ref(&view), view.count_edges())
         } else {
             (OrientedGraph::from_ref(ci.as_csr()), ci.n_edges())
         };
+        drop(orient_span);
         let report = survey(
             &oriented,
             &SurveyConfig {

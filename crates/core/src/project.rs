@@ -267,9 +267,14 @@ where
         .min(pages.len())
         .max(1);
     let chunk_len = pages.len().div_ceil(n_chunks).max(1);
+    let pair_occurrences = obs::counter("project.pair_occurrences");
     let parts: Vec<ChunkRuns> = (0..n_chunks)
         .into_par_iter()
         .map(|c| {
+            // One span per worker chunk (a few per thread), not per page —
+            // kernel labor aggregates under "project.pairs" without a clock
+            // read on every page.
+            let _chunk = obs::span("project.pairs");
             let lo = (c * chunk_len).min(pages.len());
             let hi = (lo + chunk_len).min(pages.len());
             let mut pairs: Vec<u64> = Vec::with_capacity(pair_cap);
@@ -289,12 +294,14 @@ where
                 authors_scratch.dedup();
                 authors.extend_from_slice(&authors_scratch);
             }
+            pair_occurrences.add(occ.len() as u64);
             sort_packed(&mut occ);
             let run = run_length_pairs(&occ);
             authors.sort_unstable();
             (run, run_length_counts(&authors))
         })
         .collect();
+    let _merge = obs::span("project.merge");
     let mut page_counts = vec![0u64; n_authors as usize];
     let mut runs = Vec::with_capacity(parts.len());
     for (run, counts) in parts {
@@ -318,16 +325,23 @@ pub fn project(btm: &Btm, window: Window) -> CiGraph {
 /// can force the split path on small inputs.
 #[doc(hidden)]
 pub fn project_with_heavy_split(btm: &Btm, window: Window, split_len: usize) -> CiGraph {
+    let _stage = obs::span("project");
     let split_len = split_len.max(2);
     let pages: Vec<_> = btm.pages().collect();
     let stats = btm.page_degree_stats();
-    project_pages_flat(btm.n_authors(), &pages, &stats, move |comments, pairs| {
+    obs::counter("project.pages").add(pages.len() as u64);
+    obs::counter("project.pages_split")
+        .add(pages.iter().filter(|(_, c)| c.len() >= split_len).count() as u64);
+    let ci = project_pages_flat(btm.n_authors(), &pages, &stats, move |comments, pairs| {
         if comments.len() >= split_len {
             page_pairs_heavy(comments, &window, split_len, pairs);
         } else {
             page_pairs_flat(comments, &window, pairs);
         }
-    })
+    });
+    obs::counter("project.edges").add(ci.n_edges());
+    obs::record_stage_rss("project");
+    ci
 }
 
 /// Collect the deduplicated author pairs of one page under `window` into
@@ -429,6 +443,7 @@ pub fn project_sequential(btm: &Btm, window: Window) -> CiGraph {
 /// baseline — the bench harness measures [`project`]'s flat kernels against
 /// it (EXPERIMENTS.md, "kernel ablation").
 pub fn project_hashed(btm: &Btm, window: Window) -> CiGraph {
+    let _stage = obs::span("project");
     let pages: Vec<_> = btm.pages().collect();
     let partials: Vec<Partial> = pages
         .par_iter()

@@ -77,6 +77,13 @@ pub struct StreamEngine {
     alerts_fired: u64,
     checkpoints: Vec<Checkpoint>,
     alert_scratch: Vec<Alert>,
+    // Counter handles held across the engine's lifetime: `ingest` runs per
+    // event, so registry name lookups there would dominate the no-op cost.
+    c_events: obs::Counter,
+    c_alerts: obs::Counter,
+    c_edge_additions: obs::Counter,
+    c_edge_expirations: obs::Counter,
+    c_checkpoints: obs::Counter,
 }
 
 impl StreamEngine {
@@ -93,6 +100,11 @@ impl StreamEngine {
             alerts_fired: 0,
             checkpoints: Vec::new(),
             alert_scratch: Vec::new(),
+            c_events: obs::counter("stream.events"),
+            c_alerts: obs::counter("stream.alerts"),
+            c_edge_additions: obs::counter("stream.edge_additions"),
+            c_edge_expirations: obs::counter("stream.edge_expirations"),
+            c_checkpoints: obs::counter("stream.checkpoints"),
         }
     }
 
@@ -146,7 +158,14 @@ impl StreamEngine {
 
         self.alert_scratch.clear();
         let deltas = self.projector.ingest(author, page, ts).to_vec();
+        let mut added = 0u64;
+        let mut expired = 0u64;
         for d in &deltas {
+            if d.delta > 0 {
+                added += 1;
+            } else {
+                expired += 1;
+            }
             let ev = self.tracker.apply(d);
             self.alerter.evaluate(
                 &ev,
@@ -158,6 +177,10 @@ impl StreamEngine {
             );
         }
         self.alerts_fired += self.alert_scratch.len() as u64;
+        self.c_events.inc();
+        self.c_edge_additions.add(added);
+        self.c_edge_expirations.add(expired);
+        self.c_alerts.add(self.alert_scratch.len() as u64);
 
         if let Some(every) = self.config.checkpoint_every {
             if every > 0 && self.events.is_multiple_of(every) {
@@ -188,11 +211,17 @@ impl StreamEngine {
     /// Take a checkpoint now (also called automatically on the configured
     /// interval).
     pub fn record_checkpoint(&mut self, ts: Timestamp) {
+        let n_edges = self.projector.n_edges() as u64;
+        let live_triangles = self.tracker.len() as u64;
+        self.c_checkpoints.inc();
+        obs::gauge("stream.live_edges").set(n_edges);
+        obs::gauge("stream.live_triangles").set(live_triangles);
+        obs::record_stage_rss("stream");
         self.checkpoints.push(Checkpoint {
             events: self.events,
             ts,
-            n_edges: self.projector.n_edges() as u64,
-            live_triangles: self.tracker.len() as u64,
+            n_edges,
+            live_triangles,
             alerts: self.alerts_fired,
         });
     }

@@ -115,6 +115,7 @@ pub fn survey(
     config: &SurveyConfig,
     vertex_pages: Option<&[u64]>,
 ) -> SurveyReport {
+    let _stage = obs::span("survey");
     assert!(
         config.min_t_score <= 0.0 || vertex_pages.is_some(),
         "min_t_score requires vertex_pages metadata"
@@ -192,6 +193,9 @@ pub fn survey(
         triangles.sort_unstable_by_key(|s| s.triangle.vertices());
     }
 
+    obs::counter("survey.triangles_examined").add(partial.examined);
+    obs::counter("survey.triangles_kept").add(triangles.len() as u64);
+    obs::record_stage_rss("survey");
     SurveyReport {
         triangles,
         total_examined: partial.examined,

@@ -23,9 +23,37 @@ use coordination::core::records::{write_ndjson, Dataset};
 use coordination::core::Window;
 use coordination::redditgen::ScenarioConfig;
 
+/// Stage spans every batch run records — `report-validate` and the CI gate
+/// fail if any is missing from a run report.
+const BATCH_SPANS: &[&str] = &["ingest", "project", "survey", "validate"];
+
+/// Counters the batch pipeline documents (registered even when zero, so a
+/// lossless run still reports `ingest.skipped_lines: 0`).
+const BATCH_COUNTERS: &[&str] = &[
+    "ingest.lines",
+    "ingest.events",
+    "ingest.skipped_lines",
+    "project.pages",
+    "project.pages_split",
+    "project.edges",
+    "survey.triangles_examined",
+    "survey.triangles_kept",
+    "validate.triplets",
+];
+
+/// Stage spans / counters the stream engine documents.
+const STREAM_SPANS: &[&str] = &["stream"];
+const STREAM_COUNTERS: &[&str] = &[
+    "stream.events",
+    "stream.alerts",
+    "stream.edge_additions",
+    "stream.edge_expirations",
+    "stream.checkpoints",
+];
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine|stream> [flags]\n\
+        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine|stream|report-validate> [flags]\n\
          \n\
          generate  --preset jan2020|oct2016 [--scale F=0.3] --out FILE\n\
          stats     --input FILE\n\
@@ -38,16 +66,21 @@ fn usage() -> ExitCode {
          stream    --input FILE | --preset jan2020|oct2016 [--scale F=0.3]\n\
          \x20          [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--t-score F=0]\n\
          \x20          [--horizon S] [--checkpoint N] [--speedup F] [--snapshot-out GRAPH.tsv]\n\
+         report-validate --report FILE [--kind batch|stream]\n\
          \n\
          `project` persists the expensive step-1 graph; `survey` re-queries it\n\
          at any cutoff without reprojecting. `stream` replays the input as a\n\
          live event stream and alerts on coordinated triplets mid-stream.\n\
+         `report-validate` checks a --report file for the documented schema,\n\
+         stage spans, and counters (exit 2 on any gap).\n\
          Input is pushshift-style NDJSON.\n\
          \n\
          Global: --threads N runs the command inside an N-thread rayon pool\n\
          (default: rayon's own sizing); ingest parses input chunks on the\n\
          same pool. --skip-bad-lines counts and skips malformed input lines\n\
-         instead of aborting (default: strict)."
+         instead of aborting (default: strict). --report FILE writes a\n\
+         schema-versioned JSON run report (span timings + counters);\n\
+         --progress prints live per-stage lines to stderr."
     );
     ExitCode::from(2)
 }
@@ -482,6 +515,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
 
     let speedup: f64 = flags.num("speedup", 0.0)?; // 0 = unpaced
     let replay = source::Replay::new(records).with_speedup(speedup);
+    let stream_span = obs::span("stream");
     engine.run(replay, |eng, alert| {
         let [a, b, c] = eng.author_names(alert.authors);
         let tag = truth
@@ -494,6 +528,8 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
             alert.ts, alert.events_ingested, alert.min_weight, alert.t_score
         );
     });
+    drop(stream_span);
+    obs::record_stage_rss("stream");
     for cp in engine.checkpoints() {
         eprintln!(
             "checkpoint @{}: {} events, {} edges, {} live triangles, {} alerts",
@@ -526,6 +562,24 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_report_validate(flags: &Flags) -> Result<(), String> {
+    let path = flags.get("report").ok_or("--report is required")?;
+    let kind = flags.get("kind").unwrap_or("batch");
+    let (spans, counters) = match kind {
+        "batch" => (BATCH_SPANS, BATCH_COUNTERS),
+        "stream" => (STREAM_SPANS, STREAM_COUNTERS),
+        other => return Err(format!("unknown --kind {other:?} (want batch|stream)")),
+    };
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    obs::report::validate(&json, spans, counters).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "{path}: ok ({kind}: {} stage spans, {} counters present)",
+        spans.len(),
+        counters.len()
+    );
+    Ok(())
+}
+
 fn dispatch(cmd: &str, flags: &Flags) -> Option<Result<(), String>> {
     Some(match cmd {
         "generate" => cmd_generate(flags),
@@ -537,6 +591,7 @@ fn dispatch(cmd: &str, flags: &Flags) -> Option<Result<(), String>> {
         "groups" => cmd_groups(flags),
         "refine" => cmd_refine(flags),
         "stream" => cmd_stream(flags),
+        "report-validate" => cmd_report_validate(flags),
         _ => return None,
     })
 }
@@ -552,6 +607,13 @@ fn main() -> ExitCode {
     let Some(flags) = Flags::parse(rest) else {
         return usage();
     };
+    // `--report` / `--progress` turn instrumentation on for the whole run;
+    // otherwise every obs call site stays on its disabled fast path.
+    let report_path = flags.get("report").filter(|_| cmd != "report-validate");
+    if report_path.is_some() || flags.has("progress") {
+        obs::Obs::enable();
+        obs::Obs::set_progress(flags.has("progress"));
+    }
     // `--threads N` scopes every parallel stage (projection fan-out, survey)
     // to an N-thread rayon pool instead of the global one.
     let result = match flags.num::<usize>("threads", 0) {
@@ -575,7 +637,17 @@ fn main() -> ExitCode {
         },
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Some(path) = report_path {
+                let json = obs::report::render_current(cmd);
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: write report {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote run report to {path}");
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(2)

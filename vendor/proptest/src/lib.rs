@@ -7,7 +7,10 @@
 //! Differences from upstream: case generation is deterministic (seeded from
 //! the test name, so failures reproduce on every run) and failing inputs are
 //! not shrunk — the panic message reports the case number instead of a
-//! minimal counterexample.
+//! minimal counterexample. Like upstream, failing seeds persist to the
+//! invoking crate's `proptest-regressions/<test_name>.txt` and are replayed
+//! ahead of novel cases on later runs (see
+//! [`runner::run_cases_persisted`]).
 
 pub mod collection;
 pub mod runner;
@@ -103,14 +106,22 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __config = $cfg;
-            $crate::runner::run_cases(&__config, stringify!($name), |__rng| {
+            // Regression files live next to the *invoking* crate's manifest
+            // (env! expands at the macro use site), mirroring upstream
+            // proptest's `proptest-regressions/` convention.
+            $crate::runner::run_cases_persisted(
+                &__config,
+                stringify!($name),
+                concat!(env!("CARGO_MANIFEST_DIR"), "/proptest-regressions"),
+                |__rng| {
                 $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
                 #[allow(clippy::redundant_closure_call)]
                 (|| -> ::std::result::Result<(), $crate::TestCaseError> {
                     { $body }
                     ::std::result::Result::Ok(())
                 })()
-            });
+                },
+            );
         }
         $crate::__proptest_items! { ($cfg); $($rest)* }
     };

@@ -101,6 +101,46 @@ pub fn run_cases(
     name: &str,
     mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 ) {
+    run_cases_inner(config, name, &mut case, |_| {});
+}
+
+/// [`run_cases`] with upstream-style failure persistence: seeds recorded in
+/// `<dir>/<name>.txt` are replayed *before* any novel cases, and a novel
+/// failure appends its seed there (creating the file with a comment header)
+/// so the exact input reproduces on every subsequent run until fixed.
+///
+/// Seed lines are `cc 0x<hex>`; everything else in the file is a comment.
+/// Persistence is best-effort — an unwritable directory never masks the
+/// failure itself, whose panic message always carries the seed.
+pub fn run_cases_persisted(
+    config: &ProptestConfig,
+    name: &str,
+    dir: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let path = std::path::Path::new(dir).join(format!("{name}.txt"));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        for seed in parse_regression_seeds(&text) {
+            let mut rng = TestRng::from_seed(seed);
+            match case(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest {name}: recorded regression seed {seed:#x} \
+                     (from {}) still fails: {msg}",
+                    path.display()
+                ),
+            }
+        }
+    }
+    run_cases_inner(config, name, &mut case, |seed| persist_seed(&path, seed));
+}
+
+fn run_cases_inner(
+    config: &ProptestConfig,
+    name: &str,
+    case: &mut impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    mut on_fail: impl FnMut(u64),
+) {
     let base = seed_for(name);
     let mut rejects = 0u32;
     let mut passed = 0u32;
@@ -121,6 +161,7 @@ pub fn run_cases(
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
+                on_fail(seed);
                 panic!(
                     "proptest {name}: case #{n} failed (seed {seed:#x}): {msg}",
                     n = passed + 1
@@ -128,6 +169,40 @@ pub fn run_cases(
             }
         }
     }
+}
+
+/// Extract the `cc 0x<hex>` seed lines from a regression file.
+fn parse_regression_seeds(text: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.trim().strip_prefix("cc ")?;
+            u64::from_str_radix(rest.trim().trim_start_matches("0x"), 16).ok()
+        })
+        .collect()
+}
+
+fn persist_seed(path: &std::path::Path, seed: u64) {
+    use std::io::Write as _;
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let header_needed = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if header_needed {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases found in the past. They are replayed\n\
+             # before any novel cases are generated. Seed lines are\n\
+             # `cc 0x<hex>`; everything else is a comment."
+        );
+    }
+    let _ = writeln!(f, "cc {seed:#x}");
 }
 
 #[cfg(test)]
@@ -166,6 +241,63 @@ mod tests {
         run_cases(&ProptestConfig::with_cases(5), "t2", |_| {
             Err(TestCaseError::fail("boom"))
         });
+    }
+
+    #[test]
+    fn persisted_failure_is_recorded_then_replayed() {
+        let dir = std::env::temp_dir().join(format!("proptest-regr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+
+        // a failing run appends its seed under the test's file
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cases_persisted(
+                &ProptestConfig::with_cases(3),
+                "always_fails",
+                dir_s,
+                |_| Err(TestCaseError::fail("nope")),
+            )
+        }));
+        assert!(r.is_err());
+        let path = dir.join("always_fails.txt");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let seeds = parse_regression_seeds(&text);
+        assert_eq!(seeds.len(), 1);
+        assert!(text.starts_with('#'), "file carries a comment header");
+
+        // with 0 novel cases the recorded seed is still replayed exactly once
+        let replays = std::cell::Cell::new(0u32);
+        run_cases_persisted(
+            &ProptestConfig::with_cases(0),
+            "always_fails",
+            dir_s,
+            |rng| {
+                assert_eq!(rng.state, seeds[0], "replay uses the recorded seed");
+                replays.set(replays.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(replays.get(), 1);
+
+        // a replay that still fails panics with the regression provenance
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cases_persisted(
+                &ProptestConfig::with_cases(0),
+                "always_fails",
+                dir_s,
+                |_| Err(TestCaseError::fail("still broken")),
+            )
+        }));
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("recorded regression seed"), "got: {msg}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regression_seed_lines_parse_hex_and_skip_comments() {
+        let text = "# header\ncc 0x1f\n\nnot a seed\ncc 0xdeadbeef\n";
+        assert_eq!(parse_regression_seeds(text), vec![0x1f, 0xdead_beef]);
     }
 
     #[test]
