@@ -26,8 +26,11 @@ use bench::{jan2020_small, oct2016_small, run_figures_config};
 use coordination_core::hypergraph::{triple_intersection_count, triple_intersection_count_linear};
 use coordination_core::ids::{AuthorId, Event, PageId};
 use coordination_core::ingest::{self, IngestConfig};
+use coordination_core::pipeline::{Pipeline, PipelineConfig};
 use coordination_core::project::{project, project_hashed};
 use coordination_core::records::{read_ndjson_into_dataset, write_ndjson, CommentRecord, Dataset};
+use coordination_core::snapshot::{btm_from_snapshot, write_snapshot};
+use coordination_core::store::Snapshot;
 use coordination_core::{Btm, PageId as CorePageId, Window};
 
 /// A stage must be this much slower than the baseline to fail `--check`.
@@ -80,11 +83,25 @@ fn bench_scenario(
     let ndjson = ndjson_bytes(records);
     // untimed warm-up so a single-rep smoke run isn't timing cold allocation
     std::hint::black_box(ingest::ingest_slice(&ndjson, ingest_cfg).expect("ingest bench NDJSON"));
+    // the on-disk snapshot for the cold-start stage: written once (untimed),
+    // reopened and decoded to a ready BTM inside the timed loop
+    let snap_path = std::env::temp_dir().join(format!("bench-{name}-{}.snap", std::process::id()));
+    write_snapshot(ds, None, &snap_path).expect("write bench snapshot");
     let mut best: Option<ScenarioReport> = None;
     for _ in 0..reps {
         let t = Instant::now();
         let ingested = ingest::ingest_slice(&ndjson, ingest_cfg).expect("ingest bench NDJSON");
         let ingest_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let snap = Snapshot::open(&snap_path).expect("open bench snapshot");
+        let btm = btm_from_snapshot(&snap);
+        assert_eq!(
+            btm.n_comments() as usize,
+            records.len(),
+            "snapshot dropped events"
+        );
+        let cold_secs = t.elapsed().as_secs_f64();
+        drop(snap);
         assert_eq!(
             ingested.dataset.events.len(),
             records.len(),
@@ -120,6 +137,11 @@ fn bench_scenario(
                     seconds: validation,
                     throughput: s.triplets_validated as f64 / validation.max(1e-9),
                 },
+                StageRow {
+                    stage: "snapshot_cold_start",
+                    seconds: cold_secs,
+                    throughput: records.len() as f64 / cold_secs.max(1e-9),
+                },
             ],
         };
         let total = |r: &ScenarioReport| r.stages.iter().map(|s| s.seconds).sum::<f64>();
@@ -127,7 +149,99 @@ fn bench_scenario(
             best = Some(rep);
         }
     }
+    std::fs::remove_file(&snap_path).ok();
     best.expect("reps >= 1")
+}
+
+/// The pipeline configuration both RSS probes run, mirroring the CLI's
+/// `validate` defaults so the resident/snapshot comparison reflects the
+/// documented workflow.
+fn probe_pipeline() -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        window: Window::zero_to_60s(),
+        min_triangle_weight: 10,
+        ..Default::default()
+    })
+}
+
+/// Child-process entry for `--rss-probe`: run one full pipeline over the
+/// given input path — `resident` reads + ingests NDJSON, `snapshot` mmaps a
+/// snapshot file — then print the process's peak RSS (VmHWM) in kB.
+///
+/// VmHWM is a per-process high-water mark, so the two paths can only be
+/// compared from separate processes; the parent spawns this binary once per
+/// path and reads the number off stdout.
+fn rss_probe_child(mode: &str, input: &str) -> ! {
+    let triplets = match mode {
+        "resident" => {
+            let buf = std::fs::read(input).expect("probe: read NDJSON");
+            let ing = ingest::ingest_slice(&buf, &IngestConfig::default()).expect("probe: ingest");
+            drop(buf);
+            probe_pipeline().run_dataset(&ing.dataset).triplets.len()
+        }
+        "snapshot" => {
+            let snap = Snapshot::open(std::path::Path::new(input)).expect("probe: open snapshot");
+            probe_pipeline().run_snapshot(&snap).triplets.len()
+        }
+        other => panic!("unknown --rss-probe mode {other:?}"),
+    };
+    std::hint::black_box(triplets);
+    println!("{}", peak_rss_kb().expect("probe: read VmHWM"));
+    std::process::exit(0);
+}
+
+/// Spawn this binary as an `--rss-probe` child and parse its peak-RSS line.
+fn spawn_rss_probe(mode: &str, input: &std::path::Path) -> u64 {
+    let exe = std::env::current_exe().expect("probe: current_exe");
+    let out = std::process::Command::new(exe)
+        .args(["--rss-probe", mode, "--probe-input"])
+        .arg(input)
+        .output()
+        .expect("probe: spawn child");
+    assert!(
+        out.status.success(),
+        "rss probe {mode} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .trim()
+        .parse()
+        .expect("probe: parse peak RSS")
+}
+
+/// Peak RSS of the full pipeline per input path, per scenario: the resident
+/// path (NDJSON buffer + ingest + run) vs the snapshot path (mmap + run).
+/// The snapshot path must come in strictly below — that is the point of the
+/// format — and both numbers land in the report's `checks` map so the CI
+/// regression gate bounds them.
+fn rss_comparison(name: &'static str, records: &[CommentRecord]) -> Vec<(String, u64)> {
+    // Replay the scenario a few times over so the resident path's extra
+    // footprint (raw NDJSON buffer + ingest scratch + event vector) clearly
+    // dominates the probe's process baseline; both paths see the same events.
+    let mut corpus = Vec::with_capacity(records.len() * 4);
+    for _ in 0..4 {
+        corpus.extend_from_slice(records);
+    }
+    let ds = Dataset::from_records(corpus.clone());
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let ndjson_path = dir.join(format!("bench-rss-{name}-{pid}.ndjson"));
+    let snap_path = dir.join(format!("bench-rss-{name}-{pid}.snap"));
+    std::fs::write(&ndjson_path, ndjson_bytes(&corpus)).expect("write probe NDJSON");
+    write_snapshot(&ds, None, &snap_path).expect("write probe snapshot");
+
+    let resident_kb = spawn_rss_probe("resident", &ndjson_path);
+    let snapshot_kb = spawn_rss_probe("snapshot", &snap_path);
+    std::fs::remove_file(&ndjson_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+    assert!(
+        snapshot_kb < resident_kb,
+        "{name}: snapshot-path peak RSS ({snapshot_kb} kB) not below resident path ({resident_kb} kB)"
+    );
+    vec![
+        (format!("{name}/peak_rss_resident_kb"), resident_kb),
+        (format!("{name}/peak_rss_snapshot_kb"), snapshot_kb),
+    ]
 }
 
 /// A worst-case projection input: a handful of very dense pages where many
@@ -396,6 +510,7 @@ fn json_report(
     threads: usize,
     scenarios: &[ScenarioReport],
     ablations: &[Ablation],
+    rss: &[(String, u64)],
     dense_comments: u64,
 ) -> String {
     let mut j = String::new();
@@ -454,6 +569,9 @@ fn json_report(
             entries.push((format!("{}/{}", s.name, row.stage), row.seconds));
         }
     }
+    for (k, v) in rss {
+        entries.push((k.clone(), *v as f64));
+    }
     for (ei, (k, v)) in entries.iter().enumerate() {
         let _ = writeln!(
             j,
@@ -503,17 +621,22 @@ fn check_regressions(current: &str, baseline_path: &str) -> Result<(), String> {
         if *base_secs < CHECK_FLOOR_SECS {
             continue;
         }
-        if let Some((_, cur_secs)) = cur.iter().find(|(k, _)| k == key) {
-            let ratio = cur_secs / base_secs;
-            println!("  check {key}: {cur_secs:.4}s vs baseline {base_secs:.4}s ({ratio:.2}x)");
+        // RSS entries carry kilobytes in the same checks map as the
+        // second-valued stage timings; label each with its real unit.
+        let unit = if key.ends_with("_kb") { " kB" } else { "s" };
+        if let Some((_, cur_val)) = cur.iter().find(|(k, _)| k == key) {
+            let ratio = cur_val / base_secs;
+            println!(
+                "  check {key}: {cur_val:.4}{unit} vs baseline {base_secs:.4}{unit} ({ratio:.2}x)"
+            );
             if ratio > REGRESSION_FACTOR {
                 failures.push(format!(
-                    "{key} regressed {ratio:.2}x (baseline {base_secs:.4}s, now {cur_secs:.4}s)"
+                    "{key} regressed {ratio:.2}x (baseline {base_secs:.4}{unit}, now {cur_val:.4}{unit})"
                 ));
             }
         } else {
             failures.push(format!(
-                "{key} present in baseline ({base_secs:.4}s) but missing from current report"
+                "{key} present in baseline ({base_secs:.4}{unit}) but missing from current report"
             ));
         }
     }
@@ -589,7 +712,13 @@ fn run(smoke: bool, threads: usize, out_path: &str, baseline: Option<&str>) {
         );
     }
 
-    let report = json_report(smoke, threads, &scenarios, &ablations, dense_comments);
+    let mut rss = rss_comparison("jan2020_small", &jan_scenario.records);
+    rss.extend(rss_comparison("oct2016_small", &oct_scenario.records));
+    for (k, v) in &rss {
+        println!("  {k}: {v} kB");
+    }
+
+    let report = json_report(smoke, threads, &scenarios, &ablations, &rss, dense_comments);
     std::fs::write(out_path, &report).expect("write bench report");
     println!("wrote {out_path}");
 
@@ -612,6 +741,10 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    if let Some(mode) = flag_value("--rss-probe") {
+        let input = flag_value("--probe-input").expect("--rss-probe needs --probe-input");
+        rss_probe_child(&mode, &input);
+    }
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
     let baseline = flag_value("--check");
     let threads: usize = flag_value("--threads")

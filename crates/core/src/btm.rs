@@ -24,8 +24,22 @@ impl Btm {
     /// Build from raw events. `n_authors`/`n_pages` fix the dense id spaces
     /// (authors or pages with no events simply have empty lists).
     pub fn from_events(n_authors: u32, n_pages: u32, events: &[Event]) -> Self {
+        Self::from_event_iter(n_authors, n_pages, events.iter().copied())
+    }
+
+    /// Build from an event stream without requiring a materialized slice —
+    /// the snapshot load path feeds the mmapped columns straight in, so the
+    /// events never exist as a resident `Vec<Event>`. Order-invariant: both
+    /// sides are sorted here, so any permutation of the same events yields
+    /// an identical BTM.
+    pub fn from_event_iter(
+        n_authors: u32,
+        n_pages: u32,
+        events: impl Iterator<Item = Event>,
+    ) -> Self {
         let mut page_comments: Vec<Vec<(Timestamp, AuthorId)>> = vec![Vec::new(); n_pages as usize];
         let mut author_pages: Vec<Vec<PageId>> = vec![Vec::new(); n_authors as usize];
+        let mut n_comments = 0u64;
         for e in events {
             assert!(
                 e.author.0 < n_authors,
@@ -35,6 +49,7 @@ impl Btm {
             assert!(e.page.0 < n_pages, "page id {} out of range", e.page.0);
             page_comments[e.page.0 as usize].push((e.ts, e.author));
             author_pages[e.author.0 as usize].push(e.page);
+            n_comments += 1;
         }
         for comments in &mut page_comments {
             comments.sort_unstable();
@@ -46,7 +61,7 @@ impl Btm {
         Btm {
             page_comments,
             author_pages,
-            n_comments: events.len() as u64,
+            n_comments,
         }
     }
 

@@ -72,6 +72,21 @@ impl ExclusionList {
         ids.sort_unstable();
         ids
     }
+
+    /// Resolve against a name table in dense-id order (the snapshot load
+    /// path: one linear scan of the mmapped string table, no interner
+    /// materialized). Produces exactly what [`ExclusionList::resolve`] would
+    /// for the same vocabulary.
+    pub fn resolve_names<'a>(&self, names: impl Iterator<Item = &'a str>) -> Vec<AuthorId> {
+        if self.names.is_empty() {
+            return Vec::new();
+        }
+        names
+            .enumerate()
+            .filter(|(_, n)| self.names.contains(*n))
+            .map(|(i, _)| AuthorId(i as u32))
+            .collect()
+    }
 }
 
 /// Heuristic from §2.4's refinement loop: accounts whose comment volume

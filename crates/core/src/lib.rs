@@ -62,12 +62,17 @@ pub mod metrics;
 pub mod pipeline;
 pub mod project;
 pub mod records;
+pub mod snapshot;
 pub mod window;
 pub mod windowed_hyperedge;
 
 /// The shared graph-representation layer (CSR storage, typed ids, borrowed
 /// views) — every stage of the pipeline exchanges graphs through these types.
 pub use coordination_graph as graph;
+
+/// The columnar snapshot layer (schema-versioned on-disk format, compressed
+/// CSR, mmap views) — [`snapshot`] holds the Dataset/Btm adapters over it.
+pub use coordination_store as store;
 
 pub use btm::{Btm, PageDegreeStats};
 pub use cigraph::{CiGraph, CiGraphBuilder};

@@ -176,6 +176,28 @@ impl Pipeline {
         self.run_btm(&btm)
     }
 
+    /// Run from an opened snapshot — the mmap twin of
+    /// [`Pipeline::run_dataset`], producing identical output for a snapshot
+    /// written from the same dataset (the BTM is order-invariant, so the
+    /// timestamp-sorted columns project exactly like the ingest-ordered
+    /// events). The events stream out of the mapped columns and exclusion
+    /// names resolve against the mapped string table; no [`Dataset`] is ever
+    /// materialized, which is what keeps this path's peak RSS below the
+    /// resident one.
+    pub fn run_snapshot(&self, snap: &coordination_store::Snapshot) -> PipelineOutput {
+        let btm = crate::snapshot::btm_from_snapshot(snap);
+        let excluded = self
+            .config
+            .exclusions
+            .resolve_names(snap.author_names().iter());
+        let btm = if excluded.is_empty() {
+            btm
+        } else {
+            btm.without_authors(&excluded)
+        };
+        self.run_btm(&btm)
+    }
+
     /// Run on an already-built (and already-filtered) BTM.
     pub fn run_btm(&self, btm: &Btm) -> PipelineOutput {
         let cfg = &self.config;

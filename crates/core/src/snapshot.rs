@@ -1,0 +1,316 @@
+//! Dataset ⇄ snapshot glue: the core-side adapters over
+//! [`coordination_store`] (re-exported as [`crate::store`]).
+//!
+//! The store crate speaks raw `(author, page, ts)` tuples and `&str` name
+//! tables so it can sit below core in the dependency graph; this module
+//! supplies the translations the pipeline actually uses:
+//!
+//! * [`write_snapshot`] — serialize an ingested [`Dataset`] (events stably
+//!   sorted by timestamp so the column delta-encodes, interner names in
+//!   dense-id order so ids survive the round trip), optionally embedding a
+//!   projected CI graph for survey-only consumers;
+//! * [`ingest_to_snapshot`] — the `snapshot write` path: parallel NDJSON
+//!   ingest straight into a snapshot file;
+//! * [`btm_from_snapshot`] — stream the mmapped event columns directly into
+//!   a [`Btm`]; the events never exist as a resident `Vec<Event>`, which is
+//!   what puts the snapshot path's peak RSS below the resident path's;
+//! * [`dataset_from_snapshot`] — materialize a full [`Dataset`] (interners
+//!   included) for name-consuming commands; ids match the original ingest
+//!   exactly.
+//!
+//! Equivalence contract (pinned by proptest and an integration test): for
+//! any dataset, `Pipeline::run_snapshot` over `write_snapshot`'s output
+//! produces byte-identical survey and validation results to
+//! `Pipeline::run_dataset` on the original. The snapshot stores events
+//! timestamp-sorted (a different order than ingest), but the BTM sorts both
+//! of its sides, so the projection input — and everything downstream — is
+//! identical.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use coordination_store::{Snapshot, SnapshotWriter, StoreError};
+
+use crate::btm::Btm;
+use crate::cigraph::CiGraph;
+use crate::ids::{AuthorId, Event, Interner, PageId};
+use crate::ingest::{self, IngestConfig, IngestStats};
+use crate::records::{Dataset, ReadError};
+use crate::window::Window;
+
+/// What a snapshot write produced, for logging.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteSummary {
+    /// Snapshot file size.
+    pub bytes: u64,
+    /// Events written.
+    pub n_events: u64,
+    /// Whether a projected CI graph section was embedded.
+    pub with_ci: bool,
+}
+
+/// Serialize `ds` to a snapshot at `path`. Pass `ci` to embed a projected
+/// CI graph (with the window it was projected under) so survey-only
+/// consumers can skip projection entirely.
+pub fn write_snapshot(
+    ds: &Dataset,
+    ci: Option<(Window, &CiGraph)>,
+    path: &Path,
+) -> Result<WriteSummary, StoreError> {
+    let _g = obs::span("snapshot.write");
+    let mut events: Vec<(u32, u32, i64)> = ds
+        .events
+        .iter()
+        .map(|e| (e.author.0, e.page.0, e.ts))
+        .collect();
+    // Stable by timestamp: the column delta-encodes, and equal-timestamp
+    // events keep their ingest order (not that the BTM could tell).
+    events.sort_by_key(|e| e.2);
+
+    let mut w = SnapshotWriter::new();
+    w.authors(ds.authors.iter().map(|(_, n)| n));
+    w.pages(ds.pages.iter().map(|(_, n)| n));
+    w.events(&events)?;
+    if let Some((window, ci)) = ci {
+        w.ci_graph(window.d1(), window.d2(), ci.page_counts(), ci.as_csr())?;
+    }
+    w.write_to(path)?;
+    let bytes = std::fs::metadata(path)?.len();
+    obs::gauge("snapshot.bytes").set(bytes);
+    Ok(WriteSummary {
+        bytes,
+        n_events: events.len() as u64,
+        with_ci: ci.is_some(),
+    })
+}
+
+/// The `snapshot write` ingest path: parse an NDJSON buffer with the
+/// parallel ingest and write the result straight to `path`. With `project`
+/// set, the CI graph is projected under that window — after the paper's
+/// standard bot exclusions, exactly as the pipeline and the `project`
+/// command do — and embedded, so `survey --from-snapshot` re-queries the
+/// same graph every other consumer would have built.
+pub fn ingest_to_snapshot(
+    buf: &[u8],
+    cfg: &IngestConfig,
+    project: Option<Window>,
+    path: &Path,
+) -> Result<(WriteSummary, IngestStats), SnapshotWriteError> {
+    let ingest = ingest::ingest_slice(buf, cfg).map_err(SnapshotWriteError::Read)?;
+    let summary = match project {
+        Some(window) => {
+            let excl = crate::filter::ExclusionList::reddit_defaults();
+            let btm = ingest
+                .dataset
+                .btm()
+                .without_authors(&excl.resolve(&ingest.dataset));
+            let ci = crate::project::project(&btm, window);
+            write_snapshot(&ingest.dataset, Some((window, &ci)), path)
+        }
+        None => write_snapshot(&ingest.dataset, None, path),
+    }
+    .map_err(SnapshotWriteError::Store)?;
+    Ok((summary, ingest.stats))
+}
+
+/// Either side of [`ingest_to_snapshot`] can fail: the NDJSON parse or the
+/// snapshot serialization.
+#[derive(Debug)]
+pub enum SnapshotWriteError {
+    /// NDJSON ingest failed.
+    Read(ReadError),
+    /// Snapshot serialization failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for SnapshotWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotWriteError::Read(e) => write!(f, "{e}"),
+            SnapshotWriteError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotWriteError {}
+
+/// Build the BTM directly from the mapped event columns. No `Vec<Event>`,
+/// no interners: the only resident allocations are the BTM's own lists.
+pub fn btm_from_snapshot(snap: &Snapshot) -> Btm {
+    let _g = obs::span("snapshot.btm");
+    let m = snap.meta();
+    Btm::from_event_iter(
+        m.n_authors,
+        m.n_pages,
+        snap.events()
+            .iter()
+            .map(|(a, p, ts)| Event::new(AuthorId(a), PageId(p), ts)),
+    )
+}
+
+/// Materialize a full [`Dataset`] from a snapshot — the compatibility path
+/// for commands that need name lookups in both directions. The interners
+/// re-intern the stored tables in dense-id order, so every id matches the
+/// ingest that wrote the snapshot.
+pub fn dataset_from_snapshot(snap: &Snapshot) -> Dataset {
+    let mut authors = Interner::new();
+    for n in snap.author_names().iter() {
+        authors.intern(n);
+    }
+    let mut pages = Interner::new();
+    for n in snap.page_names().iter() {
+        pages.intern(n);
+    }
+    Dataset {
+        authors: Arc::new(authors),
+        pages: Arc::new(pages),
+        events: snap
+            .events()
+            .iter()
+            .map(|(a, p, ts)| Event::new(AuthorId(a), PageId(p), ts))
+            .collect(),
+    }
+}
+
+/// Rebuild a resident [`CiGraph`] from a snapshot's embedded CI section,
+/// with the window it was projected under. `None` if the writer embedded no
+/// CI graph. Consumers that can work over [`crate::GraphRef`] should use the
+/// compressed `ci_graph().graph` view directly instead.
+pub fn ci_from_snapshot(snap: &Snapshot) -> Option<(Window, CiGraph)> {
+    let ci = snap.ci_graph()?;
+    let csr = coordination_graph::GraphRef::to_csr(&ci.graph);
+    Some((
+        Window::new(ci.d1, ci.d2),
+        CiGraph::from_csr(csr, ci.page_counts()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use crate::records::CommentRecord;
+
+    fn scenario() -> Dataset {
+        let mut recs = Vec::new();
+        for page in 0..15 {
+            for (i, bot) in ["b1", "b2", "b3"].iter().enumerate() {
+                recs.push(CommentRecord::new(
+                    *bot,
+                    format!("p{page}"),
+                    page as i64 * 500 + i as i64,
+                ));
+            }
+            recs.push(CommentRecord::new(
+                format!("u{page}"),
+                format!("p{page}"),
+                page as i64 * 500 + 400,
+            ));
+        }
+        Dataset::from_records(recs)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("core-snap-{name}-{}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn dataset_roundtrips_through_snapshot() {
+        let ds = scenario();
+        let path = tmp("roundtrip");
+        let summary = write_snapshot(&ds, None, &path).unwrap();
+        assert_eq!(summary.n_events as usize, ds.len());
+        assert!(!summary.with_ci);
+
+        let snap = Snapshot::open(&path).unwrap();
+        let back = dataset_from_snapshot(&snap);
+        assert_eq!(back.authors.len(), ds.authors.len());
+        assert_eq!(back.pages.len(), ds.pages.len());
+        // Same ids, same names.
+        for (id, name) in ds.authors.iter() {
+            assert_eq!(back.authors.get(name), Some(id));
+        }
+        // Same multiset of events (order differs: snapshot is ts-sorted).
+        let mut a = ds.events.clone();
+        let mut b = back.events.clone();
+        let key = |e: &Event| (e.ts, e.author.0, e.page.0);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+        drop(snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipeline_output_is_identical_across_paths() {
+        let ds = scenario();
+        let path = tmp("pipeline");
+        write_snapshot(&ds, None, &path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+
+        let resident = Pipeline::default().run_dataset(&ds);
+        let mapped = Pipeline::default().run_snapshot(&snap);
+
+        assert_eq!(resident.stats.ci_edges, mapped.stats.ci_edges);
+        assert_eq!(
+            resident.stats.comments_reviewed,
+            mapped.stats.comments_reviewed
+        );
+        assert_eq!(resident.triplets.len(), mapped.triplets.len());
+        for (r, m) in resident.triplets.iter().zip(&mapped.triplets) {
+            assert_eq!(r.authors, m.authors);
+            assert_eq!(r.min_ci_weight, m.min_ci_weight);
+            assert_eq!(r.hyper_weight, m.hyper_weight);
+            assert_eq!(r.t.to_bits(), m.t.to_bits());
+            assert_eq!(r.c.to_bits(), m.c.to_bits());
+        }
+        drop(snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn embedded_ci_graph_roundtrips() {
+        let ds = scenario();
+        let window = Window::zero_to_60s();
+        let ci = crate::project::project(&ds.btm(), window);
+        let path = tmp("ci");
+        let summary = write_snapshot(&ds, Some((window, &ci)), &path).unwrap();
+        assert!(summary.with_ci);
+
+        let snap = Snapshot::open(&path).unwrap();
+        let (w, back) = ci_from_snapshot(&snap).unwrap();
+        assert_eq!(w, window);
+        assert_eq!(back.n_edges(), ci.n_edges());
+        assert_eq!(back.page_counts(), ci.page_counts());
+        let mut want: Vec<_> = ci.edges().collect();
+        let mut got: Vec<_> = back.edges().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got);
+        drop(snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn btm_from_snapshot_matches_dataset_btm() {
+        let ds = scenario();
+        let path = tmp("btm");
+        write_snapshot(&ds, None, &path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        let a = ds.btm();
+        let b = btm_from_snapshot(&snap);
+        assert_eq!(a.n_authors(), b.n_authors());
+        assert_eq!(a.n_comments(), b.n_comments());
+        for p in 0..a.n_pages() {
+            assert_eq!(
+                a.page_neighborhood(PageId(p)),
+                b.page_neighborhood(PageId(p))
+            );
+        }
+        for u in 0..a.n_authors() {
+            assert_eq!(a.author_pages(AuthorId(u)), b.author_pages(AuthorId(u)));
+        }
+        drop(snap);
+        std::fs::remove_file(&path).ok();
+    }
+}

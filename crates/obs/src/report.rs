@@ -148,10 +148,24 @@ pub fn render_current(command: &str) -> String {
     render(command, &crate::snapshot())
 }
 
-/// Validate an emitted run report: it must carry a `schema_version`, a span
-/// entry for every label in `required_spans`, and an entry (even `0`) for
-/// every counter in `required_counters`. Returns every violation at once so
-/// a CI failure names the full gap, not just the first one.
+/// Extract the `schema_version` value from an emitted report, textually.
+/// `None` when the field is absent or its value is not an unsigned integer.
+fn parse_schema_version(json: &str) -> Option<u64> {
+    let at = json.find("\"schema_version\"")?;
+    let rest = json[at + "\"schema_version\"".len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: &str = &rest[..rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len())];
+    digits.parse().ok()
+}
+
+/// Validate an emitted run report: it must carry `schema_version` equal to
+/// this build's [`SCHEMA_VERSION`] (a report from a future or unknown layout
+/// is rejected, not half-checked), a span entry for every label in
+/// `required_spans`, and an entry (even `0`) for every counter in
+/// `required_counters`. Returns every violation at once so a CI failure
+/// names the full gap, not just the first one.
 ///
 /// The checks are textual against the layout [`render`] produces — this
 /// crate has no JSON parser by design, and it validates only its own output.
@@ -160,10 +174,21 @@ pub fn validate(
     required_spans: &[&str],
     required_counters: &[&str],
 ) -> Result<(), String> {
-    let mut missing = Vec::new();
-    if !json.contains("\"schema_version\"") {
-        missing.push("field schema_version".to_string());
+    match parse_schema_version(json) {
+        Some(v) if v == SCHEMA_VERSION as u64 => {}
+        Some(v) => {
+            return Err(format!(
+                "unsupported report schema_version {v} (this build understands \
+                 {SCHEMA_VERSION}); re-run the report with a matching build"
+            ));
+        }
+        None => {
+            return Err("report carries no integer schema_version field; \
+                 not a run report this build can validate"
+                .to_string());
+        }
     }
+    let mut missing = Vec::new();
     for s in required_spans {
         if !json.contains(&format!("\"label\": \"{s}\"")) {
             missing.push(format!("stage span {s:?}"));
@@ -256,6 +281,28 @@ mod tests {
         assert!(err.contains("stage span \"survey\""), "{err}");
         assert!(err.contains("counter \"survey.triangles_kept\""), "{err}");
         assert!(validate("{}", &[], &[]).is_err(), "no schema_version");
+    }
+
+    #[test]
+    fn validate_rejects_unknown_schema_versions() {
+        let json = render("validate", &sample());
+        let future = json.replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            &format!("\"schema_version\": {}", SCHEMA_VERSION + 1),
+        );
+        let err = validate(&future, &[], &[]).unwrap_err();
+        assert!(
+            err.contains(&format!("schema_version {}", SCHEMA_VERSION + 1)),
+            "{err}"
+        );
+        assert!(err.contains(&SCHEMA_VERSION.to_string()), "{err}");
+
+        let garbage = json.replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": \"one\"",
+        );
+        assert!(validate(&garbage, &[], &[]).is_err(), "non-integer version");
+        assert_eq!(parse_schema_version(&json), Some(SCHEMA_VERSION as u64));
     }
 
     #[test]

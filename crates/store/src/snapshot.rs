@@ -1,0 +1,1026 @@
+//! The snapshot container: magic, version, checksummed section directory,
+//! and the columnar sections themselves.
+//!
+//! ## File layout (version 1)
+//!
+//! ```text
+//! [0..8)    magic  b"COORSNAP"
+//! [8..12)   schema version, u32 LE      — readers refuse unknown versions
+//! [12..16)  section count, u32 LE
+//! then      count × 28-byte directory entries:
+//!             kind u32 LE · offset u64 LE · len u64 LE · FNV-1a-64 checksum
+//! then      section bytes at their recorded offsets
+//! ```
+//!
+//! Sections (kinds 1–6; unknown kinds are an error under a known version):
+//!
+//! * `META` — n_authors, n_pages, n_events, min/max timestamp (varints).
+//! * `AUTHOR_NAMES` / `PAGE_NAMES` — interner string tables in dense-id
+//!   order: count, byte length, fixed-width `u32` end-offset table, then the
+//!   concatenated UTF-8 bytes. Fixed-width ends make `name(id)` two loads.
+//! * `EVENTS` — the comment stream sorted stably by timestamp, as three
+//!   independently sliceable columns: timestamps (first value zigzag, then
+//!   non-negative varint deltas), author ids, page ids (plain varints).
+//! * `AUTHOR_PAGES` — each author's sorted distinct page list as an
+//!   unweighted compressed CSR ([`crate::csr`]): exactly what hypergraph
+//!   validation intersects, served without rebuilding the BTM.
+//! * `CI_GRAPH` (optional) — a projected common-interaction graph: the
+//!   window it was projected under, the `P'` page counts, and the weighted
+//!   compressed CSR the survey decodes block-wise.
+//!
+//! [`Snapshot::open`] maps the file and validates *everything* up front —
+//! magic, version, directory bounds, per-section checksums, and a full
+//! structural decode (id ranges, sort order, exact byte consumption). After
+//! open, every accessor and iterator is infallible; corrupt or truncated
+//! input never gets past open, and never panics.
+
+use std::path::Path;
+
+use coordination_graph::GraphRef;
+
+use crate::csr::{self, CsrView};
+use crate::err::StoreError;
+use crate::mmap::Bytes;
+use crate::varint;
+
+/// First eight bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"COORSNAP";
+
+/// The single schema version this build reads and writes. Bump on any
+/// layout change; readers must refuse versions they do not speak.
+pub const VERSION: u32 = 1;
+
+mod kind {
+    pub const META: u32 = 1;
+    pub const AUTHOR_NAMES: u32 = 2;
+    pub const PAGE_NAMES: u32 = 3;
+    pub const EVENTS: u32 = 4;
+    pub const AUTHOR_PAGES: u32 = 5;
+    pub const CI_GRAPH: u32 = 6;
+
+    pub fn name(k: u32) -> &'static str {
+        match k {
+            META => "META",
+            AUTHOR_NAMES => "AUTHOR_NAMES",
+            PAGE_NAMES => "PAGE_NAMES",
+            EVENTS => "EVENTS",
+            AUTHOR_PAGES => "AUTHOR_PAGES",
+            CI_GRAPH => "CI_GRAPH",
+            _ => "UNKNOWN",
+        }
+    }
+}
+
+/// FNV-1a 64 — tiny, dependency-free, and plenty to catch bit rot and
+/// truncation (structural validation catches what a colliding flip slips by).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Corpus-level facts recorded in the `META` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Dense author-id vocabulary size.
+    pub n_authors: u32,
+    /// Dense page-id vocabulary size.
+    pub n_pages: u32,
+    /// Events in the `EVENTS` columns.
+    pub n_events: u64,
+    /// Smallest timestamp (0 when empty).
+    pub min_ts: i64,
+    /// Largest timestamp (0 when empty).
+    pub max_ts: i64,
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Assembles a snapshot: set the name tables, then the events (which also
+/// derives `META` and the `AUTHOR_PAGES` adjacency), optionally a projected
+/// CI graph, then [`SnapshotWriter::write_to`] or
+/// [`SnapshotWriter::to_bytes`].
+#[derive(Default)]
+pub struct SnapshotWriter {
+    n_authors: Option<u32>,
+    n_pages: Option<u32>,
+    authors: Option<Vec<u8>>,
+    pages: Option<Vec<u8>>,
+    meta: Option<Vec<u8>>,
+    events: Option<Vec<u8>>,
+    author_pages: Option<Vec<u8>>,
+    ci: Option<Vec<u8>>,
+}
+
+fn encode_names<'a>(names: impl Iterator<Item = &'a str>) -> (u32, Vec<u8>) {
+    let mut ends: Vec<u8> = Vec::new();
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut count = 0u32;
+    for name in names {
+        bytes.extend_from_slice(name.as_bytes());
+        ends.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        count += 1;
+    }
+    let mut out = Vec::with_capacity(bytes.len() + ends.len() + 10);
+    varint::write_u64(&mut out, u64::from(count));
+    varint::write_u64(&mut out, bytes.len() as u64);
+    out.extend_from_slice(&ends);
+    out.extend_from_slice(&bytes);
+    (count, out)
+}
+
+impl SnapshotWriter {
+    /// Fresh writer with no sections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the author name table, in dense-id order (id `i` = `i`-th
+    /// name). Must be called before [`SnapshotWriter::events`].
+    pub fn authors<'a>(&mut self, names: impl Iterator<Item = &'a str>) -> &mut Self {
+        let (count, section) = encode_names(names);
+        self.n_authors = Some(count);
+        self.authors = Some(section);
+        self
+    }
+
+    /// Record the page name table, in dense-id order.
+    pub fn pages<'a>(&mut self, names: impl Iterator<Item = &'a str>) -> &mut Self {
+        let (count, section) = encode_names(names);
+        self.n_pages = Some(count);
+        self.pages = Some(section);
+        self
+    }
+
+    /// Record the event columns. `events` must already be sorted ascending
+    /// by timestamp (stably, so equal-timestamp order is the ingest order)
+    /// and reference only ids covered by the name tables; violations are
+    /// writer-side [`StoreError::Corrupt`] errors.
+    pub fn events(&mut self, events: &[(u32, u32, i64)]) -> Result<&mut Self, StoreError> {
+        let n_authors = self
+            .n_authors
+            .ok_or_else(|| StoreError::corrupt("events() requires authors() first"))?;
+        let n_pages = self
+            .n_pages
+            .ok_or_else(|| StoreError::corrupt("events() requires pages() first"))?;
+
+        let mut ts_col: Vec<u8> = Vec::new();
+        let mut author_col: Vec<u8> = Vec::new();
+        let mut page_col: Vec<u8> = Vec::new();
+        let mut prev_ts = None::<i64>;
+        for (i, &(a, p, ts)) in events.iter().enumerate() {
+            if a >= n_authors {
+                return Err(StoreError::corrupt(format!(
+                    "event {i} author id {a} >= {n_authors}"
+                )));
+            }
+            if p >= n_pages {
+                return Err(StoreError::corrupt(format!(
+                    "event {i} page id {p} >= {n_pages}"
+                )));
+            }
+            match prev_ts {
+                None => varint::write_i64(&mut ts_col, ts),
+                Some(prev) => {
+                    if ts < prev {
+                        return Err(StoreError::corrupt(format!(
+                            "event {i} timestamp {ts} < predecessor {prev}: not sorted"
+                        )));
+                    }
+                    varint::write_u64(&mut ts_col, (ts - prev) as u64);
+                }
+            }
+            prev_ts = Some(ts);
+            varint::write_u64(&mut author_col, u64::from(a));
+            varint::write_u64(&mut page_col, u64::from(p));
+        }
+
+        let mut section = Vec::new();
+        varint::write_u64(&mut section, events.len() as u64);
+        for col in [&ts_col, &author_col, &page_col] {
+            varint::write_u64(&mut section, col.len() as u64);
+            section.extend_from_slice(col);
+        }
+        self.events = Some(section);
+
+        let mut meta = Vec::new();
+        varint::write_u64(&mut meta, u64::from(n_authors));
+        varint::write_u64(&mut meta, u64::from(n_pages));
+        varint::write_u64(&mut meta, events.len() as u64);
+        varint::write_i64(&mut meta, events.first().map_or(0, |e| e.2));
+        varint::write_i64(&mut meta, events.last().map_or(0, |e| e.2));
+        self.meta = Some(meta);
+
+        // Derive each author's sorted distinct page list — the exact slices
+        // hypergraph validation intersects.
+        let mut pages_of: Vec<Vec<u32>> = vec![Vec::new(); n_authors as usize];
+        for &(a, p, _) in events {
+            pages_of[a as usize].push(p);
+        }
+        let mut blob = Vec::new();
+        csr::encode_rows(
+            n_authors,
+            false,
+            |u, row| {
+                let list = &mut pages_of[u as usize];
+                list.sort_unstable();
+                list.dedup();
+                row.extend(list.iter().map(|&p| (p, 0u64)));
+            },
+            &mut blob,
+        );
+        self.author_pages = Some(blob);
+        Ok(self)
+    }
+
+    /// Attach a projected common-interaction graph: the `[d1, d2]` window it
+    /// was projected under, the per-author `P'` page counts, and the graph
+    /// itself (stored weighted, compressed).
+    pub fn ci_graph<G: GraphRef>(
+        &mut self,
+        d1: i64,
+        d2: i64,
+        page_counts: &[u64],
+        g: &G,
+    ) -> Result<&mut Self, StoreError> {
+        if page_counts.len() != g.n_vertices() as usize {
+            return Err(StoreError::corrupt(format!(
+                "page_counts has {} entries for a {}-vertex graph",
+                page_counts.len(),
+                g.n_vertices()
+            )));
+        }
+        let mut pc = Vec::new();
+        for &c in page_counts {
+            varint::write_u64(&mut pc, c);
+        }
+        let mut section = Vec::new();
+        varint::write_i64(&mut section, d1);
+        varint::write_i64(&mut section, d2);
+        varint::write_u64(&mut section, pc.len() as u64);
+        section.extend_from_slice(&pc);
+        csr::encode_graph(g, &mut section);
+        self.ci = Some(section);
+        Ok(self)
+    }
+
+    /// Assemble the full snapshot file image.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let meta = self
+            .meta
+            .as_deref()
+            .ok_or_else(|| StoreError::corrupt("snapshot writer: events() never called"))?;
+        let authors = self.authors.as_deref().expect("meta implies authors");
+        let pages = self.pages.as_deref().expect("meta implies pages");
+        let events = self.events.as_deref().expect("meta implies events");
+        let author_pages = self
+            .author_pages
+            .as_deref()
+            .expect("meta implies author_pages");
+
+        let mut sections: Vec<(u32, &[u8])> = vec![
+            (kind::META, meta),
+            (kind::AUTHOR_NAMES, authors),
+            (kind::PAGE_NAMES, pages),
+            (kind::EVENTS, events),
+            (kind::AUTHOR_PAGES, author_pages),
+        ];
+        if let Some(ci) = self.ci.as_deref() {
+            sections.push((kind::CI_GRAPH, ci));
+        }
+
+        let header_len = 16 + sections.len() * 28;
+        let total: usize = header_len + sections.iter().map(|(_, s)| s.len()).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        let mut offset = header_len as u64;
+        for (k, s) in &sections {
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a(s).to_le_bytes());
+            offset += s.len() as u64;
+        }
+        for (_, s) in &sections {
+            out.extend_from_slice(s);
+        }
+        Ok(out)
+    }
+
+    /// Write the snapshot to `path` (via a sibling temp file + rename, so a
+    /// crashed writer never leaves a half-written snapshot at the target).
+    pub fn write_to(&self, path: &Path) -> Result<(), StoreError> {
+        let bytes = self.to_bytes()?;
+        let tmp = path.with_extension("snap.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct Section {
+    kind: u32,
+    range: (usize, usize),
+}
+
+/// A validated, opened snapshot. Accessors return borrowed views over the
+/// mapped (or owned) bytes; nothing is decoded into resident columns.
+pub struct Snapshot {
+    bytes: Bytes,
+    meta: SnapshotMeta,
+    sections: Vec<Section>,
+    names_counts: [u32; 2], // cached (authors, pages) header parse
+}
+
+impl Snapshot {
+    /// Map `path` and validate the entire file (see module docs).
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let _g = obs::span("snapshot.open");
+        let bytes = Bytes::map_file(path)?;
+        Self::parse(bytes)
+    }
+
+    /// Open an in-memory image (tests, round-trips) with the same
+    /// validation as [`Snapshot::open`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, StoreError> {
+        Self::parse(Bytes::from_vec(bytes))
+    }
+
+    fn section(&self, k: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.kind == k)
+            .map(|s| &self.bytes[s.range.0..s.range.1])
+    }
+
+    fn require(&self, k: u32) -> &[u8] {
+        self.section(k).expect("mandatory section checked at open")
+    }
+
+    fn parse(bytes: Bytes) -> Result<Self, StoreError> {
+        let _g = obs::span("snapshot.validate");
+        let data: &[u8] = &bytes;
+        if data.len() < 16 {
+            let mut found = [0u8; 8];
+            found[..data.len().min(8)].copy_from_slice(&data[..data.len().min(8)]);
+            if data.len() < 8 || found != MAGIC {
+                return Err(StoreError::BadMagic { found });
+            }
+            return Err(StoreError::Truncated {
+                what: "file header",
+                need: 16,
+                have: data.len() as u64,
+            });
+        }
+        if data[..8] != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&data[..8]);
+            return Err(StoreError::BadMagic { found });
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let n_sections = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
+        let dir_end = 16usize
+            .checked_add(n_sections.checked_mul(28).ok_or_else(|| {
+                StoreError::corrupt(format!("section count {n_sections} overflows"))
+            })?)
+            .ok_or_else(|| StoreError::corrupt("directory length overflows"))?;
+        if data.len() < dir_end {
+            return Err(StoreError::Truncated {
+                what: "section directory",
+                need: dir_end as u64,
+                have: data.len() as u64,
+            });
+        }
+
+        let mut sections = Vec::with_capacity(n_sections);
+        for i in 0..n_sections {
+            let at = 16 + i * 28;
+            let k = u32::from_le_bytes(data[at..at + 4].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(data[at + 4..at + 12].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(data[at + 12..at + 20].try_into().expect("8 bytes"));
+            let sum = u64::from_le_bytes(data[at + 20..at + 28].try_into().expect("8 bytes"));
+            if !(kind::META..=kind::CI_GRAPH).contains(&k) {
+                return Err(StoreError::corrupt(format!("unknown section kind {k}")));
+            }
+            if sections.iter().any(|s: &Section| s.kind == k) {
+                return Err(StoreError::corrupt(format!(
+                    "duplicate section {}",
+                    kind::name(k)
+                )));
+            }
+            let end = offset.checked_add(len).ok_or_else(|| {
+                StoreError::corrupt(format!("section {} range overflows", kind::name(k)))
+            })?;
+            if end > data.len() as u64 || offset < dir_end as u64 {
+                return Err(StoreError::Truncated {
+                    what: kind::name(k),
+                    need: end,
+                    have: data.len() as u64,
+                });
+            }
+            let range = (offset as usize, end as usize);
+            if fnv1a(&data[range.0..range.1]) != sum {
+                return Err(StoreError::ChecksumMismatch {
+                    section: kind::name(k),
+                });
+            }
+            sections.push(Section { kind: k, range });
+        }
+
+        let get = |k: u32| -> Result<&[u8], StoreError> {
+            sections
+                .iter()
+                .find(|s| s.kind == k)
+                .map(|s| &data[s.range.0..s.range.1])
+                .ok_or_else(|| {
+                    StoreError::corrupt(format!("missing mandatory section {}", kind::name(k)))
+                })
+        };
+
+        // META
+        let meta_bytes = get(kind::META)?;
+        let mut pos = 0;
+        let n_authors = varint::read_u32(meta_bytes, &mut pos)?;
+        let n_pages = varint::read_u32(meta_bytes, &mut pos)?;
+        let n_events = varint::read_u64(meta_bytes, &mut pos)?;
+        let min_ts = varint::read_i64(meta_bytes, &mut pos)?;
+        let max_ts = varint::read_i64(meta_bytes, &mut pos)?;
+        if pos != meta_bytes.len() {
+            return Err(StoreError::corrupt("META has trailing bytes"));
+        }
+        let meta = SnapshotMeta {
+            n_authors,
+            n_pages,
+            n_events,
+            min_ts,
+            max_ts,
+        };
+
+        // Name tables
+        let mut names_counts = [0u32; 2];
+        for (slot, (k, expect)) in [(kind::AUTHOR_NAMES, n_authors), (kind::PAGE_NAMES, n_pages)]
+            .into_iter()
+            .enumerate()
+        {
+            let view = NamesView::parse(get(k)?)?;
+            if view.len() != expect {
+                return Err(StoreError::corrupt(format!(
+                    "{} holds {} names, META declares {expect}",
+                    kind::name(k),
+                    view.len()
+                )));
+            }
+            view.validate()?;
+            names_counts[slot] = view.len();
+        }
+
+        // Event columns: full decode sweep.
+        let events = EventsView::parse(get(kind::EVENTS)?)?;
+        if events.len() != n_events {
+            return Err(StoreError::corrupt(format!(
+                "EVENTS holds {} events, META declares {n_events}",
+                events.len()
+            )));
+        }
+        events.validate(&meta)?;
+
+        // Author → pages adjacency.
+        let ap = CsrView::parse(get(kind::AUTHOR_PAGES)?)?;
+        if ap.n() != n_authors {
+            return Err(StoreError::corrupt(format!(
+                "AUTHOR_PAGES has {} rows, META declares {n_authors} authors",
+                ap.n()
+            )));
+        }
+        if ap.weighted() {
+            return Err(StoreError::corrupt("AUTHOR_PAGES must be unweighted"));
+        }
+        ap.validate(n_pages)?;
+
+        // Optional CI graph.
+        if let Some(s) = sections.iter().find(|s| s.kind == kind::CI_GRAPH) {
+            let ci = CiView::parse(&data[s.range.0..s.range.1])?;
+            if ci.graph.n() != n_authors {
+                return Err(StoreError::corrupt(format!(
+                    "CI_GRAPH has {} vertices, META declares {n_authors} authors",
+                    ci.graph.n()
+                )));
+            }
+            if !ci.graph.weighted() {
+                return Err(StoreError::corrupt("CI_GRAPH must carry weights"));
+            }
+            ci.validate()?;
+        }
+
+        Ok(Snapshot {
+            bytes,
+            meta,
+            sections,
+            names_counts,
+        })
+    }
+
+    /// Corpus-level facts.
+    pub fn meta(&self) -> &SnapshotMeta {
+        &self.meta
+    }
+
+    /// Whether the backing bytes are an actual file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.bytes.is_mapped()
+    }
+
+    /// Total file size in bytes.
+    pub fn file_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `(section name, byte length)` for every section present, in file order.
+    pub fn section_sizes(&self) -> Vec<(&'static str, u64)> {
+        self.sections
+            .iter()
+            .map(|s| (kind::name(s.kind), (s.range.1 - s.range.0) as u64))
+            .collect()
+    }
+
+    /// The author name table (dense-id order).
+    pub fn author_names(&self) -> NamesView<'_> {
+        NamesView::parse(self.require(kind::AUTHOR_NAMES)).expect("validated at open")
+    }
+
+    /// The page name table (dense-id order).
+    pub fn page_names(&self) -> NamesView<'_> {
+        NamesView::parse(self.require(kind::PAGE_NAMES)).expect("validated at open")
+    }
+
+    /// The timestamp-sorted event columns.
+    pub fn events(&self) -> EventsView<'_> {
+        EventsView::parse(self.require(kind::EVENTS)).expect("validated at open")
+    }
+
+    /// Each author's sorted distinct page list, compressed.
+    pub fn author_pages(&self) -> CsrView<'_> {
+        CsrView::parse(self.require(kind::AUTHOR_PAGES)).expect("validated at open")
+    }
+
+    /// The embedded projected CI graph, if the writer attached one.
+    pub fn ci_graph(&self) -> Option<CiView<'_>> {
+        self.section(kind::CI_GRAPH)
+            .map(|b| CiView::parse(b).expect("validated at open"))
+    }
+
+    /// Human-readable summary for `snapshot inspect`.
+    pub fn describe(&self) -> String {
+        let m = &self.meta;
+        let mut out = format!(
+            "snapshot v{VERSION} ({} bytes, {})\n  authors: {} ({} names)\n  pages:   {} ({} names)\n  events:  {} spanning ts [{}, {}]\n",
+            self.file_len(),
+            if self.is_mapped() { "mmap" } else { "resident" },
+            m.n_authors,
+            self.names_counts[0],
+            m.n_pages,
+            self.names_counts[1],
+            m.n_events,
+            m.min_ts,
+            m.max_ts,
+        );
+        for (name, len) in self.section_sizes() {
+            out.push_str(&format!("  section {name:<13} {len} bytes\n"));
+        }
+        if let Some(ci) = self.ci_graph() {
+            out.push_str(&format!(
+                "  ci graph: window [{}, {}], {} vertices, {} edges\n",
+                ci.d1,
+                ci.d2,
+                ci.graph.n(),
+                ci.graph.count_edges()
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
+/// Borrowed view over a name-table section: `&str` by dense id, zero-copy.
+#[derive(Clone, Copy)]
+pub struct NamesView<'a> {
+    count: u32,
+    ends: &'a [u8],
+    bytes: &'a [u8],
+}
+
+impl<'a> NamesView<'a> {
+    fn parse(section: &'a [u8]) -> Result<Self, StoreError> {
+        let mut pos = 0;
+        let count = varint::read_u32(section, &mut pos)?;
+        let total = varint::read_u64(section, &mut pos)?;
+        let ends_len = (count as usize)
+            .checked_mul(4)
+            .ok_or_else(|| StoreError::corrupt("name table end-offsets overflow"))?;
+        let need = pos as u64 + ends_len as u64 + total;
+        if (section.len() as u64) < need {
+            return Err(StoreError::Truncated {
+                what: "name table",
+                need,
+                have: section.len() as u64,
+            });
+        }
+        if section.len() as u64 != need {
+            return Err(StoreError::corrupt("name table has trailing bytes"));
+        }
+        let ends = &section[pos..pos + ends_len];
+        let bytes = &section[pos + ends_len..];
+        Ok(NamesView { count, ends, bytes })
+    }
+
+    fn end(&self, i: u32) -> usize {
+        if i == 0 {
+            return 0;
+        }
+        let at = (i as usize - 1) * 4;
+        u32::from_le_bytes(self.ends[at..at + 4].try_into().expect("4-byte slot")) as usize
+    }
+
+    fn validate(&self) -> Result<(), StoreError> {
+        let mut prev = 0usize;
+        for i in 0..self.count {
+            let end = self.end(i + 1);
+            if end < prev || end > self.bytes.len() {
+                return Err(StoreError::corrupt(format!(
+                    "name {i} end offset out of order"
+                )));
+            }
+            std::str::from_utf8(&self.bytes[prev..end])
+                .map_err(|_| StoreError::corrupt(format!("name {i} is not valid UTF-8")))?;
+            prev = end;
+        }
+        if prev != self.bytes.len() {
+            return Err(StoreError::corrupt(
+                "name bytes extend past the last offset",
+            ));
+        }
+        // The table must be a bijection: re-interning it downstream has to
+        // reproduce the dense ids exactly, which duplicates would break.
+        let mut sorted: Vec<&str> = self.iter().collect();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(StoreError::corrupt(format!("duplicate name {:?}", w[0])));
+        }
+        Ok(())
+    }
+
+    /// Number of names.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The name for dense id `i`. Panics on out-of-range ids (ids come from
+    /// the same validated snapshot, so a violation is a caller bug).
+    pub fn get(&self, i: u32) -> &'a str {
+        assert!(i < self.count, "name id {i} out of range ({})", self.count);
+        let (lo, hi) = (self.end(i), self.end(i + 1));
+        std::str::from_utf8(&self.bytes[lo..hi]).expect("validated at open")
+    }
+
+    /// All names in dense-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a str> + '_ {
+        (0..self.count).map(move |i| self.get(i))
+    }
+
+    /// Linear-scan lookup of `name` → dense id. O(n); fine for resolving a
+    /// handful of exclusion names without materializing an interner.
+    pub fn find(&self, name: &str) -> Option<u32> {
+        (0..self.count).find(|&i| self.get(i) == name)
+    }
+}
+
+/// Borrowed view over the timestamp-sorted event columns.
+#[derive(Clone, Copy)]
+pub struct EventsView<'a> {
+    n: u64,
+    ts: &'a [u8],
+    authors: &'a [u8],
+    pages: &'a [u8],
+}
+
+impl<'a> EventsView<'a> {
+    fn parse(section: &'a [u8]) -> Result<Self, StoreError> {
+        let mut pos = 0;
+        let n = varint::read_u64(section, &mut pos)?;
+        let mut cols = [&section[0..0]; 3];
+        for col in cols.iter_mut() {
+            let len = varint::read_u64(section, &mut pos)?;
+            let len = usize::try_from(len)
+                .map_err(|_| StoreError::corrupt("event column length overflows"))?;
+            let end = pos
+                .checked_add(len)
+                .ok_or_else(|| StoreError::corrupt("event column range overflows"))?;
+            if end > section.len() {
+                return Err(StoreError::Truncated {
+                    what: "event column",
+                    need: end as u64,
+                    have: section.len() as u64,
+                });
+            }
+            *col = &section[pos..end];
+            pos = end;
+        }
+        if pos != section.len() {
+            return Err(StoreError::corrupt("EVENTS has trailing bytes"));
+        }
+        Ok(EventsView {
+            n,
+            ts: cols[0],
+            authors: cols[1],
+            pages: cols[2],
+        })
+    }
+
+    fn validate(&self, meta: &SnapshotMeta) -> Result<(), StoreError> {
+        let mut count = 0u64;
+        let mut last_ts = 0i64;
+        for ev in self.try_iter() {
+            let (a, p, ts) = ev?;
+            if a >= meta.n_authors {
+                return Err(StoreError::corrupt(format!(
+                    "event {count} author id {a} >= {}",
+                    meta.n_authors
+                )));
+            }
+            if p >= meta.n_pages {
+                return Err(StoreError::corrupt(format!(
+                    "event {count} page id {p} >= {}",
+                    meta.n_pages
+                )));
+            }
+            if count == 0 && ts != meta.min_ts {
+                return Err(StoreError::corrupt("first timestamp disagrees with META"));
+            }
+            last_ts = ts;
+            count += 1;
+        }
+        if count != self.n {
+            return Err(StoreError::corrupt(format!(
+                "EVENTS decodes {count} events, header declares {}",
+                self.n
+            )));
+        }
+        if count > 0 && last_ts != meta.max_ts {
+            return Err(StoreError::corrupt("last timestamp disagrees with META"));
+        }
+        Ok(())
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn try_iter(&self) -> impl Iterator<Item = Result<(u32, u32, i64), StoreError>> + 'a {
+        let (ts, authors, pages, n) = (self.ts, self.authors, self.pages, self.n);
+        let mut ts_pos = 0usize;
+        let mut a_pos = 0usize;
+        let mut p_pos = 0usize;
+        let mut prev_ts = 0i64;
+        (0..n).map(move |i| {
+            let t = if i == 0 {
+                varint::read_i64(ts, &mut ts_pos)?
+            } else {
+                let delta = varint::read_u64(ts, &mut ts_pos)?;
+                let delta = i64::try_from(delta)
+                    .map_err(|_| StoreError::corrupt("timestamp delta overflows"))?;
+                prev_ts
+                    .checked_add(delta)
+                    .ok_or_else(|| StoreError::corrupt("timestamp overflows i64"))?
+            };
+            prev_ts = t;
+            let a = varint::read_u32(authors, &mut a_pos)?;
+            let p = varint::read_u32(pages, &mut p_pos)?;
+            Ok((a, p, t))
+        })
+    }
+
+    /// Decode the columns in timestamp order as `(author, page, ts)`.
+    /// Infallible: the sweep at open proved every row decodes.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, i64)> + 'a {
+        self.try_iter().map_while(Result::ok)
+    }
+}
+
+/// Borrowed view over the optional projected CI-graph section.
+pub struct CiView<'a> {
+    /// Lower window offset the projection used.
+    pub d1: i64,
+    /// Upper window offset.
+    pub d2: i64,
+    /// The compressed weighted CI adjacency.
+    pub graph: CsrView<'a>,
+    page_counts: &'a [u8],
+}
+
+impl<'a> CiView<'a> {
+    fn parse(section: &'a [u8]) -> Result<Self, StoreError> {
+        let mut pos = 0;
+        let d1 = varint::read_i64(section, &mut pos)?;
+        let d2 = varint::read_i64(section, &mut pos)?;
+        let pc_len = varint::read_u64(section, &mut pos)?;
+        let pc_len = usize::try_from(pc_len)
+            .map_err(|_| StoreError::corrupt("page_counts length overflows"))?;
+        let end = pos
+            .checked_add(pc_len)
+            .ok_or_else(|| StoreError::corrupt("page_counts range overflows"))?;
+        if end > section.len() {
+            return Err(StoreError::Truncated {
+                what: "ci page_counts",
+                need: end as u64,
+                have: section.len() as u64,
+            });
+        }
+        let page_counts = &section[pos..end];
+        let graph = CsrView::parse(&section[end..])?;
+        Ok(CiView {
+            d1,
+            d2,
+            graph,
+            page_counts,
+        })
+    }
+
+    fn validate(&self) -> Result<(), StoreError> {
+        self.graph.validate(self.graph.n())?;
+        let mut pos = 0;
+        for _ in 0..self.graph.n() {
+            varint::read_u64(self.page_counts, &mut pos)?;
+        }
+        if pos != self.page_counts.len() {
+            return Err(StoreError::corrupt("page_counts has trailing bytes"));
+        }
+        Ok(())
+    }
+
+    /// Decode the `P'` per-author page counts.
+    pub fn page_counts(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.graph.n() as usize);
+        let mut pos = 0;
+        for _ in 0..self.graph.n() {
+            out.push(varint::read_u64(self.page_counts, &mut pos).unwrap_or(0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coordination_graph::CsrGraph;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.authors(["alice", "bob", "carol"].into_iter());
+        w.pages(["t3_a", "t3_b"].into_iter());
+        w.events(&[(0, 0, 100), (1, 0, 100), (2, 1, 101), (0, 1, 105)])
+            .unwrap();
+        let ci = CsrGraph::from_edges(3, vec![(0, 1, 2), (1, 2, 1)]);
+        w.ci_graph(-60, 60, &[2, 1, 1], &ci).unwrap();
+        w.to_bytes().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snap = Snapshot::from_bytes(sample()).unwrap();
+        let m = snap.meta();
+        assert_eq!((m.n_authors, m.n_pages, m.n_events), (3, 2, 4));
+        assert_eq!((m.min_ts, m.max_ts), (100, 105));
+        assert_eq!(snap.author_names().get(1), "bob");
+        assert_eq!(
+            snap.page_names().iter().collect::<Vec<_>>(),
+            vec!["t3_a", "t3_b"]
+        );
+        assert_eq!(snap.author_names().find("carol"), Some(2));
+        assert_eq!(snap.author_names().find("mallory"), None);
+        let evs: Vec<_> = snap.events().iter().collect();
+        assert_eq!(
+            evs,
+            vec![(0, 0, 100), (1, 0, 100), (2, 1, 101), (0, 1, 105)]
+        );
+        let ap = snap.author_pages();
+        assert_eq!(
+            ap.neighbors(0).map(|(p, _)| p).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(ap.neighbors(2).map(|(p, _)| p).collect::<Vec<_>>(), vec![1]);
+        let ci = snap.ci_graph().unwrap();
+        assert_eq!((ci.d1, ci.d2), (-60, 60));
+        assert_eq!(ci.page_counts(), vec![2, 1, 1]);
+        assert_eq!(
+            ci.graph.neighbors(1).collect::<Vec<_>>(),
+            vec![(0, 2), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn unsorted_or_out_of_range_events_are_writer_errors() {
+        let mut w = SnapshotWriter::new();
+        w.authors(["a"].into_iter());
+        w.pages(["p"].into_iter());
+        assert!(matches!(
+            w.events(&[(0, 0, 10), (0, 0, 5)]),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            w.events(&[(1, 0, 10)]),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            w.events(&[(0, 7, 10)]),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_future_version_are_typed() {
+        let mut bytes = sample();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(StoreError::BadMagic { .. })
+        ));
+
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        match Snapshot::from_bytes(bytes) {
+            Err(StoreError::UnsupportedVersion { found, supported }) => {
+                assert_eq!((found, supported), (99, VERSION));
+            }
+            Err(other) => panic!("expected UnsupportedVersion, got {other:?}"),
+            Ok(_) => panic!("future version must not open"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::from_bytes(bytes[..cut].to_vec()).is_err(),
+                "prefix of {cut} bytes must not open"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_catches_section_corruption() {
+        let good = sample();
+        // Flip a byte in the section payload region (past the directory).
+        let dir_end = 16 + 6 * 28;
+        let mut bytes = good.clone();
+        bytes[dir_end + 3] ^= 0x40;
+        assert!(Snapshot::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn write_to_then_open_maps_the_file() {
+        let path = std::env::temp_dir().join(format!("store-snap-{}.snap", std::process::id()));
+        let mut w = SnapshotWriter::new();
+        w.authors(["a", "b"].into_iter());
+        w.pages(["p"].into_iter());
+        w.events(&[(0, 0, 1), (1, 0, 2)]).unwrap();
+        w.write_to(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.meta().n_events, 2);
+        assert!(snap.is_mapped());
+        drop(snap);
+        std::fs::remove_file(&path).ok();
+    }
+}

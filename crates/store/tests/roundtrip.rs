@@ -1,0 +1,157 @@
+//! Property suite for the snapshot container: write → open is lossless
+//! (names keep their dense ids, events come back exactly), and arbitrarily
+//! damaged bytes — bit flips, truncations, forged headers — always surface
+//! as typed [`StoreError`]s, never panics.
+
+use coordination_store::{Snapshot, SnapshotWriter, StoreError, MAGIC, VERSION};
+use proptest::prelude::*;
+
+/// Unique name tables with unicode and awkward-but-legal content; the index
+/// prefix forces uniqueness, the generated suffix exercises the encoding.
+fn names(max: usize, tag: &'static str) -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-zA-Z0-9_αβγ網戸 .\\-]{0,10}", 1..max).prop_map(move |suffixes| {
+        suffixes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{tag}{i}-{s}"))
+            .collect()
+    })
+}
+
+#[derive(Debug, Clone)]
+struct Input {
+    authors: Vec<String>,
+    pages: Vec<String>,
+    events: Vec<(u32, u32, i64)>,
+}
+
+fn inputs() -> impl Strategy<Value = Input> {
+    (names(16, "a"), names(12, "p")).prop_flat_map(|(authors, pages)| {
+        let (na, np) = (authors.len() as u32, pages.len() as u32);
+        prop::collection::vec((0..na, 0..np, -1_000_000i64..1_000_000), 0..200).prop_map(
+            move |mut events| {
+                events.sort_by_key(|e| e.2); // writer contract: ts-sorted
+                Input {
+                    authors: authors.clone(),
+                    pages: pages.clone(),
+                    events,
+                }
+            },
+        )
+    })
+}
+
+fn write(input: &Input) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.authors(input.authors.iter().map(String::as_str));
+    w.pages(input.pages.iter().map(String::as_str));
+    w.events(&input.events).expect("sorted in-range events");
+    w.to_bytes().expect("serialize")
+}
+
+/// Whatever `open` accepted must be fully traversable without panicking:
+/// every accessor the downstream stages use, end to end.
+fn sweep(snap: &Snapshot) {
+    let m = snap.meta().clone();
+    assert_eq!(snap.author_names().len(), m.n_authors);
+    assert_eq!(snap.page_names().len(), m.n_pages);
+    let mut count = 0u64;
+    for (a, p, _) in snap.events().iter() {
+        assert!(a < m.n_authors && p < m.n_pages);
+        count += 1;
+    }
+    assert_eq!(count, m.n_events);
+    for name in snap.author_names().iter().chain(snap.page_names().iter()) {
+        std::hint::black_box(name.len());
+    }
+    if let Some(ci) = snap.ci_graph() {
+        for u in 0..ci.graph.n() {
+            for (v, w) in ci.graph.neighbors(u) {
+                std::hint::black_box((v, w));
+            }
+        }
+    }
+    std::hint::black_box(snap.describe());
+}
+
+proptest! {
+    #[test]
+    fn snapshot_roundtrip_is_lossless(input in inputs()) {
+        let bytes = write(&input);
+        let snap = Snapshot::from_bytes(bytes).expect("fresh snapshot opens");
+
+        // interner-id stability: name i comes back as name i
+        prop_assert_eq!(snap.author_names().len() as usize, input.authors.len());
+        for (i, want) in input.authors.iter().enumerate() {
+            prop_assert_eq!(snap.author_names().get(i as u32), want.as_str());
+        }
+        for (i, want) in input.pages.iter().enumerate() {
+            prop_assert_eq!(snap.page_names().get(i as u32), want.as_str());
+        }
+        let got: Vec<(u32, u32, i64)> = snap.events().iter().collect();
+        prop_assert_eq!(got, input.events);
+        sweep(&snap);
+    }
+
+    #[test]
+    fn bit_flips_never_panic(input in inputs(), byte in 0usize..4096, bit in 0u8..8) {
+        let mut bytes = write(&input);
+        let idx = byte % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // Damage must either be rejected with a typed error or (if it landed
+        // somewhere genuinely unchecked) leave every accessor panic-free.
+        if let Ok(snap) = Snapshot::from_bytes(bytes) {
+            sweep(&snap);
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic(input in inputs(), keep in 0usize..4096) {
+        let bytes = write(&input);
+        let keep = keep % (bytes.len() + 1);
+        match Snapshot::from_bytes(bytes[..keep].to_vec()) {
+            // only the untruncated prefix may open; anything shorter must
+            // be caught by the bounds/checksum validation
+            Ok(snap) => {
+                prop_assert_eq!(keep, bytes.len());
+                sweep(&snap);
+            }
+            Err(e) => {
+                std::hint::black_box(&e);
+            }
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let mut w = SnapshotWriter::new();
+    w.authors(["a"].into_iter());
+    w.pages(["p"].into_iter());
+    w.events(&[(0, 0, 1)]).unwrap();
+    let mut bytes = w.to_bytes().unwrap();
+    bytes[..8].copy_from_slice(b"NOTASNAP");
+    match Snapshot::from_bytes(bytes) {
+        Err(StoreError::BadMagic { found }) => assert_eq!(&found, b"NOTASNAP"),
+        Err(other) => panic!("expected BadMagic, got {other}"),
+        Ok(_) => panic!("forged magic must not open"),
+    }
+}
+
+#[test]
+fn future_version_is_typed() {
+    let mut w = SnapshotWriter::new();
+    w.authors(["a"].into_iter());
+    w.pages(["p"].into_iter());
+    w.events(&[(0, 0, 1)]).unwrap();
+    let mut bytes = w.to_bytes().unwrap();
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&(VERSION + 7).to_le_bytes());
+    match Snapshot::from_bytes(bytes) {
+        Err(StoreError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, VERSION + 7);
+            assert_eq!(supported, VERSION);
+        }
+        Err(other) => panic!("expected UnsupportedVersion, got {other}"),
+        Ok(_) => panic!("future version must not open"),
+    }
+}

@@ -190,6 +190,18 @@ impl StreamProjector {
         p
     }
 
+    /// [`StreamProjector::warm_start`] straight from an opened on-disk
+    /// snapshot: the BTM streams out of the mapped event columns
+    /// ([`coordination_core::snapshot::btm_from_snapshot`]), so bootstrapping
+    /// a live projector from a historical archive never materializes the
+    /// archive's dataset — only the projector's own state is resident.
+    pub fn warm_start_snapshot(window: Window, snap: &coordination_core::store::Snapshot) -> Self {
+        Self::warm_start(
+            window,
+            &coordination_core::snapshot::btm_from_snapshot(snap),
+        )
+    }
+
     /// The projection window.
     pub fn window(&self) -> Window {
         self.window
@@ -630,6 +642,48 @@ mod tests {
         let inc = drive(&events, window);
         assert_eq!(warm.n_edges(), inc.n_edges());
         assert_eq!(warm.now(), inc.now());
+    }
+
+    #[test]
+    fn warm_start_snapshot_matches_warm_start() {
+        let events = vec![
+            (0u32, 0u32, 100i64),
+            (1, 0, 100),
+            (2, 0, 160),
+            (3, 0, 161),
+            (0, 1, 500),
+            (2, 1, 540),
+            (0, 1, 560),
+            (4, 2, 900),
+        ];
+        let window = Window::new(0, 60);
+        let evs: Vec<Event> = events
+            .iter()
+            .map(|&(a, g, t)| Event::new(AuthorId(a), PageId(g), t))
+            .collect();
+        let btm = Btm::from_events(5, 3, &evs);
+
+        let mut w = coordination_core::store::SnapshotWriter::new();
+        let authors: Vec<String> = (0..5).map(|i| format!("a{i}")).collect();
+        let pages: Vec<String> = (0..3).map(|i| format!("p{i}")).collect();
+        w.authors(authors.iter().map(String::as_str));
+        w.pages(pages.iter().map(String::as_str));
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(_, _, t)| t);
+        w.events(&sorted).unwrap();
+        let disk = coordination_core::store::Snapshot::from_bytes(w.to_bytes().unwrap()).unwrap();
+
+        let from_btm = StreamProjector::warm_start(window, &btm);
+        let from_snap = StreamProjector::warm_start_snapshot(window, &disk);
+        assert_eq!(from_btm.n_edges(), from_snap.n_edges());
+        assert_eq!(from_btm.now(), from_snap.now());
+        let a = from_btm.snapshot(5);
+        let b = from_snap.snapshot(5);
+        for (x, y, w) in a.edges() {
+            assert_eq!(b.weight(AuthorId(x), AuthorId(y)), w, "edge ({x},{y})");
+        }
+        assert_eq!(a.n_edges(), b.n_edges());
+        assert_eq!(a.page_counts(), b.page_counts());
     }
 
     #[test]

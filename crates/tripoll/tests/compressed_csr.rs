@@ -1,0 +1,77 @@
+//! Surveying directly over the snapshot layer's block-compressed CSR
+//! ([`coordination_store::CsrView`]) must agree with surveying the resident
+//! [`WeightedGraph`] — the view implements [`GraphRef`], so
+//! [`OrientedGraph::from_ref`] consumes either without a decode step.
+
+use coordination_store::csr::encode_graph;
+use coordination_store::CsrView;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tripoll::survey::survey;
+use tripoll::{GraphRef, OrientedGraph, SurveyConfig, WeightedGraph};
+
+fn random_graph(seed: u64, n: u32, m: usize) -> WeightedGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    let mut seen = std::collections::HashSet::new();
+    while edges.len() < m {
+        let x = rng.gen_range(0..n);
+        let y = rng.gen_range(0..n);
+        if x == y {
+            continue;
+        }
+        let (a, b) = (x.min(y), x.max(y));
+        if seen.insert((a, b)) {
+            edges.push((a, b, rng.gen_range(1..40u64)));
+        }
+    }
+    WeightedGraph::from_edges(n, edges)
+}
+
+fn assert_same_survey(g: &WeightedGraph, cfg: &SurveyConfig) {
+    let mut blob = Vec::new();
+    encode_graph(g, &mut blob);
+    let view = CsrView::parse(&blob).expect("fresh encoding parses");
+    view.validate(g.n_vertices())
+        .expect("fresh encoding validates");
+    assert_eq!(view.n(), g.n_vertices());
+    assert_eq!(view.count_edges(), g.count_edges());
+
+    let resident = survey(&OrientedGraph::from_graph(g), cfg, None);
+    let mapped = survey(&OrientedGraph::from_ref(&view), cfg, None);
+
+    assert_eq!(resident.total_examined, mapped.total_examined);
+    assert_eq!(resident.len(), mapped.len());
+    let key = |t: &tripoll::SurveyedTriangle| (t.triangle.vertices(), t.min_weight);
+    let mut a: Vec<_> = resident.triangles.iter().map(key).collect();
+    let mut b: Vec<_> = mapped.triangles.iter().map(key).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn survey_over_compressed_csr_matches_resident() {
+    for (seed, n, m) in [(1u64, 40u32, 220usize), (2, 150, 1600), (3, 9, 30)] {
+        let g = random_graph(seed, n, m);
+        for min_w in [0u64, 5, 20] {
+            assert_same_survey(&g, &SurveyConfig::with_min_weight(min_w));
+        }
+    }
+}
+
+#[test]
+fn neighbor_blocks_roundtrip_against_resident_adjacency() {
+    // Degrees beyond one compressed block (128 entries) must decode exactly.
+    let g = random_graph(7, 600, 24_000);
+    let mut blob = Vec::new();
+    encode_graph(&g, &mut blob);
+    let view = CsrView::parse(&blob).unwrap();
+    for u in 0..g.n_vertices() {
+        let mut want: Vec<(u32, u64)> = g.neighbors_iter(u).collect();
+        let mut got: Vec<(u32, u64)> = view.neighbors_iter(u).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got, "vertex {u}");
+    }
+}

@@ -53,7 +53,7 @@ const STREAM_COUNTERS: &[&str] = &[
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine|stream|report-validate> [flags]\n\
+        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine|stream|snapshot|report-validate> [flags]\n\
          \n\
          generate  --preset jan2020|oct2016 [--scale F=0.3] --out FILE\n\
          stats     --input FILE\n\
@@ -66,13 +66,19 @@ fn usage() -> ExitCode {
          stream    --input FILE | --preset jan2020|oct2016 [--scale F=0.3]\n\
          \x20          [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--t-score F=0]\n\
          \x20          [--horizon S] [--checkpoint N] [--speedup F] [--snapshot-out GRAPH.tsv]\n\
+         snapshot write   --input FILE --out FILE.snap [--with-ci [--d1 S=0] [--d2 S=60]]\n\
+         snapshot inspect --snapshot FILE.snap\n\
          report-validate --report FILE [--kind batch|stream]\n\
          \n\
          `project` persists the expensive step-1 graph; `survey` re-queries it\n\
          at any cutoff without reprojecting. `stream` replays the input as a\n\
          live event stream and alerts on coordinated triplets mid-stream.\n\
-         `report-validate` checks a --report file for the documented schema,\n\
-         stage spans, and counters (exit 2 on any gap).\n\
+         `snapshot write` serializes an ingest to the columnar binary snapshot\n\
+         format; stats/survey/hunt/validate/groups/refine then accept\n\
+         --from-snapshot FILE.snap in place of --input and run over the\n\
+         memory-mapped columns (survey needs a --with-ci snapshot).\n\
+         `report-validate` checks a --report file for the documented schema\n\
+         version, stage spans, and counters (exit 2 on any gap).\n\
          Input is pushshift-style NDJSON.\n\
          \n\
          Global: --threads N runs the command inside an N-thread rayon pool\n\
@@ -159,7 +165,41 @@ fn report_skipped(stats: &IngestStats) {
     }
 }
 
+/// Open a snapshot file with the typed store errors rendered for the CLI.
+/// Corrupt, truncated, or future-versioned files land here as a clear
+/// message and exit code 2 — never a panic.
+fn open_snapshot(path: &str) -> Result<coordination::core::store::Snapshot, String> {
+    let snap = coordination::core::store::Snapshot::open(std::path::Path::new(path))
+        .map_err(|e| format!("open snapshot {path}: {e}"))?;
+    let m = snap.meta();
+    eprintln!(
+        "mapped {path}: {} comments, {} authors, {} pages{}",
+        m.n_events,
+        m.n_authors,
+        m.n_pages,
+        if snap.is_mapped() {
+            ""
+        } else {
+            " (read, not mmapped)"
+        }
+    );
+    Ok(snap)
+}
+
+/// Guard against mixing the resident and mapped input paths.
+fn reject_both_inputs(flags: &Flags) -> Result<(), String> {
+    if flags.has("from-snapshot") && flags.has("input") {
+        return Err("use exactly one of --input and --from-snapshot".to_string());
+    }
+    Ok(())
+}
+
 fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
+    reject_both_inputs(flags)?;
+    if let Some(path) = flags.get("from-snapshot") {
+        let snap = open_snapshot(path)?;
+        return Ok(coordination::core::snapshot::dataset_from_snapshot(&snap));
+    }
     let (buf, path) = read_input_bytes(flags)?;
     let ing = ingest::ingest_slice(&buf, &ingest_config(flags))
         .map_err(|e| format!("read {path}: {e}"))?;
@@ -214,14 +254,29 @@ fn run_pipeline(
     flags: &Flags,
     default_cutoff: u64,
 ) -> Result<(Dataset, coordination::core::pipeline::PipelineOutput), String> {
-    let ds = load_dataset(flags)?;
-    let out = Pipeline::new(PipelineConfig {
+    reject_both_inputs(flags)?;
+    let pipeline = Pipeline::new(PipelineConfig {
         window: window(flags)?,
         min_triangle_weight: flags.num("cutoff", default_cutoff)?,
         min_t_score: flags.num("t-score", 0.0)?,
         ..Default::default()
-    })
-    .run_dataset(&ds);
+    });
+    // Both paths produce identical output (events reach the BTM in a
+    // different order, which it is insensitive to); the snapshot path feeds
+    // the mapped columns straight into the BTM and only materializes the
+    // name tables, which downstream printing needs anyway.
+    let (ds, out) = if let Some(path) = flags.get("from-snapshot") {
+        let snap = open_snapshot(path)?;
+        let out = pipeline.run_snapshot(&snap);
+        (
+            coordination::core::snapshot::dataset_from_snapshot(&snap),
+            out,
+        )
+    } else {
+        let ds = load_dataset(flags)?;
+        let out = pipeline.run_dataset(&ds);
+        (ds, out)
+    };
     eprintln!(
         "projection: {} edges in {:.2?}; survey: {} triangles in {:.2?}; {} triplets validated in {:.2?}",
         out.stats.ci_edges,
@@ -293,7 +348,68 @@ fn cmd_project(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `survey --from-snapshot`: re-query an embedded, projected CI graph. The
+/// compressed adjacency is consumed in place — [`OrientedGraph::from_ref`]
+/// walks the block-decoded neighbor iterators straight off the mapping.
+fn survey_snapshot(flags: &Flags, path: &str) -> Result<(), String> {
+    let snap = open_snapshot(path)?;
+    let ci = snap.ci_graph().ok_or_else(|| {
+        format!("{path} has no embedded CI graph; write one with `snapshot write --with-ci`")
+    })?;
+    eprintln!(
+        "embedded CI graph: window ({}, {}), {} authors, {} edges",
+        ci.d1,
+        ci.d2,
+        ci.graph.n(),
+        coordination::core::GraphRef::count_edges(&ci.graph)
+    );
+    let cutoff: u64 = flags.num("cutoff", 10)?;
+    let min_t: f64 = flags.num("t-score", 0.0)?;
+    let top: Option<usize> = flags
+        .get("top")
+        .map(|v| v.parse().map_err(|_| "--top: bad value"))
+        .transpose()?;
+    let page_counts = ci.page_counts();
+    let oriented = coordination::tripoll::OrientedGraph::from_ref(&ci.graph);
+    let t0 = std::time::Instant::now();
+    let report = coordination::tripoll::survey::survey(
+        &oriented,
+        &coordination::tripoll::SurveyConfig {
+            min_edge_weight: cutoff,
+            min_t_score: min_t,
+            top_k: top,
+        },
+        Some(&page_counts),
+    );
+    eprintln!(
+        "surveyed {} triangles in {:.2?}; {} pass cutoff {cutoff}",
+        report.total_examined,
+        t0.elapsed(),
+        report.len()
+    );
+    let names = snap.author_names();
+    println!("a\tb\tc\tmin_w\tT");
+    for s in &report.triangles {
+        let [a, b, c] = s.triangle.vertices();
+        println!(
+            "{}\t{}\t{}\t{}\t{:.4}",
+            names.get(a),
+            names.get(b),
+            names.get(c),
+            s.min_weight,
+            s.t_score
+        );
+    }
+    Ok(())
+}
+
 fn cmd_survey(flags: &Flags) -> Result<(), String> {
+    if let Some(path) = flags.get("from-snapshot") {
+        if flags.has("graph") {
+            return Err("use exactly one of --graph and --from-snapshot".to_string());
+        }
+        return survey_snapshot(flags, path);
+    }
     let graph_path = flags.get("graph").ok_or("--graph is required")?;
     let file = std::fs::File::open(graph_path).map_err(|e| format!("open {graph_path}: {e}"))?;
     let ci = coordination::core::CiGraph::read_tsv(BufReader::new(file))?;
@@ -562,6 +678,48 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `snapshot write`: parallel NDJSON ingest straight into the columnar
+/// binary snapshot format. `--with-ci` also projects under the `--d1/--d2`
+/// window and embeds the compressed CI graph for `survey --from-snapshot`.
+fn cmd_snapshot_write(flags: &Flags) -> Result<(), String> {
+    let (buf, in_path) = read_input_bytes(flags)?;
+    let out = flags.get("out").ok_or("--out is required")?;
+    let project = if flags.has("with-ci") {
+        Some(window(flags)?)
+    } else {
+        None
+    };
+    let (summary, stats) = coordination::core::snapshot::ingest_to_snapshot(
+        &buf,
+        &ingest_config(flags),
+        project,
+        std::path::Path::new(out),
+    )
+    .map_err(|e| format!("snapshot {in_path} -> {out}: {e}"))?;
+    report_skipped(&stats);
+    eprintln!(
+        "wrote {out}: {} events, {} bytes{}",
+        summary.n_events,
+        summary.bytes,
+        if summary.with_ci {
+            ", CI graph embedded"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+/// `snapshot inspect`: validate and describe a snapshot file. A corrupt,
+/// truncated, or future-versioned file fails [`open_snapshot`] with a typed
+/// error message and exit code 2.
+fn cmd_snapshot_inspect(flags: &Flags) -> Result<(), String> {
+    let path = flags.get("snapshot").ok_or("--snapshot is required")?;
+    let snap = open_snapshot(path)?;
+    print!("{}", snap.describe());
+    Ok(())
+}
+
 fn cmd_report_validate(flags: &Flags) -> Result<(), String> {
     let path = flags.get("report").ok_or("--report is required")?;
     let kind = flags.get("kind").unwrap_or("batch");
@@ -591,6 +749,8 @@ fn dispatch(cmd: &str, flags: &Flags) -> Option<Result<(), String>> {
         "groups" => cmd_groups(flags),
         "refine" => cmd_refine(flags),
         "stream" => cmd_stream(flags),
+        "snapshot write" => cmd_snapshot_write(flags),
+        "snapshot inspect" => cmd_snapshot_inspect(flags),
         "report-validate" => cmd_report_validate(flags),
         _ => return None,
     })
@@ -604,6 +764,20 @@ fn main() -> ExitCode {
     if matches!(cmd.as_str(), "--help" | "-h" | "help") {
         return usage();
     }
+    // `snapshot` takes a subcommand before its flags; fold it into the
+    // dispatch key so everything downstream stays a flat match.
+    let (cmd, rest): (String, &[String]) = if cmd == "snapshot" {
+        match rest.split_first() {
+            Some((sub, more)) if !sub.starts_with("--") => (format!("snapshot {sub}"), more),
+            _ => {
+                eprintln!("snapshot needs a subcommand: write|inspect");
+                return usage();
+            }
+        }
+    } else {
+        (cmd.clone(), rest)
+    };
+    let cmd = cmd.as_str();
     let Some(flags) = Flags::parse(rest) else {
         return usage();
     };

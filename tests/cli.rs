@@ -205,6 +205,111 @@ fn project_then_survey_matches_direct_pipeline() {
 }
 
 #[test]
+fn snapshot_write_inspect_and_from_snapshot_paths() {
+    let dir = tmpdir("snapshot");
+    let input = generate_month(&dir);
+    let snap = dir.join("month.snap");
+    let status = bin()
+        .args(["snapshot", "write", "--input"])
+        .arg(&input)
+        .args(["--out"])
+        .arg(&snap)
+        .args(["--with-ci", "--d2", "60"])
+        .status()
+        .expect("run snapshot write");
+    assert!(status.success());
+    assert!(snap.exists());
+
+    let inspect = bin()
+        .args(["snapshot", "inspect", "--snapshot"])
+        .arg(&snap)
+        .output()
+        .expect("run snapshot inspect");
+    assert!(inspect.status.success());
+    let described = String::from_utf8_lossy(&inspect.stdout);
+    assert!(described.contains("snapshot v1"), "{described}");
+    assert!(described.contains("section CI_GRAPH"), "{described}");
+
+    // the acceptance bar: --from-snapshot output is byte-identical to the
+    // resident --input path
+    let resident = bin()
+        .args(["validate", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--cutoff", "25"])
+        .output()
+        .expect("run validate --input");
+    let mapped = bin()
+        .args(["validate", "--from-snapshot"])
+        .arg(&snap)
+        .args(["--d2", "60", "--cutoff", "25"])
+        .output()
+        .expect("run validate --from-snapshot");
+    assert!(resident.status.success() && mapped.status.success());
+    assert!(!resident.stdout.is_empty());
+    assert_eq!(resident.stdout, mapped.stdout, "paths diverged");
+
+    // survey over the embedded compressed CI graph agrees with validate's
+    // triangle count on the same window and cutoff
+    let surveyed = bin()
+        .args(["survey", "--from-snapshot"])
+        .arg(&snap)
+        .args(["--cutoff", "25"])
+        .output()
+        .expect("run survey --from-snapshot");
+    assert!(surveyed.status.success());
+    let survey_rows = String::from_utf8_lossy(&surveyed.stdout).lines().count() - 1;
+    let validate_rows = String::from_utf8_lossy(&resident.stdout).lines().count() - 1;
+    assert_eq!(survey_rows, validate_rows);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn snapshot_inspect_rejects_damaged_and_future_files() {
+    let dir = tmpdir("snapshot-bad");
+    let input = generate_month(&dir);
+    let snap = dir.join("month.snap");
+    assert!(bin()
+        .args(["snapshot", "write", "--input"])
+        .arg(&input)
+        .args(["--out"])
+        .arg(&snap)
+        .status()
+        .expect("run snapshot write")
+        .success());
+    let bytes = std::fs::read(&snap).expect("read snapshot");
+
+    // truncated
+    let trunc = dir.join("trunc.snap");
+    std::fs::write(&trunc, &bytes[..bytes.len() / 2]).unwrap();
+    // forged magic
+    let forged = dir.join("forged.snap");
+    let mut b = bytes.clone();
+    b[..8].copy_from_slice(b"NOTASNAP");
+    std::fs::write(&forged, &b).unwrap();
+    // future schema version
+    let future = dir.join("future.snap");
+    let mut b = bytes.clone();
+    b[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&future, &b).unwrap();
+
+    for (path, needle) in [
+        (&trunc, "truncated"),
+        (&forged, "bad magic"),
+        (&future, "unsupported snapshot schema version 99"),
+    ] {
+        let out = bin()
+            .args(["snapshot", "inspect", "--snapshot"])
+            .arg(path)
+            .output()
+            .expect("run snapshot inspect");
+        assert_eq!(out.status.code(), Some(2), "{}", path.display());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{}: {stderr}", path.display());
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let status = bin().arg("frobnicate").status().expect("run");
     assert_eq!(status.code(), Some(2));

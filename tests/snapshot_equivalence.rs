@@ -1,0 +1,74 @@
+//! Cross-crate equivalence: a generated month driven through the on-disk
+//! snapshot (`ingest → snapshot write → mmap open`) must be indistinguishable
+//! from the resident in-memory path at every consumer — batch pipeline,
+//! triangle survey over the embedded compressed CI graph, and the stream
+//! projector's warm start.
+
+use coordination::core::pipeline::{Pipeline, PipelineConfig};
+use coordination::core::records::write_ndjson;
+use coordination::core::snapshot::{ci_from_snapshot, dataset_from_snapshot, ingest_to_snapshot};
+use coordination::core::store::Snapshot;
+use coordination::core::{IngestConfig, Window};
+use coordination::redditgen::ScenarioConfig;
+use coordination::stream::StreamProjector;
+
+#[test]
+fn snapshot_path_is_equivalent_end_to_end() {
+    let scenario = ScenarioConfig::jan2020(0.05).build();
+    let mut ndjson = Vec::new();
+    write_ndjson(&mut ndjson, &scenario.records).expect("serialize scenario");
+
+    let path = std::env::temp_dir().join(format!("snap-equiv-{}.snap", std::process::id()));
+    let window = Window::zero_to_60s();
+    let (summary, stats) =
+        ingest_to_snapshot(&ndjson, &IngestConfig::default(), Some(window), &path)
+            .expect("ingest to snapshot");
+    assert_eq!(summary.n_events, stats.events);
+    assert!(summary.with_ci);
+
+    let snap = Snapshot::open(&path).expect("open snapshot");
+    let resident = coordination::core::ingest::ingest_slice(&ndjson, &IngestConfig::default())
+        .expect("resident ingest")
+        .dataset;
+
+    // batch pipeline: identical triplets, scores bit-for-bit
+    let pipeline = Pipeline::new(PipelineConfig {
+        window,
+        min_triangle_weight: 25,
+        ..Default::default()
+    });
+    let a = pipeline.run_dataset(&resident);
+    let b = pipeline.run_snapshot(&snap);
+    assert_eq!(a.stats.ci_edges, b.stats.ci_edges);
+    assert_eq!(a.triplets.len(), b.triplets.len());
+    assert!(!a.triplets.is_empty(), "scenario produced no triplets");
+    for (x, y) in a.triplets.iter().zip(&b.triplets) {
+        assert_eq!(x.authors, y.authors);
+        assert_eq!(x.t.to_bits(), y.t.to_bits());
+        assert_eq!(x.c.to_bits(), y.c.to_bits());
+    }
+
+    // the materialized dataset keeps ingest's dense ids
+    let back = dataset_from_snapshot(&snap);
+    assert_eq!(back.authors.len(), resident.authors.len());
+    for (id, name) in resident.authors.iter() {
+        assert_eq!(back.authors.get(name), Some(id));
+    }
+
+    // embedded CI graph round-trips the projection the writer ran, which
+    // applies the same bot exclusions as the pipeline — so it matches the
+    // pipeline's own step-1 graph exactly
+    let (w, ci) = ci_from_snapshot(&snap).expect("embedded CI graph");
+    assert_eq!(w, window);
+    assert_eq!(ci.n_edges(), a.ci.n_edges());
+    assert_eq!(ci.page_counts(), a.ci.page_counts());
+
+    // stream warm start from the mapped columns matches the resident BTM
+    let warm_resident = StreamProjector::warm_start(window, &resident.btm());
+    let warm_mapped = StreamProjector::warm_start_snapshot(window, &snap);
+    assert_eq!(warm_resident.n_edges(), warm_mapped.n_edges());
+    assert_eq!(warm_resident.now(), warm_mapped.now());
+
+    drop(snap);
+    std::fs::remove_file(&path).ok();
+}
