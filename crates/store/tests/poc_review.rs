@@ -1,0 +1,94 @@
+//! Review PoC: crafted AUTHOR_NAMES section whose declared total byte length
+//! wraps the `need` computation in NamesView::parse, bypassing the bounds
+//! check and panicking on the ends-table slice.
+
+use coordination_store::snapshot::fnv1a;
+use coordination_store::{Snapshot, MAGIC, VERSION};
+
+fn varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[test]
+fn crafted_name_table_should_not_panic() {
+    // AUTHOR_NAMES: count = 2^30 (ends_len = 2^32), total chosen so that
+    // pos + ends_len + total wraps mod 2^64 to exactly section.len().
+    let count: u64 = 1 << 30;
+    let ends_len: u64 = count * 4;
+    let mut names = Vec::new();
+    varint(&mut names, count);
+    let header_guess = names.len() + 10; // total will encode as 10 bytes
+    let section_len: u64 = (header_guess + 64) as u64;
+    let total = section_len
+        .wrapping_sub(header_guess as u64)
+        .wrapping_sub(ends_len);
+    varint(&mut names, total);
+    assert_eq!(names.len(), header_guess, "varint sizing assumption");
+    names.resize(section_len as usize, 0);
+
+    // META: n_authors irrelevant (cross-check happens after the panic site).
+    let mut meta = Vec::new();
+    varint(&mut meta, 1); // n_authors
+    varint(&mut meta, 1); // n_pages
+    varint(&mut meta, 0); // n_events
+    meta.push(0); // min_ts zigzag(0)
+    meta.push(0); // max_ts
+
+    // PAGE_NAMES: one name "p".
+    let mut pages = Vec::new();
+    varint(&mut pages, 1);
+    varint(&mut pages, 1);
+    pages.extend_from_slice(&1u32.to_le_bytes());
+    pages.push(b'p');
+
+    // EVENTS: empty.
+    let mut events = Vec::new();
+    varint(&mut events, 0);
+    for _ in 0..3 {
+        varint(&mut events, 0);
+    }
+
+    // AUTHOR_PAGES: unweighted CSR, 1 vertex, empty row.
+    let mut ap = Vec::new();
+    varint(&mut ap, 1); // n
+    varint(&mut ap, 0); // m
+    ap.push(0); // unweighted
+    ap.extend_from_slice(&0u64.to_le_bytes());
+    ap.extend_from_slice(&1u64.to_le_bytes());
+    varint(&mut ap, 0); // degree 0
+
+    let sections: Vec<(u32, &[u8])> = vec![
+        (1, &meta),
+        (2, &names),
+        (3, &pages),
+        (4, &events),
+        (5, &ap),
+    ];
+    let header_len = 16 + sections.len() * 28;
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut offset = header_len as u64;
+    for (k, s) in &sections {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(s).to_le_bytes());
+        offset += s.len() as u64;
+    }
+    for (_, s) in &sections {
+        out.extend_from_slice(s);
+    }
+
+    // Contract: corrupt input is a typed error, never a panic.
+    assert!(Snapshot::from_bytes(out).is_err());
+}
