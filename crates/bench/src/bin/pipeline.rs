@@ -1,8 +1,9 @@
 //! End-to-end pipeline bench harness: per-stage wall times (ingest,
-//! projection, survey, validation), throughput and peak RSS, plus the kernel
-//! ablations (parallel vs serial ingest, zero-copy scanner vs serde, flat vs
-//! hashed projection, adaptive vs linear triple intersection), written to
-//! `BENCH_pipeline.json`.
+//! projection, survey, validation), throughput and peak RSS, the
+//! rank-sharded distributed pipeline at 1/2/4 ranks against the resident
+//! path, plus the kernel ablations (parallel vs serial ingest, zero-copy
+//! scanner vs serde, flat vs hashed projection, adaptive vs linear triple
+//! intersection), written to `BENCH_pipeline.json`.
 //!
 //! ```text
 //! cargo run --release -p bench --bin pipeline -- [--smoke] [--threads N] [--out PATH] [--check BASELINE]
@@ -23,6 +24,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bench::{jan2020_small, oct2016_small, run_figures_config};
+use coordination_core::dist_pipeline::DistPipeline;
 use coordination_core::hypergraph::{triple_intersection_count, triple_intersection_count_linear};
 use coordination_core::ids::{AuthorId, Event, PageId};
 use coordination_core::ingest::{self, IngestConfig};
@@ -151,6 +153,61 @@ fn bench_scenario(
     }
     std::fs::remove_file(&snap_path).ok();
     best.expect("reps >= 1")
+}
+
+/// The rank-sharded end-to-end pipeline at 1/2/4 ygm ranks on the same
+/// scenario and figure config the resident rows use, so the report shows the
+/// distributed path's scaling next to the rayon numbers. Each row is the
+/// whole run (rank-sharded ingest-from-dataset through global validation),
+/// best of `reps`; a resident row timed the same way anchors the comparison.
+/// Every distributed run is checked against the resident output — the bench
+/// doubles as an equivalence smoke test at figure scale.
+fn bench_distributed(reps: usize) -> ScenarioReport {
+    let (_, ds) = jan2020_small();
+    let config = PipelineConfig {
+        window: Window::zero_to_60s(),
+        min_triangle_weight: 10,
+        ..Default::default()
+    };
+    let resident = Pipeline::new(config.clone()).run_dataset(ds);
+    let comments = resident.stats.comments_reviewed;
+    let mut stages = Vec::new();
+    let mut resident_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(Pipeline::new(config.clone()).run_dataset(ds));
+        resident_secs = resident_secs.min(t.elapsed().as_secs_f64());
+    }
+    stages.push(StageRow {
+        stage: "resident",
+        seconds: resident_secs,
+        throughput: comments as f64 / resident_secs.max(1e-9),
+    });
+    for (nranks, stage) in [(1usize, "ranks_1"), (2, "ranks_2"), (4, "ranks_4")] {
+        let dist = DistPipeline::new(config.clone(), nranks);
+        let out = dist.run_dataset(ds); // warm-up + equivalence guard
+        assert_eq!(
+            out.stats.triplets_validated, resident.stats.triplets_validated,
+            "distributed path diverged at {nranks} ranks"
+        );
+        assert_eq!(out.survey.triangles.len(), resident.survey.triangles.len());
+        let mut secs = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(dist.run_dataset(ds));
+            secs = secs.min(t.elapsed().as_secs_f64());
+        }
+        stages.push(StageRow {
+            stage,
+            seconds: secs,
+            throughput: comments as f64 / secs.max(1e-9),
+        });
+    }
+    ScenarioReport {
+        name: "distributed_pipeline",
+        comments,
+        stages,
+    }
 }
 
 /// The pipeline configuration both RSS probes run, mirroring the CLI's
@@ -677,6 +734,7 @@ fn run(smoke: bool, threads: usize, out_path: &str, baseline: Option<&str>) {
             &ingest_cfg,
             reps,
         ),
+        bench_distributed(reps),
     ];
     for s in &scenarios {
         println!("  {} ({} comments):", s.name, s.comments);

@@ -1,0 +1,744 @@
+//! The rank-sharded end-to-end pipeline: ingest → projection → survey →
+//! validation entirely on [`ygm`] ranks.
+//!
+//! [`Pipeline`](crate::Pipeline) runs the three paper steps on a rayon pool;
+//! this module runs the *same program* in the SPMD communication structure
+//! the paper's MPI deployment used, with every stage owner-partitioned and
+//! every hand-off an explicit shuffle:
+//!
+//! 1. **Ingest** — each rank parses its line-range of the NDJSON buffer
+//!    (or its block of a [`Dataset`], or its slice of one mmapped snapshot
+//!    shared read-only by all ranks). For text input, name tables are
+//!    all-gathered and every rank replays the chunk-order interner merge, so
+//!    the dense ids are exactly the ids the serial reader would assign (the
+//!    [`crate::ingest`] invariant, here with chunks ≡ ranks).
+//! 2. **Exchange** — kept events are shuffled twice through batched
+//!    aggregators ([`ygm::Aggregator::push_keyed`]): `(ts, author)` to the
+//!    *page* owner (projection input) and `page` to the *author* owner
+//!    (validation input). Owners sort their lists after the barrier, which is
+//!    what makes the shuffle order irrelevant — the same order-invariance
+//!    that makes [`crate::btm::Btm`] chunk-count-independent.
+//! 3. **Projection** — page owners run the flat pair kernel
+//!    ([`crate::project::page_pairs_flat`]) over their neighborhoods and
+//!    shuffle each packed pair occurrence to its *edge owner*
+//!    (`owner_of(packed)`), which sorts and run-length-counts its disjoint
+//!    slice of the edge set. Per-author `P'` contributions reduce to a
+//!    replicated dense vector via [`ygm::reduce::all_reduce_hist`].
+//! 4. **Survey** — the ghost-boundary exchange is a global post-threshold
+//!    degree reduction: every rank learns the degree of every vertex (the
+//!    ghosts of its partition included) and orients its edges by the same
+//!    `(degree, id)` rule as [`tripoll::OrientedGraph`]. Oriented edges
+//!    shuffle to their source's owner, build a
+//!    [`coordination_graph::LocalCsr`] partition, and
+//!    [`tripoll::survey_stage`] closes wedges exactly as on the cluster.
+//! 5. **Validation** — the rank that kept a triangle fetches the three
+//!    authors' page lists from the author-owner shards (quiescent
+//!    [`global_get`](ygm::container::DistMultimap::global_get) after the
+//!    survey barrier — reads only, no message chains) and computes the
+//!    metrics through [`crate::hypergraph::validate_triangle_parts`], the
+//!    same floating-point expressions the resident path evaluates.
+//!
+//! **Equivalence contract** (pinned by `tests/distributed_equivalence.rs`
+//! and a CLI byte-identity test): for every input and every rank count,
+//! [`DistPipeline`] produces the same [`PipelineOutput`] as
+//! [`Pipeline`](crate::Pipeline) — same CI graph, same survey report
+//! (including the examined count, log-histogram and bit-identical `T`
+//! scores), same validated triplets in the same order. Only the stage
+//! timings differ.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coordination_graph::LocalCsr;
+use tripoll::survey::{t_score, SurveyReport, SurveyedTriangle};
+use tripoll::{survey_stage, DistAdjacency, Triangle};
+use ygm::container::{DistBag, DistMultimap};
+use ygm::reduce::all_reduce_hist;
+use ygm::{Aggregator, RankCtx, World};
+
+use crate::cigraph::CiGraph;
+use crate::hypergraph::validate_triangle_parts;
+use crate::ids::{AuthorId, Event, Interner, PageId, Timestamp};
+use crate::ingest::{parse_chunk, split_chunks};
+use crate::metrics::TripletMetrics;
+use crate::pipeline::{PipelineConfig, PipelineOutput, RunStats, StageTimings};
+use crate::project::{page_pairs_flat, run_length_pairs, sort_packed, unpack_pair};
+use crate::records::{Dataset, ReadError};
+
+/// Flush threshold for every shuffle aggregator — the same order of
+/// magnitude real YGM uses for its send buffers.
+const AGG_THRESHOLD: usize = 1024;
+
+/// `log2`-bucket histograms pad to the full `u64` range so
+/// [`all_reduce_hist`] sees equal lengths on every rank; trailing zeros are
+/// trimmed afterwards, reproducing the resident survey's resize-on-write
+/// length exactly (the resident histogram's last element is always nonzero).
+const HIST_BUCKETS: usize = 64;
+
+/// The three-step pipeline run as one SPMD program over `nranks` ygm ranks.
+///
+/// Construction mirrors [`Pipeline`](crate::Pipeline); the
+/// [`ProjectionStrategy`](crate::pipeline::ProjectionStrategy) field of the
+/// config is ignored — this *is* the distributed strategy, end to end.
+#[derive(Clone, Debug)]
+pub struct DistPipeline {
+    /// Run parameters (shared with the resident pipeline).
+    pub config: PipelineConfig,
+    /// Number of ygm ranks to run on.
+    pub nranks: usize,
+}
+
+/// What one rank contributes back to the main thread. Collective reductions
+/// make the global fields identical on every rank; the main thread reads
+/// them from rank 0 and concatenates the per-rank fields.
+#[derive(Default)]
+struct RankOut {
+    /// This rank's sorted canonical edge run (disjoint across ranks).
+    edge_run: Vec<(u32, u32, u64)>,
+    /// Triangles this rank kept, already validated.
+    kept: Vec<(SurveyedTriangle, TripletMetrics)>,
+    /// Replicated `P'` vector (identical on every rank).
+    page_counts: Vec<u64>,
+    /// Globals (identical on every rank after reduction).
+    n_authors: u32,
+    n_comments: u64,
+    ci_edges: u64,
+    ci_edges_after_threshold: u64,
+    triangles_examined: u64,
+    max_min_weight: u64,
+    min_weight_log_hist: Vec<u64>,
+    /// Rank 0's wall-clock stage timings (zero elsewhere).
+    timings: StageTimings,
+    /// Text path only: the parse failure this rank hit, with the line count
+    /// of every chunk before it already folded in by the main thread.
+    parse_err: Option<(u64, serde_json::Error)>,
+}
+
+/// The three input shapes, borrowed into the SPMD region (ranks are scoped
+/// threads, so no copy of the dataset or mmapped snapshot is made).
+enum DistInput<'a> {
+    Text(&'a str),
+    Dataset(&'a Dataset),
+    Snapshot(&'a coordination_store::Snapshot),
+}
+
+impl DistPipeline {
+    /// A distributed pipeline with the given config and rank count.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0`.
+    pub fn new(config: PipelineConfig, nranks: usize) -> Self {
+        assert!(nranks > 0, "a distributed pipeline needs at least one rank");
+        DistPipeline { config, nranks }
+    }
+
+    /// Rank-sharded ingest + pipeline over an NDJSON buffer. Errors exactly
+    /// like the serial reader: the earliest malformed line wins, with its
+    /// global 1-based line number.
+    pub fn run_text(&self, text: &str) -> Result<PipelineOutput, ReadError> {
+        self.run_world(DistInput::Text(text))
+    }
+
+    /// Pipeline over an already-interned dataset: each rank takes its block
+    /// of the event list ([`ygm::block_range`]) and shuffles from there.
+    pub fn run_dataset(&self, ds: &Dataset) -> PipelineOutput {
+        self.run_world(DistInput::Dataset(ds))
+            .expect("dataset input cannot fail to parse")
+    }
+
+    /// Pipeline over an opened snapshot: every rank decodes its own slice of
+    /// the shared mmap ([`coordination_store::EventsView::rank_slice`]) — the
+    /// event table is never copied, per rank or at all.
+    pub fn run_snapshot(&self, snap: &coordination_store::Snapshot) -> PipelineOutput {
+        self.run_world(DistInput::Snapshot(snap))
+            .expect("snapshot input cannot fail to parse")
+    }
+
+    fn run_world(&self, input: DistInput<'_>) -> Result<PipelineOutput, ReadError> {
+        let nranks = self.nranks;
+        let cfg = &self.config;
+        let input = &input;
+
+        // Distributed containers, one per shuffle point.
+        let page_comments: DistMultimap<u32, (Timestamp, AuthorId)> = DistMultimap::new(nranks);
+        let author_pages: DistMultimap<u32, PageId> = DistMultimap::new(nranks);
+        let pair_occurrences: DistBag<u64> = DistBag::new(nranks);
+        let oriented_edges: DistBag<(u32, u32, u64)> = DistBag::new(nranks);
+        let adjacency: DistAdjacency = DistAdjacency::new(nranks);
+        let found: DistBag<Triangle> = DistBag::new(nranks);
+
+        let pc = &page_comments;
+        let ap = &author_pages;
+        let occ_bag = &pair_occurrences;
+        let edge_bag = &oriented_edges;
+        let adj = &adjacency;
+        let found_ref = &found;
+
+        let mut outs = World::run(nranks, move |ctx| {
+            rank_main(ctx, cfg, input, pc, ap, occ_bag, edge_bag, adj, found_ref)
+        });
+
+        // Text-path parse failure: the erroring ranks carried their local
+        // error out; earliest chunk (= lowest rank) wins, like the serial
+        // reader's sequence_shards.
+        if let Some(out) = outs.iter_mut().find(|o| o.parse_err.is_some()) {
+            let (line, source) = out.parse_err.take().expect("checked above");
+            return Err(ReadError::Parse {
+                line: line as usize,
+                source,
+            });
+        }
+
+        // Assemble the PipelineOutput from the per-rank contributions. The
+        // edge runs are disjoint sorted canonical runs (each pair hashes to
+        // exactly one owner), so the k-way merge in `CiGraph::from_runs`
+        // reproduces the exact CSR any other partitioning would.
+        let page_counts = std::mem::take(&mut outs[0].page_counts);
+        let n_authors = outs[0].n_authors;
+        let runs: Vec<Vec<(u32, u32, u64)>> = outs
+            .iter_mut()
+            .map(|o| std::mem::take(&mut o.edge_run))
+            .collect();
+        let ci = CiGraph::from_runs(n_authors, runs, page_counts);
+
+        // Triangles were kept on whichever rank closed their wedge; the
+        // vertex triple is a unique key, so one sort reproduces the resident
+        // survey's `sort_unstable_by_key(vertices)` order — and the aligned
+        // triplet order of `validate_all` with it.
+        let mut kept: Vec<(SurveyedTriangle, TripletMetrics)> = outs
+            .iter_mut()
+            .flat_map(|o| std::mem::take(&mut o.kept))
+            .collect();
+        kept.sort_unstable_by_key(|(s, _)| s.triangle.vertices());
+        let (triangles, triplets): (Vec<SurveyedTriangle>, Vec<TripletMetrics>) =
+            kept.into_iter().unzip();
+
+        let g = &outs[0];
+        let stats = RunStats {
+            comments_reviewed: g.n_comments,
+            total_authors: n_authors,
+            projected_authors: ci.active_authors(),
+            ci_edges: g.ci_edges,
+            ci_edges_after_threshold: g.ci_edges_after_threshold,
+            triangles_examined: g.triangles_examined,
+            triangles_kept: triangles.len() as u64,
+            triplets_validated: triplets.len() as u64,
+        };
+        Ok(PipelineOutput {
+            ci,
+            survey: SurveyReport {
+                triangles,
+                total_examined: g.triangles_examined,
+                max_min_weight: g.max_min_weight,
+                min_weight_log_hist: g.min_weight_log_hist.clone(),
+            },
+            triplets,
+            stats,
+            timings: g.timings,
+        })
+    }
+}
+
+/// One rank's whole program, ingest to validation. Every collective below is
+/// issued unconditionally and in the same order on every rank — the only
+/// early return (text parse failure) happens after a collective that told
+/// *all* ranks to take it.
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    ctx: &RankCtx,
+    cfg: &PipelineConfig,
+    input: &DistInput<'_>,
+    page_comments: &DistMultimap<u32, (Timestamp, AuthorId)>,
+    author_pages: &DistMultimap<u32, PageId>,
+    pair_occurrences: &DistBag<u64>,
+    oriented_edges: &DistBag<(u32, u32, u64)>,
+    adjacency: &DistAdjacency,
+    found: &DistBag<Triangle>,
+) -> RankOut {
+    let mut out = RankOut::default();
+    let t_rank0 = (ctx.rank() == 0).then(Instant::now);
+
+    // ---- Stage 1: rank-sharded ingest -----------------------------------
+    let _ingest_span = obs::span("dist.ingest");
+    let (events, excluded, n_authors) = match ingest_rank(ctx, cfg, input) {
+        Ok(parts) => parts,
+        Err(err) => {
+            out.parse_err = err;
+            return out;
+        }
+    };
+    drop(_ingest_span);
+    out.n_authors = n_authors;
+
+    // ---- Stage 2: event exchange (author-hash / page-hash shuffles) -----
+    let exchange_span = obs::span("dist.exchange");
+    let mut kept_local = 0u64;
+    {
+        let pc = page_comments.clone();
+        let mut to_pages = Aggregator::new(
+            ctx,
+            AGG_THRESHOLD,
+            move |inner: &RankCtx, (p, ts, a): (u32, i64, u32)| {
+                pc.local_insert(inner, p, (ts, AuthorId(a)));
+            },
+        );
+        let ap = author_pages.clone();
+        let mut to_authors = Aggregator::new(
+            ctx,
+            AGG_THRESHOLD,
+            move |inner: &RankCtx, (a, p): (u32, u32)| {
+                ap.local_insert(inner, a, PageId(p));
+            },
+        );
+        for e in events {
+            if excluded.contains(&e.author.0) {
+                continue;
+            }
+            kept_local += 1;
+            to_pages.push_keyed(ctx, &e.page.0, (e.page.0, e.ts, e.author.0));
+            to_authors.push_keyed(ctx, &e.author.0, (e.author.0, e.page.0));
+        }
+        to_pages.flush_all(ctx);
+        to_authors.flush_all(ctx);
+    }
+    ctx.barrier();
+    out.n_comments = ctx.all_reduce_sum(kept_local);
+    // Owners order their shards: pages by (ts, author) — Algorithm 1's
+    // neighborhood order — and authors' page lists sorted + deduped, the
+    // hypergraph incidence lists. Identical to what `Btm` builds.
+    page_comments.local_for_each_group_mut(ctx, |_, comments| comments.sort_unstable());
+    author_pages.local_for_each_group_mut(ctx, |_, pages| {
+        pages.sort_unstable();
+        pages.dedup();
+    });
+    ctx.barrier();
+    drop(exchange_span);
+
+    // ---- Stage 3: projection (pair shuffle to edge owners) --------------
+    let project_span = obs::span("dist.project");
+    let mut pprime_local = vec![0u64; n_authors as usize];
+    {
+        let occ = pair_occurrences.clone();
+        let mut to_edges = Aggregator::new(ctx, AGG_THRESHOLD, move |inner: &RankCtx, p: u64| {
+            occ.local_insert(inner, p);
+        });
+        let mut pairs: Vec<u64> = Vec::new();
+        let mut authors_scratch: Vec<u32> = Vec::new();
+        let window = cfg.window;
+        page_comments.local_for_each_group(ctx, |_, comments| {
+            page_pairs_flat(comments, &window, &mut pairs);
+            authors_scratch.clear();
+            for &p in &pairs {
+                let (x, y) = unpack_pair(p);
+                authors_scratch.push(x);
+                authors_scratch.push(y);
+                to_edges.push_keyed(ctx, &p, p);
+            }
+            // P'_x: each page counts once per distinct endpoint author.
+            authors_scratch.sort_unstable();
+            authors_scratch.dedup();
+            for &a in &authors_scratch {
+                pprime_local[a as usize] += 1;
+            }
+        });
+        to_edges.flush_all(ctx);
+    }
+    ctx.barrier();
+    // Replicate P' everywhere: the survey's T-score and validation both
+    // index it by arbitrary author id.
+    out.page_counts = all_reduce_hist(ctx, pprime_local);
+
+    // Each edge owner sorts and run-length-counts its disjoint slice of the
+    // pair multiset — this rank's sorted canonical run for CiGraph.
+    let mut occ = pair_occurrences.local_take(ctx);
+    sort_packed(&mut occ);
+    out.edge_run = run_length_pairs(&occ);
+    drop(occ);
+    out.ci_edges = ctx.all_reduce_sum(out.edge_run.len() as u64);
+    drop(project_span);
+
+    // ---- Stage 4: orient + partitioned triangle survey ------------------
+    let survey_span = obs::span("dist.survey");
+    // Threshold, then the "ghost exchange": a global degree reduction over
+    // the post-threshold edge set, so every rank can orient its edges by the
+    // same (degree, id) rule OrientedGraph uses without owning its ghosts'
+    // adjacency.
+    let threshold = cfg.edge_threshold.max(1);
+    let mut deg_local = vec![0u64; n_authors as usize];
+    let mut filtered = 0u64;
+    for &(x, y, w) in &out.edge_run {
+        if w >= threshold {
+            filtered += 1;
+            deg_local[x as usize] += 1;
+            deg_local[y as usize] += 1;
+        }
+    }
+    out.ci_edges_after_threshold = ctx.all_reduce_sum(filtered);
+    let deg = all_reduce_hist(ctx, deg_local);
+    {
+        let bag = oriented_edges.clone();
+        let mut to_sources = Aggregator::new(
+            ctx,
+            AGG_THRESHOLD,
+            move |inner: &RankCtx, e: (u32, u32, u64)| {
+                bag.local_insert(inner, e);
+            },
+        );
+        let points_up = |u: u32, v: u32| (deg[u as usize], u) < (deg[v as usize], v);
+        for &(x, y, w) in &out.edge_run {
+            if w < threshold {
+                continue;
+            }
+            let (src, dst) = if points_up(x, y) { (x, y) } else { (y, x) };
+            to_sources.push_keyed(ctx, &src, (src, dst, w));
+        }
+        to_sources.flush_all(ctx);
+    }
+    ctx.barrier();
+    // Build this rank's LocalCsr partition and publish its rows as the
+    // distributed adjacency tripoll's survey stage consumes.
+    let csr = LocalCsr::from_edges(oriented_edges.local_take(ctx));
+    obs::counter("dist.ghost_vertices").add(csr.ghosts().len() as u64);
+    for (u, targets, weights) in csr.rows() {
+        let list: Vec<(u32, u64)> = targets
+            .iter()
+            .copied()
+            .zip(weights.iter().copied())
+            .collect();
+        adjacency.async_insert(ctx, u, Arc::new(list));
+    }
+    ctx.barrier();
+    survey_stage(ctx, adjacency, found);
+    ctx.barrier();
+
+    // Reduce the survey statistics; keep survivors with their metadata.
+    let mine = found.local_take(ctx);
+    let mut hist = vec![0u64; HIST_BUCKETS];
+    let mut max_min = 0u64;
+    for t in &mine {
+        let mw = t.min_weight();
+        max_min = max_min.max(mw);
+        hist[63 - mw.max(1).leading_zeros() as usize] += 1;
+    }
+    out.triangles_examined = ctx.all_reduce_sum(mine.len() as u64);
+    out.max_min_weight = ctx.all_reduce_max(max_min);
+    let mut hist = all_reduce_hist(ctx, hist);
+    while hist.last() == Some(&0) {
+        hist.pop();
+    }
+    out.min_weight_log_hist = hist;
+    drop(survey_span);
+
+    // ---- Stage 5: hypergraph validation ---------------------------------
+    let validate_span = obs::span("dist.validate");
+    let pprime = &out.page_counts;
+    for t in mine {
+        let mw = t.min_weight();
+        if mw < cfg.min_triangle_weight {
+            continue;
+        }
+        let [a, b, c] = t.vertices();
+        let ts = t_score(
+            mw,
+            pprime[a as usize],
+            pprime[b as usize],
+            pprime[c as usize],
+        );
+        if cfg.min_t_score > 0.0 && ts < cfg.min_t_score {
+            continue;
+        }
+        // Quiescent reads: the survey barrier drained every message, and
+        // validation sends none, so owner-shard page lists are stable.
+        let pa = author_pages.global_get(&a).unwrap_or_default();
+        let pb = author_pages.global_get(&b).unwrap_or_default();
+        let pc = author_pages.global_get(&c).unwrap_or_default();
+        let metrics = validate_triangle_parts(&t, [&pa, &pb, &pc], pprime);
+        out.kept.push((
+            SurveyedTriangle {
+                triangle: t,
+                min_weight: mw,
+                t_score: ts,
+            },
+            metrics,
+        ));
+    }
+    obs::counter("dist.triplets_validated").add(out.kept.len() as u64);
+    drop(validate_span);
+
+    if let Some(t0) = t_rank0 {
+        // Coarse end-to-end time on rank 0; the per-stage split is not
+        // observable from one rank of an interleaved SPMD program, so the
+        // whole wall time is reported as the survey stage (the dominant
+        // one). Timings are advisory — equivalence is on everything else.
+        out.timings = StageTimings {
+            projection: Duration::default(),
+            survey: t0.elapsed(),
+            validation: Duration::default(),
+        };
+    }
+    out
+}
+
+type IngestParts = (Vec<Event>, HashSet<u32>, u32);
+
+/// Stage 1 for one rank: produce this rank's slice of the (globally-dense)
+/// event stream plus the replicated exclusion set and id-space sizes.
+///
+/// Returns `Err(Some(..))` only on the text path's parse failure, and then
+/// only on the rank that owns the failing chunk; every other rank returns
+/// `Err(None)` so all ranks take the same early exit.
+fn ingest_rank(
+    ctx: &RankCtx,
+    cfg: &PipelineConfig,
+    input: &DistInput<'_>,
+) -> Result<IngestParts, Option<(u64, serde_json::Error)>> {
+    match input {
+        DistInput::Dataset(ds) => {
+            let r = ygm::block_range(ctx.rank(), ds.events.len(), ctx.nranks());
+            let events = ds.events[r].to_vec();
+            let excluded: HashSet<u32> = cfg
+                .exclusions
+                .resolve(ds)
+                .into_iter()
+                .map(|a| a.0)
+                .collect();
+            Ok((events, excluded, ds.authors.len() as u32))
+        }
+        DistInput::Snapshot(snap) => {
+            let m = snap.meta();
+            let events: Vec<Event> = snap
+                .events()
+                .rank_slice(ctx.rank(), ctx.nranks())
+                .map(|(a, p, ts)| Event::new(AuthorId(a), PageId(p), ts))
+                .collect();
+            let excluded: HashSet<u32> = cfg
+                .exclusions
+                .resolve_names(snap.author_names().iter())
+                .into_iter()
+                .map(|a| a.0)
+                .collect();
+            Ok((events, excluded, m.n_authors))
+        }
+        DistInput::Text(text) => {
+            // Every rank computes the same line-boundary split (chunks ≡
+            // ranks); short inputs may yield fewer chunks — trailing ranks
+            // parse nothing.
+            let chunks = split_chunks(text, ctx.nranks());
+            let my_chunk = chunks.get(ctx.rank()).copied().unwrap_or("");
+            let parsed = parse_chunk(my_chunk, false);
+            // Collective error agreement: (full line count, failing local
+            // line). All ranks learn whether any chunk failed and agree on
+            // the early exit; the earliest chunk's error wins with its line
+            // number offset by the full line counts of the chunks before it.
+            let statuses: Vec<(u64, Option<u64>)> = ctx.all_gather(match &parsed {
+                Ok(s) => (s.stats.lines, None),
+                Err((line, _)) => (0, Some(*line)),
+            });
+            if let Some(bad_rank) = statuses.iter().position(|(_, e)| e.is_some()) {
+                if ctx.rank() == bad_rank {
+                    let Err((local_line, source)) = parsed else {
+                        unreachable!("status said this rank failed");
+                    };
+                    let prior: u64 = statuses[..bad_rank].iter().map(|&(l, _)| l).sum();
+                    return Err(Some((prior + local_line, source)));
+                }
+                return Err(None);
+            }
+            let shard = parsed.expect("no rank reported a parse failure");
+
+            // All-gather the shard name tables in shard-local id order and
+            // replay the chunk-order merge on every rank: local
+            // first-occurrence order + chunk order = global first-occurrence
+            // order, so these are exactly the serial reader's dense ids.
+            let author_tables: Vec<Vec<String>> =
+                ctx.all_gather(shard.authors.iter().map(|(_, n)| n.to_owned()).collect());
+            let page_tables: Vec<Vec<String>> =
+                ctx.all_gather(shard.pages.iter().map(|(_, n)| n.to_owned()).collect());
+            let mut authors = Interner::new();
+            let mut pages = Interner::new();
+            let mut my_author_map: Vec<u32> = Vec::new();
+            let mut my_page_map: Vec<u32> = Vec::new();
+            for (rank, table) in author_tables.iter().enumerate() {
+                for name in table {
+                    let id = authors.intern(name);
+                    if rank == ctx.rank() {
+                        my_author_map.push(id);
+                    }
+                }
+            }
+            for (rank, table) in page_tables.iter().enumerate() {
+                for name in table {
+                    let id = pages.intern(name);
+                    if rank == ctx.rank() {
+                        my_page_map.push(id);
+                    }
+                }
+            }
+            let events: Vec<Event> = shard
+                .events
+                .iter()
+                .map(|e| {
+                    Event::new(
+                        AuthorId(my_author_map[e.author.0 as usize]),
+                        PageId(my_page_map[e.page.0 as usize]),
+                        e.ts,
+                    )
+                })
+                .collect();
+            let excluded: HashSet<u32> = authors
+                .iter()
+                .filter(|(_, name)| cfg.exclusions.contains(name))
+                .map(|(id, _)| id)
+                .collect();
+            Ok((events, excluded, authors.len() as u32))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use crate::records::CommentRecord;
+
+    fn scenario() -> Dataset {
+        let mut recs = Vec::new();
+        for page in 0..20 {
+            for (i, bot) in ["bot_a", "bot_b", "bot_c"].iter().enumerate() {
+                recs.push(CommentRecord::new(
+                    *bot,
+                    format!("p{page}"),
+                    page as i64 * 10_000 + i as i64 * 5,
+                ));
+            }
+            recs.push(CommentRecord::new(
+                format!("user{page}"),
+                format!("p{page}"),
+                page as i64 * 10_000 + 7_200,
+            ));
+        }
+        for page in 0..20 {
+            recs.push(CommentRecord::new(
+                "AutoModerator",
+                format!("p{page}"),
+                page as i64 * 10_000,
+            ));
+        }
+        Dataset::from_records(recs)
+    }
+
+    fn assert_outputs_identical(a: &PipelineOutput, b: &PipelineOutput) {
+        assert_eq!(a.stats.comments_reviewed, b.stats.comments_reviewed);
+        assert_eq!(a.stats.total_authors, b.stats.total_authors);
+        assert_eq!(a.stats.projected_authors, b.stats.projected_authors);
+        assert_eq!(a.stats.ci_edges, b.stats.ci_edges);
+        assert_eq!(
+            a.stats.ci_edges_after_threshold,
+            b.stats.ci_edges_after_threshold
+        );
+        assert_eq!(a.stats.triangles_examined, b.stats.triangles_examined);
+        assert_eq!(a.stats.triangles_kept, b.stats.triangles_kept);
+        assert_eq!(
+            a.ci.edges().collect::<Vec<_>>(),
+            b.ci.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(a.ci.page_counts(), b.ci.page_counts());
+        assert_eq!(a.survey.total_examined, b.survey.total_examined);
+        assert_eq!(a.survey.max_min_weight, b.survey.max_min_weight);
+        assert_eq!(a.survey.min_weight_log_hist, b.survey.min_weight_log_hist);
+        assert_eq!(a.survey.triangles.len(), b.survey.triangles.len());
+        for (x, y) in a.survey.triangles.iter().zip(&b.survey.triangles) {
+            assert_eq!(x.triangle, y.triangle);
+            assert_eq!(x.min_weight, y.min_weight);
+            assert_eq!(x.t_score.to_bits(), y.t_score.to_bits());
+        }
+        assert_eq!(a.triplets.len(), b.triplets.len());
+        for (x, y) in a.triplets.iter().zip(&b.triplets) {
+            assert_eq!(x.authors, y.authors);
+            assert_eq!(x.ci_weights, y.ci_weights);
+            assert_eq!(x.min_ci_weight, y.min_ci_weight);
+            assert_eq!(x.hyper_weight, y.hyper_weight);
+            assert_eq!(x.page_counts, y.page_counts);
+            assert_eq!(x.t.to_bits(), y.t.to_bits());
+            assert_eq!(x.c.to_bits(), y.c.to_bits());
+        }
+    }
+
+    #[test]
+    fn distributed_dataset_matches_rayon_for_any_rank_count() {
+        let ds = scenario();
+        let resident = Pipeline::default().run_dataset(&ds);
+        for nranks in [1, 2, 3, 4, 7] {
+            let dist = DistPipeline::new(PipelineConfig::default(), nranks).run_dataset(&ds);
+            assert_outputs_identical(&resident, &dist);
+        }
+    }
+
+    #[test]
+    fn distributed_text_ingest_matches_rayon() {
+        let mut text = String::new();
+        let ds = scenario();
+        for e in &ds.events {
+            text.push_str(&format!(
+                "{{\"author\":{:?},\"link_id\":{:?},\"created_utc\":{}}}\n",
+                ds.authors.name(e.author.0),
+                ds.pages.name(e.page.0),
+                e.ts
+            ));
+        }
+        let resident = Pipeline::default().run_dataset(&ds);
+        let dist = DistPipeline::new(PipelineConfig::default(), 3)
+            .run_text(&text)
+            .expect("well-formed input");
+        assert_outputs_identical(&resident, &dist);
+    }
+
+    #[test]
+    fn distributed_snapshot_matches_rayon() {
+        let ds = scenario();
+        let path = std::env::temp_dir().join(format!(
+            "dist_pipeline_snap_{}_{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        crate::snapshot::write_snapshot(&ds, None, &path).unwrap();
+        let snap = coordination_store::Snapshot::open(&path).unwrap();
+        let resident = Pipeline::default().run_dataset(&ds);
+        for nranks in [1, 4] {
+            let dist = DistPipeline::new(PipelineConfig::default(), nranks).run_snapshot(&snap);
+            assert_outputs_identical(&resident, &dist);
+        }
+        drop(snap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn text_parse_errors_carry_global_line_numbers() {
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!(
+                "{{\"author\":\"a{i}\",\"link_id\":\"p\",\"created_utc\":{i}}}\n"
+            ));
+        }
+        text.push_str("not json\n");
+        let err = DistPipeline::new(PipelineConfig::default(), 4)
+            .run_text(&text)
+            .unwrap_err();
+        match err {
+            ReadError::Parse { line, .. } => assert_eq!(line, 41),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_runs_cleanly_at_any_rank_count() {
+        for nranks in [1, 2, 5] {
+            let out = DistPipeline::new(PipelineConfig::default(), nranks)
+                .run_dataset(&Dataset::default());
+            assert!(out.triplets.is_empty());
+            assert_eq!(out.stats.ci_edges, 0);
+            assert!(out.survey.min_weight_log_hist.is_empty());
+        }
+    }
+}

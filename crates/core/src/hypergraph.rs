@@ -95,12 +95,39 @@ pub fn hyperedge_weight(btm: &Btm, x: AuthorId, y: AuthorId, z: AuthorId) -> u64
 /// with the hypergraph measures computed from `btm`.
 pub fn validate_triangle(btm: &Btm, ci_page_counts: &[u64], t: &Triangle) -> TripletMetrics {
     let [a, b, c] = t.vertices();
-    let (xa, xb, xc) = (AuthorId(a), AuthorId(b), AuthorId(c));
-    let w_xyz = hyperedge_weight(btm, xa, xb, xc);
-    let (pa, pb, pc) = (btm.page_count(xa), btm.page_count(xb), btm.page_count(xc));
+    validate_triangle_parts(
+        t,
+        [
+            btm.author_pages(AuthorId(a)),
+            btm.author_pages(AuthorId(b)),
+            btm.author_pages(AuthorId(c)),
+        ],
+        ci_page_counts,
+    )
+}
+
+/// The representation-independent core of [`validate_triangle`]: compute a
+/// triangle's [`TripletMetrics`] from the three authors' sorted,
+/// deduplicated page lists (`pages[i]` belongs to `t.vertices()[i]`) and the
+/// global `P'` vector. Both the resident path (which borrows the lists from
+/// a [`Btm`]) and the distributed pipeline (which fetches them from
+/// owner-rank shards) delegate here, so the two paths compute the exact same
+/// floating-point expressions — byte-identical scores by construction.
+pub fn validate_triangle_parts(
+    t: &Triangle,
+    pages: [&[PageId]; 3],
+    ci_page_counts: &[u64],
+) -> TripletMetrics {
+    let [a, b, c] = t.vertices();
+    let w_xyz = triple_intersection_count(pages[0], pages[1], pages[2]);
+    let (pa, pb, pc) = (
+        pages[0].len() as u64,
+        pages[1].len() as u64,
+        pages[2].len() as u64,
+    );
     let min_w = t.min_weight();
     TripletMetrics {
-        authors: [xa, xb, xc],
+        authors: [AuthorId(a), AuthorId(b), AuthorId(c)],
         ci_weights: t.edge_weights(),
         min_ci_weight: min_w,
         t: t_score(

@@ -330,7 +330,7 @@ pub fn scan_record(line: &str) -> Option<RecordRef<'_>> {
 /// Split `text` into at most `want` non-overlapping chunks covering it
 /// exactly, each ending on a line boundary (the final chunk may lack a
 /// trailing newline). Chunk boundaries never split a line.
-fn split_chunks(text: &str, want: usize) -> Vec<&str> {
+pub(crate) fn split_chunks(text: &str, want: usize) -> Vec<&str> {
     let bytes = text.as_bytes();
     let mut chunks = Vec::with_capacity(want.max(1));
     let mut start = 0;
@@ -368,10 +368,10 @@ fn effective_chunks(cfg: &IngestConfig, len: usize) -> usize {
 // ---------------------------------------------------------------- workers
 
 #[derive(Clone, Copy, Debug, Default)]
-struct ChunkStats {
-    lines: u64,
-    skipped: u64,
-    fallbacks: u64,
+pub(crate) struct ChunkStats {
+    pub(crate) lines: u64,
+    pub(crate) skipped: u64,
+    pub(crate) fallbacks: u64,
 }
 
 /// Parse every line of one chunk, feeding each record's three fields to
@@ -404,14 +404,14 @@ fn for_each_record(
 }
 
 /// One worker's output: events under chunk-local dense ids.
-struct Shard {
-    authors: Interner,
-    pages: Interner,
-    events: Vec<Event>,
-    stats: ChunkStats,
+pub(crate) struct Shard {
+    pub(crate) authors: Interner,
+    pub(crate) pages: Interner,
+    pub(crate) events: Vec<Event>,
+    pub(crate) stats: ChunkStats,
 }
 
-fn parse_chunk(chunk: &str, skip_bad: bool) -> Result<Shard, (u64, serde_json::Error)> {
+pub(crate) fn parse_chunk(chunk: &str, skip_bad: bool) -> Result<Shard, (u64, serde_json::Error)> {
     let mut authors = Interner::new();
     let mut pages = Interner::new();
     let mut events = Vec::new();
@@ -457,7 +457,7 @@ fn sequence_shards<T>(
 /// lossy runs (`--skip-bad-lines`) auditable in the run report rather than
 /// stderr-only. Counter registration is unconditional so every documented
 /// `ingest.*` name appears in the report even when it stays 0.
-fn record_ingest_stats(stats: &IngestStats) {
+pub(crate) fn record_ingest_stats(stats: &IngestStats) {
     obs::counter("ingest.lines").add(stats.lines);
     obs::counter("ingest.events").add(stats.events);
     obs::counter("ingest.skipped_lines").add(stats.skipped_lines);

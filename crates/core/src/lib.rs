@@ -53,6 +53,7 @@
 
 pub mod btm;
 pub mod cigraph;
+pub mod dist_pipeline;
 pub mod filter;
 pub mod groups;
 pub mod hypergraph;
@@ -77,6 +78,7 @@ pub use coordination_store as store;
 pub use btm::{Btm, PageDegreeStats};
 pub use cigraph::{CiGraph, CiGraphBuilder};
 pub use coordination_graph::{GraphRef, SubsetView, ThresholdView};
+pub use dist_pipeline::DistPipeline;
 pub use ids::{AuthorId, Event, Interner, PageId, Timestamp};
 pub use ingest::{IngestConfig, IngestStats};
 pub use metrics::{c_score, t_score, TripletMetrics};

@@ -72,7 +72,7 @@ const RADIX_MIN: usize = 1 << 15;
 /// dense, so a packed pair rarely uses more than ~40 of its 64 bits),
 /// `sort_unstable` otherwise. A mega-thread's candidate buffer sorts in a
 /// few linear passes instead of `O(n log n)` comparisons.
-fn sort_packed(v: &mut Vec<u64>) {
+pub(crate) fn sort_packed(v: &mut Vec<u64>) {
     if v.len() < RADIX_MIN {
         v.sort_unstable();
         return;
@@ -197,7 +197,7 @@ fn page_pairs_heavy(
 
 /// Run-length-count a sorted occurrence buffer of packed canonical pairs into
 /// a sorted `(x, y, w)` edge run — the [`CiGraph::from_runs`] input format.
-fn run_length_pairs(occ: &[u64]) -> Vec<(u32, u32, u64)> {
+pub(crate) fn run_length_pairs(occ: &[u64]) -> Vec<(u32, u32, u64)> {
     let mut run = Vec::new();
     let mut it = occ.iter().copied();
     if let Some(mut cur) = it.next() {

@@ -237,6 +237,15 @@ impl SpanStats {
 /// buffer flushes into the global registry when depth returns to zero, so a
 /// rayon worker grinding through thousands of inner spans takes the global
 /// lock once per task, not once per span.
+///
+/// The same invariant covers SPMD rank threads (`ygm::World::run` spawns one
+/// scoped OS thread per rank): each rank's spans buffer locally and merge
+/// into the global registry when the rank's outermost span closes, and
+/// counters are global atomics shared by all ranks. After the world exits,
+/// a span entered once per rank reports `count == nranks` with `total_ns`
+/// summed across ranks, and per-rank counter increments are one global sum —
+/// no per-rank registry and no manual merge step. Pinned by
+/// `rank_threads_merge_spans_and_counters` below.
 #[derive(Default)]
 struct LocalSpans {
     depth: u32,
@@ -487,6 +496,40 @@ mod tests {
         assert_eq!(c.get(), 1);
         assert_eq!(snapshot().counter("resettable.count"), Some(1));
         Obs::disable();
+        reset();
+    }
+
+    #[test]
+    fn rank_threads_merge_spans_and_counters() {
+        // The SPMD shape: N scoped worker threads (exactly what
+        // `ygm::World::run` spawns, one per rank), each opening the same
+        // stage span and bumping the same counter. Once every thread's
+        // outermost span has closed, the global registry holds the merged
+        // totals — count per entry, time summed across threads.
+        let _g = locked();
+        Obs::enable();
+        reset();
+        const NRANKS: usize = 4;
+        std::thread::scope(|s| {
+            for rank in 0..NRANKS {
+                s.spawn(move || {
+                    let _stage = span("rank_stage");
+                    let _inner = span("rank_stage.kernel");
+                    counter("rank_stage.items").add(rank as u64 + 1);
+                });
+            }
+        });
+        Obs::disable();
+        let snap = snapshot();
+        let stage = snap.span("rank_stage").unwrap();
+        assert_eq!(stage.count, NRANKS as u64, "one entry per rank thread");
+        assert!(stage.total_ns >= stage.max_ns);
+        assert_eq!(snap.span("rank_stage.kernel").unwrap().count, NRANKS as u64);
+        assert_eq!(
+            snap.counter("rank_stage.items"),
+            Some((1..=NRANKS as u64).sum()),
+            "per-rank increments sum into one global counter"
+        );
         reset();
     }
 

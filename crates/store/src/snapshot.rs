@@ -638,7 +638,9 @@ impl<'a> NamesView<'a> {
         let ends_len = (count as usize)
             .checked_mul(4)
             .ok_or_else(|| StoreError::corrupt("name table end-offsets overflow"))?;
-        let need = pos as u64 + ends_len as u64 + total;
+        let need = (pos as u64 + ends_len as u64)
+            .checked_add(total)
+            .ok_or_else(|| StoreError::corrupt("name table size overflows"))?;
         if (section.len() as u64) < need {
             return Err(StoreError::Truncated {
                 what: "name table",
@@ -836,6 +838,40 @@ impl<'a> EventsView<'a> {
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, i64)> + 'a {
         self.try_iter().map_while(Result::ok)
     }
+
+    /// The half-open event-index range `rank` owns under a block partition of
+    /// `0..len()` across `nranks` ranks — same tiling as
+    /// `ygm::partition::block_range`, duplicated here so the store stays
+    /// below the runtime in the dependency graph. Ranges tile the event space
+    /// exactly: disjoint, in order, covering every index.
+    pub fn rank_range(&self, rank: usize, nranks: usize) -> std::ops::Range<u64> {
+        assert!(nranks > 0, "rank_range needs at least one rank");
+        assert!(rank < nranks, "rank {rank} out of range for {nranks} ranks");
+        let per = self.n.div_ceil(nranks as u64);
+        let lo = (rank as u64 * per).min(self.n);
+        let hi = ((rank as u64 + 1) * per).min(self.n);
+        lo..hi
+    }
+
+    /// Decode only this rank's block of events, in timestamp order.
+    ///
+    /// This is the rank-slice view the distributed pipeline reads: every rank
+    /// holds the *same* `EventsView` over the *same* mmap (the view is `Copy`
+    /// and borrows the file), and each decodes just its `rank_range` — no
+    /// per-rank copy of the event columns is ever materialized. The columns
+    /// are delta/varint coded, so slicing skips (decodes and discards) the
+    /// prefix; that scan is branch-light and memory-sequential, and in
+    /// practice is a small constant of the rank's own decode work.
+    pub fn rank_slice(
+        &self,
+        rank: usize,
+        nranks: usize,
+    ) -> impl Iterator<Item = (u32, u32, i64)> + 'a {
+        let r = self.rank_range(rank, nranks);
+        self.iter()
+            .skip(r.start as usize)
+            .take((r.end - r.start) as usize)
+    }
 }
 
 /// Borrowed view over the optional projected CI-graph section.
@@ -947,6 +983,43 @@ mod tests {
             ci.graph.neighbors(1).collect::<Vec<_>>(),
             vec![(0, 2), (2, 1)]
         );
+    }
+
+    #[test]
+    fn rank_slices_tile_the_event_table() {
+        // Larger table than `sample()` so blocks span several varint runs.
+        let mut w = SnapshotWriter::new();
+        let author_names: Vec<String> = (0..37).map(|i| format!("a{i}")).collect();
+        let page_names: Vec<String> = (0..11).map(|i| format!("p{i}")).collect();
+        w.authors(author_names.iter().map(String::as_str));
+        w.pages(page_names.iter().map(String::as_str));
+        let events: Vec<(u32, u32, i64)> = (0..997u32)
+            .map(|i| (i % 37, i % 11, i64::from(i / 3)))
+            .collect();
+        w.events(&events).unwrap();
+        let snap = Snapshot::from_bytes(w.to_bytes().unwrap()).unwrap();
+        let view = snap.events();
+        let all: Vec<_> = view.iter().collect();
+        for nranks in [1usize, 2, 3, 4, 7, 1000, 2000] {
+            let mut tiled = Vec::new();
+            let mut hi_prev = 0u64;
+            for rank in 0..nranks {
+                let r = view.rank_range(rank, nranks);
+                assert_eq!(r.start, hi_prev, "ranges must tile in order");
+                hi_prev = r.end;
+                tiled.extend(view.rank_slice(rank, nranks));
+            }
+            assert_eq!(hi_prev, view.len());
+            assert_eq!(tiled, all, "nranks={nranks}");
+        }
+        // Empty table: every rank gets an empty slice.
+        let mut w = SnapshotWriter::new();
+        w.authors(std::iter::empty());
+        w.pages(std::iter::empty());
+        w.events(&[]).unwrap();
+        let snap = Snapshot::from_bytes(w.to_bytes().unwrap()).unwrap();
+        assert_eq!(snap.events().rank_slice(0, 3).count(), 0);
+        assert_eq!(snap.events().rank_range(2, 3), 0..0);
     }
 
     #[test]

@@ -65,13 +65,8 @@ fn crafted_name_table_should_not_panic() {
     ap.extend_from_slice(&1u64.to_le_bytes());
     varint(&mut ap, 0); // degree 0
 
-    let sections: Vec<(u32, &[u8])> = vec![
-        (1, &meta),
-        (2, &names),
-        (3, &pages),
-        (4, &events),
-        (5, &ap),
-    ];
+    let sections: Vec<(u32, &[u8])> =
+        vec![(1, &meta), (2, &names), (3, &pages), (4, &events), (5, &ap)];
     let header_len = 16 + sections.len() * 28;
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);

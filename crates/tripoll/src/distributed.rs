@@ -16,10 +16,82 @@ use std::sync::Arc;
 
 use ygm::container::{DistBag, DistMap};
 use ygm::partition::owner_of;
-use ygm::World;
+use ygm::{RankCtx, World};
 
 use crate::enumerate::Triangle;
 use crate::orient::OrientedGraph;
+
+/// The partitioned oriented adjacency the distributed survey consumes:
+/// vertex → out-list (sorted by target id), hash-partitioned by vertex id
+/// with [`ygm::owner_of`]. Out-lists are `Arc`'d because the push superstep
+/// ships them in wedge-check messages.
+pub type DistAdjacency = DistMap<u32, Arc<Vec<(u32, u64)>>>;
+
+/// Load a resident [`OrientedGraph`] into a [`DistAdjacency`], each rank
+/// inserting the out-lists of the vertices it owns. SPMD stage: call from
+/// every rank, then `ctx.barrier()` before surveying. Vertices with empty
+/// out-lists are skipped — the survey treats a missing entry as empty.
+pub fn load_oriented(ctx: &RankCtx, oriented: &OrientedGraph, adjacency: &DistAdjacency) {
+    for u in 0..oriented.n() {
+        if owner_of(&u, ctx.nranks()) == ctx.rank() {
+            let (nbrs, ws) = oriented.out(u);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let list: Vec<(u32, u64)> = nbrs.iter().copied().zip(ws.iter().copied()).collect();
+            adjacency.async_insert(ctx, u, Arc::new(list));
+        }
+    }
+}
+
+/// The TriPoll push superstep as a *composable* SPMD stage: for each owned
+/// apex `u` and oriented edge `(u, v)`, ship the wedge list `out(u)` to the
+/// owner of `v`, which intersects it against its local `out(v)` and emits
+/// every closed triangle into `found` exactly once (on the closing rank).
+///
+/// This is the building block larger SPMD programs (e.g.
+/// `coordination_core`'s distributed pipeline) embed between their own
+/// stages; [`distributed_survey`] is the self-contained wrapper around it.
+/// The caller must follow with `ctx.barrier()` before reading `found` —
+/// wedge-check messages are only guaranteed delivered once the barrier's
+/// termination detection has drained them.
+pub fn survey_stage(ctx: &RankCtx, adjacency: &DistAdjacency, found: &DistBag<Triangle>) {
+    let adj = adjacency.clone();
+    let bag = found.clone();
+    adjacency.local_for_each(ctx, |&u, out_u| {
+        for &(v, w_uv) in out_u.iter() {
+            let out_u = Arc::clone(out_u);
+            let adj_inner = adj.clone();
+            let bag_inner = bag.clone();
+            ctx.async_exec(owner_of(&v, ctx.nranks()), move |inner| {
+                // Owner of v closes wedges: intersect out(u) with out(v).
+                let Some(out_v) = adj_inner.global_get(&v) else {
+                    return;
+                };
+                let mut ai = 0;
+                let mut bi = 0;
+                while ai < out_u.len() && bi < out_v.len() {
+                    let (x, w_ux) = out_u[ai];
+                    let (y, w_vy) = out_v[bi];
+                    if x == v {
+                        ai += 1;
+                        continue;
+                    }
+                    match x.cmp(&y) {
+                        std::cmp::Ordering::Less => ai += 1,
+                        std::cmp::Ordering::Greater => bi += 1,
+                        std::cmp::Ordering::Equal => {
+                            let t = Triangle::new(u, v, x, w_uv, w_ux, w_vy);
+                            bag_inner.local_insert(inner, t);
+                            ai += 1;
+                            bi += 1;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
 
 /// Result of a distributed survey.
 #[derive(Clone, Debug)]
@@ -40,26 +112,17 @@ pub fn distributed_survey(
     nranks: usize,
 ) -> DistSurveyResult {
     // Distribute the oriented adjacency: vertex → out-list.
-    let adjacency: DistMap<u32, Arc<Vec<(u32, u64)>>> = DistMap::new(nranks);
+    let adjacency: DistAdjacency = DistMap::new(nranks);
     let found: DistBag<Triangle> = DistBag::new(nranks);
-    let n = oriented.n();
 
     // Stage the adjacency once, outside the SPMD region, directly into the
     // owner shards (simulating the graph already being loaded in place).
-    let load_map = adjacency.clone();
     {
         let staging = World::new(nranks);
         let o = &oriented;
-        let lm = &load_map;
+        let lm = &adjacency;
         staging.launch(move |ctx| {
-            for u in 0..n {
-                if owner_of(&u, ctx.nranks()) == ctx.rank() {
-                    let (nbrs, ws) = o.out(u);
-                    let list: Vec<(u32, u64)> =
-                        nbrs.iter().copied().zip(ws.iter().copied()).collect();
-                    lm.async_insert(ctx, u, Arc::new(list));
-                }
-            }
+            load_oriented(ctx, o, lm);
             ctx.barrier();
         });
     }
@@ -68,43 +131,7 @@ pub fn distributed_survey(
     let found2 = found.clone();
     let per_rank: Vec<(u64, u64)> = World::run(nranks, move |ctx| {
         let mut local_total = 0u64;
-        // Push superstep: for each owned apex u, for each oriented edge (u,v),
-        // ship the wedge list to owner(v) for closing.
-        let adj = adjacency2.clone();
-        let bag = found2.clone();
-        adjacency2.local_for_each(ctx, |&u, out_u| {
-            for &(v, w_uv) in out_u.iter() {
-                let out_u = Arc::clone(out_u);
-                let adj_inner = adj.clone();
-                let bag_inner = bag.clone();
-                ctx.async_exec(owner_of(&v, ctx.nranks()), move |inner| {
-                    // Owner of v closes wedges: intersect out(u) with out(v).
-                    let Some(out_v) = adj_inner.global_get(&v) else {
-                        return;
-                    };
-                    let mut ai = 0;
-                    let mut bi = 0;
-                    while ai < out_u.len() && bi < out_v.len() {
-                        let (x, w_ux) = out_u[ai];
-                        let (y, w_vy) = out_v[bi];
-                        if x == v {
-                            ai += 1;
-                            continue;
-                        }
-                        match x.cmp(&y) {
-                            std::cmp::Ordering::Less => ai += 1,
-                            std::cmp::Ordering::Greater => bi += 1,
-                            std::cmp::Ordering::Equal => {
-                                let t = Triangle::new(u, v, x, w_uv, w_ux, w_vy);
-                                bag_inner.local_insert(inner, t);
-                                ai += 1;
-                                bi += 1;
-                            }
-                        }
-                    }
-                });
-            }
-        });
+        survey_stage(ctx, &adjacency2, &found2);
         ctx.barrier();
         // Count and locally filter.
         let mine = found2.local_take(ctx);

@@ -61,6 +61,76 @@ fn survey_over_compressed_csr_matches_resident() {
 }
 
 #[test]
+fn distributed_survey_over_compressed_csr_matches_resident() {
+    // The distributed driver must accept an orientation built straight off
+    // the mmap-format CSR view, at any rank count, and agree with the
+    // resident shared-memory enumeration.
+    for (seed, n, m) in [(11u64, 40u32, 220usize), (12, 120, 1200)] {
+        let g = random_graph(seed, n, m);
+        let mut blob = Vec::new();
+        encode_graph(&g, &mut blob);
+        let view = CsrView::parse(&blob).expect("fresh encoding parses");
+
+        let resident = OrientedGraph::from_graph(&g);
+        let mut expected = Vec::new();
+        tripoll::enumerate::for_each_triangle(&resident, |t| expected.push(t));
+        expected.sort_unstable_by_key(|t| t.vertices());
+
+        let mapped = OrientedGraph::from_ref(&view);
+        for nranks in [1usize, 2, 4] {
+            for cutoff in [1u64, 10] {
+                let res = tripoll::distributed::distributed_survey(&mapped, cutoff, nranks);
+                let want: Vec<_> = expected
+                    .iter()
+                    .copied()
+                    .filter(|t| t.min_weight() >= cutoff)
+                    .collect();
+                assert_eq!(res.triangles, want, "seed {seed} ranks {nranks}");
+                assert_eq!(res.total_triangles, expected.len() as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn composable_survey_stage_runs_over_compressed_csr() {
+    // The promoted stage API (load_oriented + survey_stage inside one SPMD
+    // region) over the compressed view: same triangles as a full survey.
+    use std::sync::Arc;
+    use tripoll::{load_oriented, survey_stage, DistAdjacency, Triangle};
+    use ygm::container::{DistBag, DistMap};
+    use ygm::World;
+
+    let g = random_graph(13, 80, 700);
+    let mut blob = Vec::new();
+    encode_graph(&g, &mut blob);
+    let view = CsrView::parse(&blob).unwrap();
+    let oriented = Arc::new(OrientedGraph::from_ref(&view));
+
+    let nranks = 3;
+    let adjacency: DistAdjacency = DistMap::new(nranks);
+    let found: DistBag<Triangle> = DistBag::new(nranks);
+    {
+        let adjacency = adjacency.clone();
+        let found = found.clone();
+        let oriented = Arc::clone(&oriented);
+        World::run(nranks, move |ctx| {
+            load_oriented(ctx, &oriented, &adjacency);
+            ctx.barrier();
+            survey_stage(ctx, &adjacency, &found);
+            ctx.barrier();
+        });
+    }
+    let mut got = found.drain_into_local();
+    got.sort_unstable_by_key(|t| t.vertices());
+
+    let mut expected = Vec::new();
+    tripoll::enumerate::for_each_triangle(&OrientedGraph::from_graph(&g), |t| expected.push(t));
+    expected.sort_unstable_by_key(|t| t.vertices());
+    assert_eq!(got, expected);
+}
+
+#[test]
 fn neighbor_blocks_roundtrip_against_resident_adjacency() {
     // Degrees beyond one compressed block (128 entries) must decode exactly.
     let g = random_graph(7, 600, 24_000);

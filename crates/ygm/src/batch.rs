@@ -60,6 +60,15 @@ where
         }
     }
 
+    /// Stage `item` for the rank owning `key` under hash partitioning — the
+    /// common case when the apply function targets a distributed container
+    /// shard. Saves every call site the `owner_of(&key, ctx.nranks())`
+    /// boilerplate and keeps the routing hash in one place.
+    pub fn push_keyed<K: std::hash::Hash + ?Sized>(&mut self, ctx: &RankCtx, key: &K, item: T) {
+        let dest = crate::partition::owner_of(key, self.buffers.len());
+        self.push(ctx, dest, item);
+    }
+
     /// Ship every non-empty buffer. Items are *visible* on their owners only
     /// after the next barrier, as with plain `async_exec`.
     pub fn flush_all(&mut self, ctx: &RankCtx) {
@@ -136,6 +145,31 @@ mod tests {
                     let key = i % 97;
                     let dest = crate::partition::owner_of(&key, ctx.nranks());
                     agg.push(ctx, dest, key);
+                    direct.async_add(ctx, key);
+                }
+                agg.flush_all(ctx);
+                ctx.barrier();
+            });
+        }
+        assert_eq!(batched.gather(), direct.gather());
+    }
+
+    #[test]
+    fn push_keyed_routes_like_owner_of() {
+        let batched = DistCountingSet::<u64>::new(4);
+        let direct = DistCountingSet::<u64>::new(4);
+        {
+            let batched = batched.clone();
+            let direct = direct.clone();
+            World::run(4, move |ctx| {
+                let b2 = batched.clone();
+                let mut agg = Aggregator::new(ctx, 64, move |inner, key: u64| {
+                    // apply runs on owner_of(&key), so a local add is valid
+                    b2.local_add(inner, key, 1);
+                });
+                for i in 0..2_000u64 {
+                    let key = i % 53;
+                    agg.push_keyed(ctx, &key, key);
                     direct.async_add(ctx, key);
                 }
                 agg.flush_all(ctx);

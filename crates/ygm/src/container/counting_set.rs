@@ -110,10 +110,30 @@ where
         ctx.all_reduce_sum(local)
     }
 
-    /// `k`'s count (0 if absent) through shared memory. Quiescent-state only.
+    /// `k`'s count (0 if absent) through shared memory. Quiescent-state only,
+    /// and takes the owner shard's lock on **every** call — fine inside a
+    /// `World::run` region after a barrier, but for bulk post-run reads
+    /// prefer [`freeze`](Self::freeze), which locks each shard exactly once.
     pub fn global_count(&self, k: &K) -> u64 {
         let owner = owner_of(k, self.nranks);
         self.shards[owner].0.lock().get(k).copied().unwrap_or(0)
+    }
+
+    /// Snapshot the whole set into a read-only [`FrozenCounts`].
+    ///
+    /// This is the post-run accessor: once `World::run` has returned (or any
+    /// other quiescent point — see the barrier-semantics notes in the crate
+    /// docs), freezing walks each shard under its lock exactly once and all
+    /// subsequent reads are plain lock-free map lookups. Use it instead of
+    /// hammering [`global_count`](Self::global_count) /
+    /// [`global_top_k`](Self::global_top_k) in reporting loops, where the
+    /// per-call shard locking (and, in real YGM, a full barrier per query)
+    /// would dominate.
+    pub fn freeze(&self) -> FrozenCounts<K> {
+        FrozenCounts {
+            shards: self.shards.iter().map(|s| s.0.lock().clone()).collect(),
+            nranks: self.nranks,
+        }
     }
 
     /// The `k` entries with the largest counts, descending (ties broken
@@ -146,6 +166,66 @@ where
             out.extend(std::mem::take(&mut *shard.0.lock()));
         }
         out
+    }
+}
+
+/// An immutable snapshot of a [`DistCountingSet`], made by
+/// [`DistCountingSet::freeze`]. Reads take no locks and touch no
+/// communication machinery, so it is safe (and cheap) to query from the
+/// main thread after `World::run` returns.
+#[derive(Clone, Debug)]
+pub struct FrozenCounts<K> {
+    shards: Vec<HashMap<K, u64>>,
+    nranks: usize,
+}
+
+impl<K> FrozenCounts<K>
+where
+    K: Hash + Eq + Clone,
+{
+    /// `k`'s count at freeze time (0 if absent). Lock-free.
+    pub fn count(&self, k: &K) -> u64 {
+        self.shards[owner_of(k, self.nranks)]
+            .get(k)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Distinct keys at freeze time.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether the snapshot holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Sum of all counts at freeze time.
+    pub fn total(&self) -> u64 {
+        self.shards.iter().flat_map(HashMap::values).sum()
+    }
+
+    /// The `k` entries with the largest counts, descending; ties broken by
+    /// key order when `K: Ord` is not required, so ties are resolved by the
+    /// (stable) shard walk order only — same contract as
+    /// [`DistCountingSet::global_top_k`].
+    pub fn top_k(&self, k: usize) -> Vec<(K, u64)> {
+        let mut all: Vec<(K, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(key, &c)| (key.clone(), c)))
+            .collect();
+        all.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
+        all.truncate(k);
+        all
+    }
+
+    /// Iterate every `(key, count)` pair, shard by shard.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(k, &c)| (k, c)))
     }
 }
 
@@ -231,6 +311,42 @@ mod tests {
         let top = cs.global_top_k(2);
         assert_eq!(top, vec![(2, 50), (3, 20)]);
         assert_eq!(cs.global_top_k(100).len(), 4);
+    }
+
+    #[test]
+    fn freeze_matches_live_reads_without_locking_per_call() {
+        let cs = DistCountingSet::<u32>::new(4);
+        {
+            let cs = cs.clone();
+            World::run(4, move |ctx| {
+                for k in 0..50u32 {
+                    cs.async_add_many(ctx, k, u64::from(k) + 1);
+                }
+                ctx.barrier();
+            });
+        }
+        // Post-run: World::run has joined every rank, so the set is quiescent.
+        let frozen = cs.freeze();
+        assert_eq!(frozen.len(), 50);
+        assert!(!frozen.is_empty());
+        for k in 0..50u32 {
+            assert_eq!(frozen.count(&k), cs.global_count(&k));
+        }
+        assert_eq!(frozen.count(&999), 0);
+        assert_eq!(frozen.total(), (1..=50u64).sum::<u64>() * 4);
+        assert_eq!(frozen.top_k(2), cs.global_top_k(2));
+        assert_eq!(frozen.iter().count(), 50);
+        // The snapshot is detached: later mutation doesn't bleed in.
+        {
+            let cs = cs.clone();
+            World::run(4, move |ctx| {
+                if ctx.rank() == 0 {
+                    cs.async_add_many(ctx, 0, 100);
+                }
+            });
+        }
+        assert_eq!(frozen.count(&0), 4);
+        assert_eq!(cs.global_count(&0), 4 + 100);
     }
 
     #[test]

@@ -26,7 +26,7 @@ mod topk;
 
 pub use array::DistArray;
 pub use bag::DistBag;
-pub use counting_set::DistCountingSet;
+pub use counting_set::{DistCountingSet, FrozenCounts};
 pub use map::DistMap;
 pub use multimap::DistMultimap;
 pub use set::DistSet;

@@ -71,6 +71,26 @@ where
         });
     }
 
+    /// Append `v` to `k`'s value list directly in this rank's shard — no
+    /// messaging. The caller must be `k`'s owner; this is the appender an
+    /// [`crate::batch::Aggregator`] apply function uses (the aggregator
+    /// routed the batch to the owner, so a local append is both valid and
+    /// free of the self-send a nested `async_insert` would cost).
+    pub fn local_insert(&self, ctx: &RankCtx, k: K, v: V) {
+        self.check(ctx);
+        debug_assert_eq!(
+            owner_of(&k, self.nranks),
+            ctx.rank(),
+            "local_insert on a non-owned key"
+        );
+        self.shards[ctx.rank()]
+            .0
+            .lock()
+            .entry(k)
+            .or_default()
+            .push(v);
+    }
+
     /// Iterate this rank's groups: `f(&key, &values)`.
     pub fn local_for_each_group<F>(&self, ctx: &RankCtx, mut f: F)
     where
@@ -78,6 +98,18 @@ where
     {
         self.check(ctx);
         for (k, vs) in self.shards[ctx.rank()].0.lock().iter() {
+            f(k, vs);
+        }
+    }
+
+    /// Mutably iterate this rank's groups — e.g. to sort every value list in
+    /// place after an exchange superstep, the way a BTM sorts its sides.
+    pub fn local_for_each_group_mut<F>(&self, ctx: &RankCtx, mut f: F)
+    where
+        F: FnMut(&K, &mut Vec<V>),
+    {
+        self.check(ctx);
+        for (k, vs) in self.shards[ctx.rank()].0.lock().iter_mut() {
             f(k, vs);
         }
     }
@@ -253,6 +285,36 @@ mod tests {
         assert_eq!(got.values().map(Vec::len).sum::<usize>(), 20);
         let total: u32 = got.values().flatten().sum();
         assert_eq!(total, (0..20u32).map(|p| p + p + 1).sum());
+    }
+
+    #[test]
+    fn local_insert_via_aggregator_matches_async_insert() {
+        use crate::batch::Aggregator;
+        let batched = DistMultimap::<u32, u32>::new(3);
+        let direct = DistMultimap::<u32, u32>::new(3);
+        {
+            let batched = batched.clone();
+            let direct = direct.clone();
+            World::run(3, move |ctx| {
+                let b2 = batched.clone();
+                let mut agg = Aggregator::new(ctx, 64, move |inner, (k, v): (u32, u32)| {
+                    // apply runs on owner_of(&k): a local append is valid
+                    b2.local_insert(inner, k, v);
+                });
+                for i in 0..1_000u32 {
+                    let k = i % 37;
+                    agg.push_keyed(ctx, &k, (k, i));
+                    direct.async_insert(ctx, k, i);
+                }
+                agg.flush_all(ctx);
+                ctx.barrier();
+                // sort both so value arrival order cannot differ
+                batched.local_for_each_group_mut(ctx, |_, vs| vs.sort_unstable());
+                direct.local_for_each_group_mut(ctx, |_, vs| vs.sort_unstable());
+                ctx.barrier();
+            });
+        }
+        assert_eq!(batched.gather(), direct.gather());
     }
 
     #[test]

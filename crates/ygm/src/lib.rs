@@ -20,6 +20,34 @@
 //! it would be written against YGM proper, so the communication structure of the
 //! paper's distributed implementation is preserved.
 //!
+//! ## Barrier semantics and quiescent reads
+//!
+//! There are exactly three quiescence regimes, and every container method
+//! documents which one it needs:
+//!
+//! 1. **Inside the SPMD region, between barriers** — only `async_*` mutators
+//!    and `local_*` accessors are safe. An `async_*` effect is visible on its
+//!    owner only after the next [`RankCtx::barrier`] (which also drains
+//!    message *chains*: handlers that send further messages are run to
+//!    completion before any rank is released).
+//! 2. **Inside the SPMD region, immediately after a barrier** — the world is
+//!    quiescent until the next `async_*` send, so `global_*` readers
+//!    (`global_count`, `global_get`, `gather`, …) may peek at remote shards
+//!    through shared memory. Collectives (`all_gather`, `all_reduce*`,
+//!    `global_len`, …) must be issued by **every** rank in the same order.
+//! 3. **After [`World::run`] returns** — all ranks have joined and an
+//!    implicit final barrier has drained every in-flight message, so the
+//!    containers are permanently quiescent. `global_*` readers are safe from
+//!    the main thread, but each call still takes the owner shard's lock (and
+//!    on a real cluster would be a communication round). For bulk post-run
+//!    reporting, snapshot once instead — e.g.
+//!    [`container::DistCountingSet::freeze`] locks each shard exactly once
+//!    and returns a lock-free read-only [`container::FrozenCounts`].
+//!
+//! Collective calls after `World::run` has returned are a bug: there are no
+//! rank threads left to meet the barrier, so they would deadlock. The
+//! post-run accessors exist precisely so that reporting code never needs one.
+//!
 //! ## Example
 //!
 //! ```
@@ -48,4 +76,4 @@ pub mod stats;
 
 pub use batch::Aggregator;
 pub use comm::{RankCtx, World};
-pub use partition::owner_of;
+pub use partition::{block_owner, block_range, owner_of};

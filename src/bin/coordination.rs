@@ -17,6 +17,7 @@ use std::io::{BufRead, BufReader, Read};
 use std::process::ExitCode;
 
 use coordination::analysis::components::{component_dot, describe, named_components};
+use coordination::core::dist_pipeline::DistPipeline;
 use coordination::core::ingest::{self, IngestConfig, IngestStats};
 use coordination::core::pipeline::{Pipeline, PipelineConfig};
 use coordination::core::records::{write_ndjson, Dataset};
@@ -53,10 +54,12 @@ const STREAM_COUNTERS: &[&str] = &[
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine|stream|snapshot|report-validate> [flags]\n\
+        "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine|pipeline|stream|snapshot|report-validate> [flags]\n\
          \n\
          generate  --preset jan2020|oct2016 [--scale F=0.3] --out FILE\n\
          stats     --input FILE\n\
+         pipeline  --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=10] [--t-score F=0]\n\
+         \x20          [--distributed [--ranks N=4]]\n\
          project   --input FILE [--d1 S=0] [--d2 S=60] --out GRAPH.tsv\n\
          survey    --graph GRAPH.tsv [--cutoff N=10] [--t-score F=0] [--top N]\n\
          hunt      --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--dot-dir DIR]\n\
@@ -71,8 +74,12 @@ fn usage() -> ExitCode {
          report-validate --report FILE [--kind batch|stream]\n\
          \n\
          `project` persists the expensive step-1 graph; `survey` re-queries it\n\
-         at any cutoff without reprojecting. `stream` replays the input as a\n\
-         live event stream and alerts on coordinated triplets mid-stream.\n\
+         at any cutoff without reprojecting. `pipeline` runs ingest →\n\
+         projection → survey → validation end to end and prints a\n\
+         deterministic analysis; with --distributed it runs rank-sharded on\n\
+         --ranks ygm ranks and produces byte-identical stdout. `stream`\n\
+         replays the input as a live event stream and alerts on coordinated\n\
+         triplets mid-stream.\n\
          `snapshot write` serializes an ingest to the columnar binary snapshot\n\
          format; stats/survey/hunt/validate/groups/refine then accept\n\
          --from-snapshot FILE.snap in place of --input and run over the\n\
@@ -81,7 +88,9 @@ fn usage() -> ExitCode {
          version, stage spans, and counters (exit 2 on any gap).\n\
          Input is pushshift-style NDJSON.\n\
          \n\
-         Global: --threads N runs the command inside an N-thread rayon pool\n\
+         Global: --ranks N sets the rank count for distributed runs (only\n\
+         valid with `pipeline --distributed`; errors elsewhere).\n\
+         --threads N runs the command inside an N-thread rayon pool\n\
          (default: rayon's own sizing); ingest parses input chunks on the\n\
          same pool. --skip-bad-lines counts and skips malformed input lines\n\
          instead of aborting (default: strict). --report FILE writes a\n\
@@ -528,6 +537,90 @@ fn cmd_validate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `pipeline`: the full ingest → projection → survey → validation run with a
+/// deterministic stdout report — the same bytes whether it runs on the rayon
+/// path or rank-sharded (`--distributed --ranks N`), which is what the CLI
+/// equivalence test pins. Timings go to stderr only.
+fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
+    reject_both_inputs(flags)?;
+    let config = PipelineConfig {
+        window: window(flags)?,
+        min_triangle_weight: flags.num("cutoff", 10)?,
+        min_t_score: flags.num("t-score", 0.0)?,
+        ..Default::default()
+    };
+    let distributed = flags.has("distributed");
+    let ranks: usize = flags.num("ranks", 4)?;
+
+    // Run, and keep a name table for printing (the snapshot path reads names
+    // straight off the mapping; no Dataset is materialized).
+    let (out, names): (_, Box<dyn Fn(u32) -> String>) =
+        if let Some(path) = flags.get("from-snapshot") {
+            let snap = open_snapshot(path)?;
+            let out = if distributed {
+                DistPipeline::new(config, ranks).run_snapshot(&snap)
+            } else {
+                Pipeline::new(config).run_snapshot(&snap)
+            };
+            let names: Vec<String> = snap.author_names().iter().map(str::to_owned).collect();
+            (out, Box::new(move |id| names[id as usize].clone()))
+        } else {
+            let ds = load_dataset(flags)?;
+            let out = if distributed {
+                DistPipeline::new(config, ranks).run_dataset(&ds)
+            } else {
+                Pipeline::new(config).run_dataset(&ds)
+            };
+            let authors = std::sync::Arc::clone(&ds.authors);
+            (out, Box::new(move |id| authors.name(id).to_owned()))
+        };
+
+    let s = &out.stats;
+    eprintln!(
+        "{} path: projection {:.2?}, survey {:.2?}, validation {:.2?}",
+        if distributed {
+            "distributed"
+        } else {
+            "resident"
+        },
+        out.timings.projection,
+        out.timings.survey,
+        out.timings.validation,
+    );
+    println!("comments reviewed      {}", s.comments_reviewed);
+    println!(
+        "authors (projected)    {} ({})",
+        s.total_authors, s.projected_authors
+    );
+    println!(
+        "ci edges               {} ({} after threshold)",
+        s.ci_edges, s.ci_edges_after_threshold
+    );
+    println!(
+        "triangles              {} examined, {} kept (max min-weight {})",
+        s.triangles_examined, s.triangles_kept, out.survey.max_min_weight
+    );
+    println!(
+        "min-weight log2 hist   {:?}",
+        out.survey.min_weight_log_hist
+    );
+    println!("a\tb\tc\tmin_w\tT\tw_xyz\tC");
+    for m in &out.triplets {
+        let [a, b, c] = m.authors.map(|a| a.0);
+        println!(
+            "{}\t{}\t{}\t{}\t{:.4}\t{}\t{:.4}",
+            names(a),
+            names(b),
+            names(c),
+            m.min_ci_weight,
+            m.t,
+            m.hyper_weight,
+            m.c
+        );
+    }
+    Ok(())
+}
+
 fn cmd_groups(flags: &Flags) -> Result<(), String> {
     let (ds, out) = run_pipeline(flags, 25)?;
     let excl = coordination::core::filter::ExclusionList::reddit_defaults();
@@ -747,6 +840,7 @@ fn dispatch(cmd: &str, flags: &Flags) -> Option<Result<(), String>> {
         "hunt" => cmd_hunt(flags),
         "validate" => cmd_validate(flags),
         "groups" => cmd_groups(flags),
+        "pipeline" => cmd_pipeline(flags),
         "refine" => cmd_refine(flags),
         "stream" => cmd_stream(flags),
         "snapshot write" => cmd_snapshot_write(flags),
@@ -781,6 +875,25 @@ fn main() -> ExitCode {
     let Some(flags) = Flags::parse(rest) else {
         return usage();
     };
+    // Global `--ranks` validation: it only means something on a distributed
+    // run, and it must be a positive rank count. Catching it here gives every
+    // other subcommand the same clear error instead of a silently ignored
+    // flag.
+    if let Some(v) = flags.get("ranks") {
+        if cmd != "pipeline" || !flags.has("distributed") {
+            eprintln!(
+                "error: --ranks only applies to distributed runs; use `pipeline --distributed --ranks N`"
+            );
+            return ExitCode::from(2);
+        }
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => {}
+            _ => {
+                eprintln!("error: --ranks: need a positive rank count, got {v:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     // `--report` / `--progress` turn instrumentation on for the whole run;
     // otherwise every obs call site stays on its disabled fast path.
     let report_path = flags.get("report").filter(|_| cmd != "report-validate");

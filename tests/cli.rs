@@ -310,6 +310,79 @@ fn snapshot_inspect_rejects_damaged_and_future_files() {
 }
 
 #[test]
+fn pipeline_distributed_stdout_is_byte_identical_to_resident() {
+    let dir = tmpdir("pipeline-dist");
+    let input = generate_month(&dir);
+    let resident = bin()
+        .args(["pipeline", "--input"])
+        .arg(&input)
+        .args(["--d2", "60", "--cutoff", "25"])
+        .output()
+        .expect("run pipeline");
+    assert!(resident.status.success());
+    let stdout = String::from_utf8_lossy(&resident.stdout);
+    assert!(stdout.contains("comments reviewed"), "{stdout}");
+    assert!(stdout.contains("a\tb\tc\tmin_w\tT\tw_xyz\tC"), "{stdout}");
+
+    // the acceptance bar: the rank-sharded run prints the same bytes
+    let distributed = bin()
+        .args(["pipeline", "--input"])
+        .arg(&input)
+        .args([
+            "--d2",
+            "60",
+            "--cutoff",
+            "25",
+            "--distributed",
+            "--ranks",
+            "4",
+        ])
+        .output()
+        .expect("run pipeline --distributed");
+    assert!(distributed.status.success());
+    assert!(!resident.stdout.is_empty());
+    assert_eq!(
+        resident.stdout, distributed.stdout,
+        "distributed stdout diverged from resident"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn ranks_flag_is_validated_and_scoped_to_distributed_runs() {
+    let dir = tmpdir("ranks-flag");
+    let input = generate_month(&dir);
+    // --ranks without --distributed (or on another subcommand) is an error
+    for args in [
+        vec!["stats", "--ranks", "4", "--input"],
+        vec!["pipeline", "--ranks", "2", "--input"],
+    ] {
+        let out = bin().args(&args).arg(&input).output().expect("run");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--ranks only applies to distributed runs"),
+            "{args:?}: {stderr}"
+        );
+    }
+    // a non-positive or malformed rank count is an error
+    for bad in ["0", "-3", "many"] {
+        let out = bin()
+            .args(["pipeline", "--distributed", "--ranks", bad, "--input"])
+            .arg(&input)
+            .output()
+            .expect("run");
+        assert_eq!(out.status.code(), Some(2), "--ranks {bad}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("positive rank count"),
+            "--ranks {bad}: {stderr}"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let status = bin().arg("frobnicate").status().expect("run");
     assert_eq!(status.code(), Some(2));

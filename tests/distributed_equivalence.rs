@@ -1,0 +1,199 @@
+//! The PR's acceptance bar: the rank-sharded end-to-end pipeline
+//! ([`DistPipeline`]) is *exactly* equivalent to the resident rayon path —
+//! same CI graph, same survey report, same validated triplets with
+//! bit-identical floating-point scores — for any input, any rank count, and
+//! any event interleaving.
+//!
+//! CI runs the named `distributed_matches_rayon_at_*_ranks` tests explicitly
+//! at 1/2/4 ranks; the proptests below extend the same claim to arbitrary
+//! rank counts and shuffled event orders.
+
+use proptest::prelude::*;
+
+use coordination::core::dist_pipeline::DistPipeline;
+use coordination::core::pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+use coordination::core::records::{write_ndjson, CommentRecord, Dataset};
+use coordination::redditgen::ScenarioConfig;
+
+/// Full-output equality, floats compared by bit pattern.
+fn assert_equivalent(resident: &PipelineOutput, dist: &PipelineOutput) {
+    assert_eq!(
+        resident.stats.comments_reviewed,
+        dist.stats.comments_reviewed
+    );
+    assert_eq!(resident.stats.total_authors, dist.stats.total_authors);
+    assert_eq!(
+        resident.stats.projected_authors,
+        dist.stats.projected_authors
+    );
+    assert_eq!(resident.stats.ci_edges, dist.stats.ci_edges);
+    assert_eq!(
+        resident.stats.ci_edges_after_threshold,
+        dist.stats.ci_edges_after_threshold
+    );
+    assert_eq!(
+        resident.stats.triangles_examined,
+        dist.stats.triangles_examined
+    );
+    assert_eq!(resident.stats.triangles_kept, dist.stats.triangles_kept);
+    assert_eq!(
+        resident.stats.triplets_validated,
+        dist.stats.triplets_validated
+    );
+    assert_eq!(
+        resident.ci.edges().collect::<Vec<_>>(),
+        dist.ci.edges().collect::<Vec<_>>()
+    );
+    assert_eq!(resident.ci.page_counts(), dist.ci.page_counts());
+    assert_eq!(resident.survey.total_examined, dist.survey.total_examined);
+    assert_eq!(resident.survey.max_min_weight, dist.survey.max_min_weight);
+    assert_eq!(
+        resident.survey.min_weight_log_hist,
+        dist.survey.min_weight_log_hist
+    );
+    assert_eq!(resident.survey.triangles.len(), dist.survey.triangles.len());
+    for (a, b) in resident.survey.triangles.iter().zip(&dist.survey.triangles) {
+        assert_eq!(a.triangle, b.triangle);
+        assert_eq!(a.min_weight, b.min_weight);
+        assert_eq!(a.t_score.to_bits(), b.t_score.to_bits());
+    }
+    assert_eq!(resident.triplets.len(), dist.triplets.len());
+    for (a, b) in resident.triplets.iter().zip(&dist.triplets) {
+        assert_eq!(a.authors, b.authors);
+        assert_eq!(a.ci_weights, b.ci_weights);
+        assert_eq!(a.min_ci_weight, b.min_ci_weight);
+        assert_eq!(a.hyper_weight, b.hyper_weight);
+        assert_eq!(a.page_counts, b.page_counts);
+        assert_eq!(a.t.to_bits(), b.t.to_bits());
+        assert_eq!(a.c.to_bits(), b.c.to_bits());
+    }
+}
+
+/// A small generated month — realistic name tables, bot families, organic
+/// noise, AutoModerator (so the exclusion path is exercised).
+fn month() -> Dataset {
+    let scenario = ScenarioConfig::jan2020(0.03).build();
+    Dataset::from_records(scenario.records)
+}
+
+fn run_both(ds: &Dataset, nranks: usize) -> (PipelineOutput, PipelineOutput) {
+    let config = PipelineConfig {
+        min_triangle_weight: 25,
+        ..Default::default()
+    };
+    let resident = Pipeline::new(config.clone()).run_dataset(ds);
+    let dist = DistPipeline::new(config, nranks).run_dataset(ds);
+    (resident, dist)
+}
+
+#[test]
+fn distributed_matches_rayon_at_1_rank() {
+    let ds = month();
+    let (resident, dist) = run_both(&ds, 1);
+    assert!(!resident.triplets.is_empty(), "scenario found no triplets");
+    assert_equivalent(&resident, &dist);
+}
+
+#[test]
+fn distributed_matches_rayon_at_2_ranks() {
+    let ds = month();
+    let (resident, dist) = run_both(&ds, 2);
+    assert_equivalent(&resident, &dist);
+}
+
+#[test]
+fn distributed_matches_rayon_at_4_ranks() {
+    let ds = month();
+    let (resident, dist) = run_both(&ds, 4);
+    assert_equivalent(&resident, &dist);
+}
+
+#[test]
+fn distributed_text_ingest_matches_rayon_on_generated_month() {
+    // The rank-sharded ingest path: each rank parses its own chunk of the
+    // NDJSON buffer, and the replicated interner merge must reproduce the
+    // serial reader's dense ids exactly.
+    let scenario = ScenarioConfig::jan2020(0.02).build();
+    let mut ndjson = Vec::new();
+    write_ndjson(&mut ndjson, &scenario.records).expect("serialize");
+    let text = String::from_utf8(ndjson).expect("utf8");
+    let ds = Dataset::from_records(scenario.records);
+
+    let config = PipelineConfig {
+        min_triangle_weight: 25,
+        ..Default::default()
+    };
+    let resident = Pipeline::new(config.clone()).run_dataset(&ds);
+    for nranks in [1, 3, 4] {
+        let dist = DistPipeline::new(config.clone(), nranks)
+            .run_text(&text)
+            .expect("well-formed month");
+        assert_equivalent(&resident, &dist);
+    }
+}
+
+/// Random event logs over small id spaces (heavy collision rate), as
+/// pushshift-style records so the dataset path interns real names.
+fn arb_records(
+    max_authors: u32,
+    max_pages: u32,
+    max_events: usize,
+) -> impl Strategy<Value = Vec<CommentRecord>> {
+    let rec = (0..max_authors, 0..max_pages, 0i64..3_000)
+        .prop_map(|(a, p, t)| CommentRecord::new(format!("author{a}"), format!("page{p}"), t));
+    prop::collection::vec(rec, 0..max_events)
+}
+
+/// Permute the event interleaving deterministically from a proptest-chosen
+/// seed. The permutation changes the chunk contents every rank parses and
+/// the arrival order at every shuffle point — the output must not move.
+fn shuffled(mut records: Vec<CommentRecord>, seed: u64) -> Dataset {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    records.shuffle(&mut rng);
+    Dataset::from_records(records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact equivalence for arbitrary rank counts and event interleavings.
+    #[test]
+    fn distributed_equals_rayon_for_any_rank_count(
+        records in arb_records(16, 12, 250),
+        seed in 0u64..u64::MAX,
+        nranks in 1usize..9,
+    ) {
+        let ds = shuffled(records, seed);
+        let config = PipelineConfig {
+            min_triangle_weight: 1,
+            ..Default::default()
+        };
+        let resident = Pipeline::new(config.clone()).run_dataset(&ds);
+        let dist = DistPipeline::new(config, nranks).run_dataset(&ds);
+        assert_equivalent(&resident, &dist);
+    }
+
+    /// Same claim with the edge threshold and T-score predicates active, so
+    /// the distributed orientation (post-threshold degree reduction) and the
+    /// keep filter are both on the hook.
+    #[test]
+    fn distributed_equals_rayon_under_thresholds(
+        records in arb_records(14, 10, 220),
+        seed in 0u64..u64::MAX,
+        nranks in 1usize..7,
+        edge_threshold in 1u64..4,
+    ) {
+        let ds = shuffled(records, seed);
+        let config = PipelineConfig {
+            edge_threshold,
+            min_triangle_weight: 2,
+            min_t_score: 0.2,
+            ..Default::default()
+        };
+        let resident = Pipeline::new(config.clone()).run_dataset(&ds);
+        let dist = DistPipeline::new(config, nranks).run_dataset(&ds);
+        assert_equivalent(&resident, &dist);
+    }
+}
