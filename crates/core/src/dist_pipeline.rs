@@ -6,35 +6,58 @@
 //! the paper's MPI deployment used, with every stage owner-partitioned and
 //! every hand-off an explicit shuffle:
 //!
-//! 1. **Ingest** — each rank parses its line-range of the NDJSON buffer
-//!    (or its block of a [`Dataset`], or its slice of one mmapped snapshot
-//!    shared read-only by all ranks). For text input, name tables are
-//!    all-gathered and every rank replays the chunk-order interner merge, so
-//!    the dense ids are exactly the ids the serial reader would assign (the
-//!    [`crate::ingest`] invariant, here with chunks ≡ ranks).
-//! 2. **Exchange** — kept events are shuffled twice through batched
-//!    aggregators ([`ygm::Aggregator::push_keyed`]): `(ts, author)` to the
-//!    *page* owner (projection input) and `page` to the *author* owner
-//!    (validation input). Owners sort their lists after the barrier, which is
-//!    what makes the shuffle order irrelevant — the same order-invariance
-//!    that makes [`crate::btm::Btm`] chunk-count-independent.
+//! 1. **Ingest** — each rank *streams* its share of the input: its
+//!    line-range of the NDJSON buffer, its block of a [`Dataset`] (borrowed
+//!    slice), its slice of one mmapped snapshot shared read-only by all
+//!    ranks, or a caller-supplied per-rank generator ([`EventSource`], the
+//!    [`DistPipeline::run_events`] path). No rank ever materializes its
+//!    event partition as an owned `Vec<Event>` — events flow straight from
+//!    the source into the exchange aggregators, so ingest and exchange
+//!    overlap. For text input, name tables are all-gathered and every rank
+//!    replays the chunk-order interner merge, so the dense ids are exactly
+//!    the ids the serial reader would assign (the [`crate::ingest`]
+//!    invariant, here with chunks ≡ ranks).
+//! 2. **Exchange** — kept events are shuffled *once*, through a packed
+//!    byte-buffer aggregator ([`ygm::PackedAggregator`], adaptive
+//!    bytes-per-batch thresholds): `(page, ts, author)` to the *page* owner
+//!    (projection input). Receivers bulk-append each batch into flat
+//!    per-rank runs ([`ygm::container::DistBag::local_extend`], one lock per
+//!    batch) and owners sort the flat runs once after the barrier — the
+//!    PR 3 sorted-run discipline instead of hash-map-of-`Vec`s. The
+//!    post-barrier sort is what makes the shuffle order irrelevant — the
+//!    same order-invariance that makes [`crate::btm::Btm`]
+//!    chunk-count-independent. (The author→pages incidence `Btm` also
+//!    builds is *skipped* here and harvested on demand in stage 5.)
 //! 3. **Projection** — page owners run the flat pair kernel
-//!    ([`crate::project::page_pairs_flat`]) over their neighborhoods and
-//!    shuffle each packed pair occurrence to its *edge owner*
-//!    (`owner_of(packed)`), which sorts and run-length-counts its disjoint
-//!    slice of the edge set. Per-author `P'` contributions reduce to a
-//!    replicated dense vector via [`ygm::reduce::all_reduce_hist`].
+//!    ([`crate::project::page_pairs_flat`]) over their neighborhoods (runs
+//!    of the flat page-sorted event array) and shuffle each packed pair
+//!    occurrence to its *edge owner* (`owner_of(packed)`), which sorts and
+//!    run-length-counts its disjoint slice of the edge set. Per-author `P'`
+//!    contributions reduce to a replicated dense vector via
+//!    [`ygm::reduce::all_reduce_hist`].
 //! 4. **Survey** — the ghost-boundary exchange is a global post-threshold
 //!    degree reduction: every rank learns the degree of every vertex (the
 //!    ghosts of its partition included) and orients its edges by the same
 //!    `(degree, id)` rule as [`tripoll::OrientedGraph`]. Oriented edges
-//!    shuffle to their source's owner, build a
-//!    [`coordination_graph::LocalCsr`] partition, and
-//!    [`tripoll::survey_stage`] closes wedges exactly as on the cluster.
-//! 5. **Validation** — the rank that kept a triangle fetches the three
-//!    authors' page lists from the author-owner shards (quiescent
-//!    [`global_get`](ygm::container::DistMultimap::global_get) after the
-//!    survey barrier — reads only, no message chains) and computes the
+//!    shuffle (packed) to their source's owner, build a
+//!    [`coordination_graph::LocalCsr`] partition published into the
+//!    distributed adjacency by direct owner-local inserts (no self-send
+//!    round trip), and [`tripoll::survey_stage`] closes wedges exactly as on
+//!    the cluster, its wedge-check messages batched by the same adaptive
+//!    policy.
+//! 5. **Validation** — first the *on-demand harvest*: the surveyed
+//!    triangles are keep-filtered (min weight and `T`-score — both locally
+//!    computable, `P'` is replicated), the survivors' vertex set is
+//!    all-gathered, each rank
+//!    scans its page-sorted event run for just those authors, and ships the
+//!    packed `(author, page)` incidences to the author owners, which sort
+//!    and dedup — reproducing `Btm`'s page lists for exactly the authors
+//!    validation will read, instead of shuffling and sorting the full
+//!    per-event incidence. Then the rank that kept a triangle
+//!    binary-searches the three authors' page runs out of the author-owner
+//!    shards in place (quiescent
+//!    [`with_shard`](ygm::container::DistBag::with_shard) reads after the
+//!    harvest barrier — no message chains, no list clones) and computes the
 //!    metrics through [`crate::hypergraph::validate_triangle_parts`], the
 //!    same floating-point expressions the resident path evaluates.
 //!
@@ -53,9 +76,9 @@ use std::time::{Duration, Instant};
 use coordination_graph::LocalCsr;
 use tripoll::survey::{t_score, SurveyReport, SurveyedTriangle};
 use tripoll::{survey_stage, DistAdjacency, Triangle};
-use ygm::container::{DistBag, DistMultimap};
-use ygm::reduce::all_reduce_hist;
-use ygm::{Aggregator, RankCtx, World};
+use ygm::container::DistBag;
+use ygm::reduce::{all_gather_concat, all_reduce_hist};
+use ygm::{owner_of, PackedAggregator, PackedBatch, RankCtx, World};
 
 use crate::cigraph::CiGraph;
 use crate::hypergraph::validate_triangle_parts;
@@ -63,12 +86,8 @@ use crate::ids::{AuthorId, Event, Interner, PageId, Timestamp};
 use crate::ingest::{parse_chunk, split_chunks};
 use crate::metrics::TripletMetrics;
 use crate::pipeline::{PipelineConfig, PipelineOutput, RunStats, StageTimings};
-use crate::project::{page_pairs_flat, run_length_pairs, sort_packed, unpack_pair};
+use crate::project::{pack_pair, page_pairs_flat, run_length_pairs, sort_packed, unpack_pair};
 use crate::records::{Dataset, ReadError};
-
-/// Flush threshold for every shuffle aggregator — the same order of
-/// magnitude real YGM uses for its send buffers.
-const AGG_THRESHOLD: usize = 1024;
 
 /// `log2`-bucket histograms pad to the full `u64` range so
 /// [`all_reduce_hist`] sees equal lengths on every rank; trailing zeros are
@@ -87,6 +106,33 @@ pub struct DistPipeline {
     pub config: PipelineConfig,
     /// Number of ygm ranks to run on.
     pub nranks: usize,
+    /// Override for the exchange flush threshold in bytes. `None` (the
+    /// default) uses [`ygm::adaptive_batch_bytes`] per item width; tests set
+    /// tiny values to stress the flush path — the output must not move.
+    pub batch_bytes: Option<usize>,
+}
+
+/// A per-rank event generator for [`DistPipeline::run_events`]: called as
+/// `source(rank, nranks)` on every rank, it yields that rank's share of the
+/// event stream. The union over ranks must be the same event multiset for
+/// every rank count (events carry dense ids already; no interning happens on
+/// this path, and no name-based exclusions apply).
+pub type EventSource<'a> = dyn Fn(usize, usize) -> Box<dyn Iterator<Item = Event> + 'a> + Sync + 'a;
+
+/// Identity helper that pins a closure to the [`EventSource`] shape. Without
+/// it, a closure literal returning `Box::new(...)` infers a `'static` boxed
+/// iterator and refuses to capture borrowed generator state; routing the
+/// closure through this function ties the box's lifetime to the borrow:
+///
+/// ```ignore
+/// let source = event_source(|rank, nranks| Box::new(month.rank_events(rank, nranks)));
+/// pipeline.run_events(month.total_authors(), &source);
+/// ```
+pub fn event_source<'a, F>(f: F) -> F
+where
+    F: Fn(usize, usize) -> Box<dyn Iterator<Item = Event> + 'a> + Sync,
+{
+    f
 }
 
 /// What one rank contributes back to the main thread. Collective reductions
@@ -121,6 +167,10 @@ enum DistInput<'a> {
     Text(&'a str),
     Dataset(&'a Dataset),
     Snapshot(&'a coordination_store::Snapshot),
+    Events {
+        n_authors: u32,
+        source: &'a EventSource<'a>,
+    },
 }
 
 impl DistPipeline {
@@ -130,7 +180,20 @@ impl DistPipeline {
     /// Panics if `nranks == 0`.
     pub fn new(config: PipelineConfig, nranks: usize) -> Self {
         assert!(nranks > 0, "a distributed pipeline needs at least one rank");
-        DistPipeline { config, nranks }
+        DistPipeline {
+            config,
+            nranks,
+            batch_bytes: None,
+        }
+    }
+
+    /// Same pipeline with a fixed exchange flush threshold in bytes instead
+    /// of the adaptive default. Equivalence-testing hook: any threshold —
+    /// including one that degenerates to one item per batch — must produce
+    /// identical output.
+    pub fn with_batch_bytes(mut self, bytes: usize) -> Self {
+        self.batch_bytes = Some(bytes);
+        self
     }
 
     /// Rank-sharded ingest + pipeline over an NDJSON buffer. Errors exactly
@@ -155,20 +218,33 @@ impl DistPipeline {
             .expect("snapshot input cannot fail to parse")
     }
 
+    /// Pipeline over a rank-sharded event stream that is never materialized:
+    /// each rank pulls `source(rank, nranks)` and feeds the events straight
+    /// into the exchange — the path for generated (or externally streamed)
+    /// workloads whose full event list would not fit one rank. Events carry
+    /// dense author/page ids (`< n_authors` authors); name-based exclusions
+    /// do not apply here (there are no names), so callers exclude upstream.
+    pub fn run_events<'a>(&self, n_authors: u32, source: &'a EventSource<'a>) -> PipelineOutput {
+        self.run_world(DistInput::Events { n_authors, source })
+            .expect("event-source input cannot fail to parse")
+    }
+
     fn run_world(&self, input: DistInput<'_>) -> Result<PipelineOutput, ReadError> {
         let nranks = self.nranks;
         let cfg = &self.config;
+        let batch_bytes = self.batch_bytes;
         let input = &input;
 
-        // Distributed containers, one per shuffle point.
-        let page_comments: DistMultimap<u32, (Timestamp, AuthorId)> = DistMultimap::new(nranks);
-        let author_pages: DistMultimap<u32, PageId> = DistMultimap::new(nranks);
+        // Distributed containers, one per shuffle point — all flat runs
+        // (sorted after the barrier), never maps of per-key `Vec`s.
+        let page_events: DistBag<(u32, i64, u32)> = DistBag::new(nranks);
+        let author_pages: DistBag<u64> = DistBag::new(nranks);
         let pair_occurrences: DistBag<u64> = DistBag::new(nranks);
         let oriented_edges: DistBag<(u32, u32, u64)> = DistBag::new(nranks);
         let adjacency: DistAdjacency = DistAdjacency::new(nranks);
         let found: DistBag<Triangle> = DistBag::new(nranks);
 
-        let pc = &page_comments;
+        let pe = &page_events;
         let ap = &author_pages;
         let occ_bag = &pair_occurrences;
         let edge_bag = &oriented_edges;
@@ -176,7 +252,18 @@ impl DistPipeline {
         let found_ref = &found;
 
         let mut outs = World::run(nranks, move |ctx| {
-            rank_main(ctx, cfg, input, pc, ap, occ_bag, edge_bag, adj, found_ref)
+            rank_main(
+                ctx,
+                cfg,
+                batch_bytes,
+                input,
+                pe,
+                ap,
+                occ_bag,
+                edge_bag,
+                adj,
+                found_ref,
+            )
         });
 
         // Text-path parse failure: the erroring ranks carried their local
@@ -248,9 +335,10 @@ impl DistPipeline {
 fn rank_main(
     ctx: &RankCtx,
     cfg: &PipelineConfig,
+    batch_bytes: Option<usize>,
     input: &DistInput<'_>,
-    page_comments: &DistMultimap<u32, (Timestamp, AuthorId)>,
-    author_pages: &DistMultimap<u32, PageId>,
+    page_events: &DistBag<(u32, i64, u32)>,
+    author_pages: &DistBag<u64>,
     pair_occurrences: &DistBag<u64>,
     oriented_edges: &DistBag<(u32, u32, u64)>,
     adjacency: &DistAdjacency,
@@ -258,10 +346,20 @@ fn rank_main(
 ) -> RankOut {
     let mut out = RankOut::default();
     let t_rank0 = (ctx.rank() == 0).then(Instant::now);
+    // One threshold policy for every shuffle in this run: the adaptive
+    // bytes-per-batch default, or the test override.
+    macro_rules! packed_agg {
+        ($label:expr, $item:ty, $apply:expr) => {{
+            let bytes = batch_bytes.unwrap_or_else(|| {
+                ygm::adaptive_batch_bytes(<$item as ygm::Packable>::WIDTH, ctx.nranks())
+            });
+            PackedAggregator::<$item, _>::with_batch_bytes(ctx, $label, bytes, $apply)
+        }};
+    }
 
-    // ---- Stage 1: rank-sharded ingest -----------------------------------
+    // ---- Stage 1: rank-sharded ingest (streamed) ------------------------
     let _ingest_span = obs::span("dist.ingest");
-    let (events, excluded, n_authors) = match ingest_rank(ctx, cfg, input) {
+    let (stream, excluded, n_authors) = match ingest_rank(ctx, cfg, input) {
         Ok(parts) => parts,
         Err(err) => {
             out.parse_err = err;
@@ -272,46 +370,44 @@ fn rank_main(
     out.n_authors = n_authors;
 
     // ---- Stage 2: event exchange (author-hash / page-hash shuffles) -----
+    // The source is pulled one event at a time straight into the two packed
+    // aggregators, so ingest and exchange overlap and this rank's event
+    // partition never exists as an owned `Vec<Event>`. Receivers bulk-append
+    // whole batches into flat runs.
     let exchange_span = obs::span("dist.exchange");
     let mut kept_local = 0u64;
     {
-        let pc = page_comments.clone();
-        let mut to_pages = Aggregator::new(
-            ctx,
-            AGG_THRESHOLD,
-            move |inner: &RankCtx, (p, ts, a): (u32, i64, u32)| {
-                pc.local_insert(inner, p, (ts, AuthorId(a)));
-            },
+        let pe = page_events.clone();
+        let mut to_pages = packed_agg!(
+            "events_to_pages",
+            (u32, i64, u32),
+            move |inner: &RankCtx, batch: PackedBatch<(u32, i64, u32)>| {
+                pe.local_extend(inner, batch.iter());
+            }
         );
-        let ap = author_pages.clone();
-        let mut to_authors = Aggregator::new(
-            ctx,
-            AGG_THRESHOLD,
-            move |inner: &RankCtx, (a, p): (u32, u32)| {
-                ap.local_insert(inner, a, PageId(p));
-            },
-        );
-        for e in events {
-            if excluded.contains(&e.author.0) {
-                continue;
+        // Hoisted emptiness check: `contains` hashes the author id even on an
+        // empty set, and generated/snapshot inputs usually exclude nobody —
+        // at paper scale that is millions of wasted SipHash rounds.
+        let no_exclusions = excluded.is_empty();
+        stream.for_each(ctx, |e| {
+            if !no_exclusions && excluded.contains(&e.author.0) {
+                return;
             }
             kept_local += 1;
             to_pages.push_keyed(ctx, &e.page.0, (e.page.0, e.ts, e.author.0));
-            to_authors.push_keyed(ctx, &e.author.0, (e.author.0, e.page.0));
-        }
+        });
         to_pages.flush_all(ctx);
-        to_authors.flush_all(ctx);
     }
     ctx.barrier();
     out.n_comments = ctx.all_reduce_sum(kept_local);
-    // Owners order their shards: pages by (ts, author) — Algorithm 1's
-    // neighborhood order — and authors' page lists sorted + deduped, the
-    // hypergraph incidence lists. Identical to what `Btm` builds.
-    page_comments.local_for_each_group_mut(ctx, |_, comments| comments.sort_unstable());
-    author_pages.local_for_each_group_mut(ctx, |_, pages| {
-        pages.sort_unstable();
-        pages.dedup();
-    });
+    // Owners order their flat runs: one sort by (page, ts, author) makes
+    // every page's neighborhood a contiguous run in Algorithm 1's (ts,
+    // author) order. Identical contents to what `Btm` builds — without the
+    // per-key `Vec` scatter. (The author→pages incidence the validator needs
+    // is *not* built here: it is harvested on demand in stage 5, for the
+    // handful of authors the survey actually surfaces.)
+    let mut my_page_events = page_events.local_take(ctx);
+    my_page_events.sort_unstable();
     ctx.barrier();
     drop(exchange_span);
 
@@ -320,14 +416,27 @@ fn rank_main(
     let mut pprime_local = vec![0u64; n_authors as usize];
     {
         let occ = pair_occurrences.clone();
-        let mut to_edges = Aggregator::new(ctx, AGG_THRESHOLD, move |inner: &RankCtx, p: u64| {
-            occ.local_insert(inner, p);
-        });
+        let mut to_edges = packed_agg!(
+            "pair_occurrences",
+            u64,
+            move |inner: &RankCtx, batch: PackedBatch<u64>| {
+                occ.local_extend(inner, batch.iter());
+            }
+        );
         let mut pairs: Vec<u64> = Vec::new();
         let mut authors_scratch: Vec<u32> = Vec::new();
+        let mut comments: Vec<(Timestamp, AuthorId)> = Vec::new();
         let window = cfg.window;
-        page_comments.local_for_each_group(ctx, |_, comments| {
-            page_pairs_flat(comments, &window, &mut pairs);
+        let mut i = 0;
+        while i < my_page_events.len() {
+            let page = my_page_events[i].0;
+            comments.clear();
+            while i < my_page_events.len() && my_page_events[i].0 == page {
+                let (_, ts, a) = my_page_events[i];
+                comments.push((ts, AuthorId(a)));
+                i += 1;
+            }
+            page_pairs_flat(&comments, &window, &mut pairs);
             authors_scratch.clear();
             for &p in &pairs {
                 let (x, y) = unpack_pair(p);
@@ -341,9 +450,11 @@ fn rank_main(
             for &a in &authors_scratch {
                 pprime_local[a as usize] += 1;
             }
-        });
+        }
         to_edges.flush_all(ctx);
     }
+    // `my_page_events` stays alive through the survey: stage 5 harvests the
+    // surveyed authors' page lists from it.
     ctx.barrier();
     // Replicate P' everywhere: the survey's T-score and validation both
     // index it by arbitrary author id.
@@ -378,12 +489,12 @@ fn rank_main(
     let deg = all_reduce_hist(ctx, deg_local);
     {
         let bag = oriented_edges.clone();
-        let mut to_sources = Aggregator::new(
-            ctx,
-            AGG_THRESHOLD,
-            move |inner: &RankCtx, e: (u32, u32, u64)| {
-                bag.local_insert(inner, e);
-            },
+        let mut to_sources = packed_agg!(
+            "oriented_edges",
+            (u32, u32, u64),
+            move |inner: &RankCtx, batch: PackedBatch<(u32, u32, u64)>| {
+                bag.local_extend(inner, batch.iter());
+            }
         );
         let points_up = |u: u32, v: u32| (deg[u as usize], u) < (deg[v as usize], v);
         for &(x, y, w) in &out.edge_run {
@@ -397,7 +508,9 @@ fn rank_main(
     }
     ctx.barrier();
     // Build this rank's LocalCsr partition and publish its rows as the
-    // distributed adjacency tripoll's survey stage consumes.
+    // distributed adjacency tripoll's survey stage consumes. Every row's
+    // source hashed here, so the insert is owner-local — a direct shard
+    // write instead of a self-send message per vertex.
     let csr = LocalCsr::from_edges(oriented_edges.local_take(ctx));
     obs::counter("dist.ghost_vertices").add(csr.ghosts().len() as u64);
     for (u, targets, weights) in csr.rows() {
@@ -406,7 +519,7 @@ fn rank_main(
             .copied()
             .zip(weights.iter().copied())
             .collect();
-        adjacency.async_insert(ctx, u, Arc::new(list));
+        adjacency.local_insert(ctx, u, Arc::new(list));
     }
     ctx.barrier();
     survey_stage(ctx, adjacency, found);
@@ -432,7 +545,86 @@ fn rank_main(
 
     // ---- Stage 5: hypergraph validation ---------------------------------
     let validate_span = obs::span("dist.validate");
+    // On-demand author→pages harvest. Validation only ever reads the page
+    // lists of surveyed triangle vertices — a handful of authors — so
+    // instead of shuffling every event to its author owner (a second full
+    // per-event exchange plus a multimillion-pair sort), each rank scans its
+    // page-sorted run for the authors the survey surfaced and ships just
+    // those incidences. The packed sort + dedup at the owner reproduces
+    // `Btm`'s sorted, deduplicated page lists exactly — restricted to the
+    // authors anyone will look up.
+    // Pre-apply the validation keep predicates (min weight, t-score) before
+    // collecting the needed-author set: `pprime` is replicated, so every rank
+    // can evaluate them locally, and vertices of triangles the loop below
+    // skips never enter the harvest. Hot organic authors with huge page
+    // lists mostly ride in noise triangles, so this is the difference
+    // between shipping thousands of pairs and shipping a sizable fraction
+    // of the whole incidence.
     let pprime = &out.page_counts;
+    let keep = |t: &Triangle| {
+        let mw = t.min_weight();
+        if mw < cfg.min_triangle_weight {
+            return false;
+        }
+        let [a, b, c] = t.vertices();
+        cfg.min_t_score <= 0.0
+            || t_score(
+                mw,
+                pprime[a as usize],
+                pprime[b as usize],
+                pprime[c as usize],
+            ) >= cfg.min_t_score
+    };
+    let mut needed: Vec<u32> = mine
+        .iter()
+        .filter(|t| keep(t))
+        .flat_map(|t| t.vertices())
+        .collect();
+    needed.sort_unstable();
+    needed.dedup();
+    let mut needed = all_gather_concat(ctx, needed);
+    needed.sort_unstable();
+    needed.dedup();
+    {
+        let ap = author_pages.clone();
+        let mut to_authors =
+            packed_agg!("author_pages_on_demand", u64, move |inner: &RankCtx,
+                                                             batch: PackedBatch<
+                u64,
+            >| {
+                ap.local_extend(inner, batch.iter());
+            });
+        if !needed.is_empty() {
+            for &(p, _ts, a) in &my_page_events {
+                if needed.binary_search(&a).is_ok() {
+                    to_authors.push_keyed(ctx, &a, pack_pair(a, p));
+                }
+            }
+        }
+        to_authors.flush_all(ctx);
+    }
+    drop(my_page_events);
+    ctx.barrier();
+    author_pages.with_shard_mut(ctx.rank(), |pairs| {
+        sort_packed(pairs);
+        pairs.dedup();
+    });
+    ctx.barrier();
+    // Scratch for the three authors' page runs, copied out of the sorted
+    // packed shards under a binary search — no per-author list clones.
+    let mut page_scratch: [Vec<PageId>; 3] = Default::default();
+    let fetch_pages = |author: u32, into: &mut Vec<PageId>| {
+        into.clear();
+        let owner = owner_of(&author, ctx.nranks());
+        // Quiescent reads: the survey barrier drained every message, and
+        // validation sends none, so owner-shard page runs are stable.
+        author_pages.with_shard(owner, |shard| {
+            let key = u64::from(author) << 32;
+            let lo = shard.partition_point(|&p| p < key);
+            let hi = lo + shard[lo..].partition_point(|&p| p >> 32 == u64::from(author));
+            into.extend(shard[lo..hi].iter().map(|&p| PageId(p as u32)));
+        });
+    };
     for t in mine {
         let mw = t.min_weight();
         if mw < cfg.min_triangle_weight {
@@ -448,12 +640,11 @@ fn rank_main(
         if cfg.min_t_score > 0.0 && ts < cfg.min_t_score {
             continue;
         }
-        // Quiescent reads: the survey barrier drained every message, and
-        // validation sends none, so owner-shard page lists are stable.
-        let pa = author_pages.global_get(&a).unwrap_or_default();
-        let pb = author_pages.global_get(&b).unwrap_or_default();
-        let pc = author_pages.global_get(&c).unwrap_or_default();
-        let metrics = validate_triangle_parts(&t, [&pa, &pb, &pc], pprime);
+        let [pa, pb, pc] = &mut page_scratch;
+        fetch_pages(a, pa);
+        fetch_pages(b, pb);
+        fetch_pages(c, pc);
+        let metrics = validate_triangle_parts(&t, [pa, pb, pc], pprime);
         out.kept.push((
             SurveyedTriangle {
                 triangle: t,
@@ -480,45 +671,104 @@ fn rank_main(
     out
 }
 
-type IngestParts = (Vec<Event>, HashSet<u32>, u32);
+/// One rank's streamed share of the input. Variants hold borrows (or, for
+/// text, the shard-local parse output plus its id remap tables) — never a
+/// materialized `Vec<Event>` in global id space.
+enum EventStream<'a> {
+    /// Dataset block: a borrowed slice of the already-interned event list.
+    Slice(&'a [Event]),
+    /// Snapshot slice: decoded lazily out of the shared mmap.
+    Snapshot(&'a coordination_store::Snapshot),
+    /// Text chunk: shard-local events remapped to global dense ids on the
+    /// fly through the replayed interner merge.
+    Remap {
+        events: Vec<Event>,
+        author_map: Vec<u32>,
+        page_map: Vec<u32>,
+    },
+    /// Caller-supplied per-rank generator ([`DistPipeline::run_events`]).
+    Source(&'a EventSource<'a>),
+}
 
-/// Stage 1 for one rank: produce this rank's slice of the (globally-dense)
-/// event stream plus the replicated exclusion set and id-space sizes.
+impl EventStream<'_> {
+    /// Drive `f` over this rank's events, in the input's order.
+    fn for_each(&self, ctx: &RankCtx, mut f: impl FnMut(Event)) {
+        match self {
+            EventStream::Slice(events) => {
+                for &e in *events {
+                    f(e);
+                }
+            }
+            EventStream::Snapshot(snap) => {
+                for (a, p, ts) in snap.events().rank_slice(ctx.rank(), ctx.nranks()) {
+                    f(Event::new(AuthorId(a), PageId(p), ts));
+                }
+            }
+            EventStream::Remap {
+                events,
+                author_map,
+                page_map,
+            } => {
+                for e in events {
+                    f(Event::new(
+                        AuthorId(author_map[e.author.0 as usize]),
+                        PageId(page_map[e.page.0 as usize]),
+                        e.ts,
+                    ));
+                }
+            }
+            EventStream::Source(source) => {
+                for e in source(ctx.rank(), ctx.nranks()) {
+                    f(e);
+                }
+            }
+        }
+    }
+}
+
+type IngestParts<'a> = (EventStream<'a>, HashSet<u32>, u32);
+
+/// Stage 1 for one rank: produce this rank's *stream* over the
+/// (globally-dense) event space plus the replicated exclusion set and
+/// id-space sizes. The stream borrows the input wherever possible — the
+/// dataset block and the mmapped snapshot slice are never copied.
 ///
 /// Returns `Err(Some(..))` only on the text path's parse failure, and then
 /// only on the rank that owns the failing chunk; every other rank returns
 /// `Err(None)` so all ranks take the same early exit.
-fn ingest_rank(
+fn ingest_rank<'a>(
     ctx: &RankCtx,
     cfg: &PipelineConfig,
-    input: &DistInput<'_>,
-) -> Result<IngestParts, Option<(u64, serde_json::Error)>> {
+    input: &DistInput<'a>,
+) -> Result<IngestParts<'a>, Option<(u64, serde_json::Error)>> {
     match input {
         DistInput::Dataset(ds) => {
             let r = ygm::block_range(ctx.rank(), ds.events.len(), ctx.nranks());
-            let events = ds.events[r].to_vec();
             let excluded: HashSet<u32> = cfg
                 .exclusions
                 .resolve(ds)
                 .into_iter()
                 .map(|a| a.0)
                 .collect();
-            Ok((events, excluded, ds.authors.len() as u32))
+            Ok((
+                EventStream::Slice(&ds.events[r]),
+                excluded,
+                ds.authors.len() as u32,
+            ))
         }
         DistInput::Snapshot(snap) => {
             let m = snap.meta();
-            let events: Vec<Event> = snap
-                .events()
-                .rank_slice(ctx.rank(), ctx.nranks())
-                .map(|(a, p, ts)| Event::new(AuthorId(a), PageId(p), ts))
-                .collect();
             let excluded: HashSet<u32> = cfg
                 .exclusions
                 .resolve_names(snap.author_names().iter())
                 .into_iter()
                 .map(|a| a.0)
                 .collect();
-            Ok((events, excluded, m.n_authors))
+            Ok((EventStream::Snapshot(snap), excluded, m.n_authors))
+        }
+        DistInput::Events { n_authors, source } => {
+            // Pre-excluded by contract: events carry dense ids, no names.
+            Ok((EventStream::Source(*source), HashSet::new(), *n_authors))
         }
         DistInput::Text(text) => {
             // Every rank computes the same line-boundary split (chunks ≡
@@ -575,23 +825,23 @@ fn ingest_rank(
                     }
                 }
             }
-            let events: Vec<Event> = shard
-                .events
-                .iter()
-                .map(|e| {
-                    Event::new(
-                        AuthorId(my_author_map[e.author.0 as usize]),
-                        PageId(my_page_map[e.page.0 as usize]),
-                        e.ts,
-                    )
-                })
-                .collect();
             let excluded: HashSet<u32> = authors
                 .iter()
                 .filter(|(_, name)| cfg.exclusions.contains(name))
                 .map(|(id, _)| id)
                 .collect();
-            Ok((events, excluded, authors.len() as u32))
+            let n_authors = authors.len() as u32;
+            // The shard-local events are remapped lazily as the exchange
+            // pulls them — the remapped event list is never materialized.
+            Ok((
+                EventStream::Remap {
+                    events: shard.events,
+                    author_map: my_author_map,
+                    page_map: my_page_map,
+                },
+                excluded,
+                n_authors,
+            ))
         }
     }
 }

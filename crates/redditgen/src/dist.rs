@@ -1,11 +1,22 @@
-//! Deterministic samplers for the traffic models.
+//! Deterministic samplers for the traffic models, and the block-sharded
+//! month generator for rank-distributed workloads.
 //!
-//! Implemented here rather than pulling `rand_distr` to keep the dependency
-//! set to the pre-approved crates: Zipf by inverse-CDF over a precomputed
-//! table, log-normal via Box–Muller, exponential by inversion, and Poisson by
-//! Knuth's product method (the rates used here are small).
+//! Samplers are implemented here rather than pulling `rand_distr` to keep
+//! the dependency set to the pre-approved crates: Zipf by inverse-CDF over a
+//! precomputed table, log-normal via Box–Muller, exponential by inversion,
+//! and Poisson by Knuth's product method (the rates used here are small).
+//!
+//! [`DistMonth`] generates a paper-scale synthetic month *by block*: the
+//! month is tiled into fixed-size blocks, each derived from its own
+//! deterministic RNG stream, so rank `r` of an `n`-rank world can generate
+//! exactly blocks `r, r+n, r+2n, …` — the same global event multiset for
+//! every rank count, with no rank (or any single machine) ever holding the
+//! whole month. This is the workload source for
+//! `DistPipeline::run_events`-style streaming benchmarks.
 
-use rand::Rng;
+use coordination_core::ids::{AuthorId, Event, PageId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// Zipf distribution over ranks `0..n` with exponent `s`:
 /// `P(k) ∝ (k+1)^-s`. Sampling is a binary search over the precomputed CDF —
@@ -141,11 +152,182 @@ impl WeightedIndex {
     }
 }
 
+/// Configuration for the block-sharded month generator.
+///
+/// The organic traffic is Zipf-skewed over dense author and page id spaces;
+/// coordinated bot cliques are injected as *bursts*: for each burst, every
+/// member of the clique comments on one dedicated page within a 50-second
+/// span (inside the paper's 60-second coordination window), so each clique
+/// pair accumulates CI weight `bursts_per_clique` — comfortably above the
+/// detection threshold, giving the survey real triangles at scale.
+#[derive(Clone, Debug)]
+pub struct DistMonthConfig {
+    /// Master seed; every block derives its own stream from it.
+    pub seed: u64,
+    /// Number of generation blocks the month is tiled into.
+    pub n_blocks: usize,
+    /// Organic comments per block.
+    pub block_comments: usize,
+    /// Organic author id space (bot authors are appended after it).
+    pub organic_authors: u32,
+    /// Organic page id space (burst pages are appended after it).
+    pub organic_pages: u32,
+    /// Zipf exponent for author activity.
+    pub author_zipf: f64,
+    /// Zipf exponent for page popularity.
+    pub page_zipf: f64,
+    /// Number of injected bot cliques.
+    pub n_cliques: u32,
+    /// Authors per clique (3+ so triangles exist).
+    pub clique_size: u32,
+    /// Coordinated bursts per clique — the CI edge weight each clique pair
+    /// ends up with.
+    pub bursts_per_clique: u32,
+}
+
+impl DistMonthConfig {
+    /// The paper-scale benchmark month: ~2M comments over 120K authors and
+    /// 60K pages, with 8 five-author cliques at burst weight 40.
+    pub fn jan2020_large() -> Self {
+        DistMonthConfig {
+            seed: 0x0120_2001,
+            n_blocks: 256,
+            block_comments: 7_800,
+            organic_authors: 120_000,
+            organic_pages: 60_000,
+            author_zipf: 0.8,
+            page_zipf: 0.9,
+            n_cliques: 8,
+            clique_size: 5,
+            bursts_per_clique: 40,
+        }
+    }
+}
+
+/// The block-sharded month generator: [`DistMonthConfig`] plus the
+/// precomputed Zipf tables (built once, shared by every block).
+pub struct DistMonth {
+    cfg: DistMonthConfig,
+    author_dist: Zipf,
+    page_dist: Zipf,
+}
+
+/// SplitMix64 finalizer — decorrelates per-block seeds derived from one
+/// master seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl DistMonth {
+    /// Build the generator (precomputes the Zipf CDFs).
+    pub fn new(cfg: DistMonthConfig) -> Self {
+        assert!(cfg.n_blocks > 0, "need at least one block");
+        assert!(cfg.organic_authors > 0 && cfg.organic_pages > 0);
+        let author_dist = Zipf::new(cfg.organic_authors as usize, cfg.author_zipf);
+        let page_dist = Zipf::new(cfg.organic_pages as usize, cfg.page_zipf);
+        DistMonth {
+            cfg,
+            author_dist,
+            page_dist,
+        }
+    }
+
+    /// The configuration this generator was built from.
+    pub fn config(&self) -> &DistMonthConfig {
+        &self.cfg
+    }
+
+    /// Total dense author id space (organic + clique members).
+    pub fn total_authors(&self) -> u32 {
+        self.cfg.organic_authors + self.cfg.n_cliques * self.cfg.clique_size
+    }
+
+    /// Total dense page id space (organic + one page per burst).
+    pub fn total_pages(&self) -> u32 {
+        self.cfg.organic_pages + self.cfg.n_cliques * self.cfg.bursts_per_clique
+    }
+
+    /// Total comments in the month (organic + burst events).
+    pub fn n_comments(&self) -> u64 {
+        self.cfg.n_blocks as u64 * self.cfg.block_comments as u64
+            + u64::from(self.cfg.n_cliques)
+                * u64::from(self.cfg.bursts_per_clique)
+                * u64::from(self.cfg.clique_size)
+    }
+
+    /// Generate block `b` into `out` (cleared first). Depends only on
+    /// `(seed, b)` — which rank generates a block never changes its events.
+    pub fn block_into(&self, b: usize, out: &mut Vec<Event>) {
+        assert!(b < self.cfg.n_blocks, "block out of range");
+        out.clear();
+        let cfg = &self.cfg;
+        let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(cfg.seed ^ b as u64));
+        let slice = crate::MONTH_SECS / cfg.n_blocks as i64;
+        let t_lo = b as i64 * slice;
+        // Organic traffic: Zipf author on Zipf page, uniform in the block's
+        // time slice.
+        for _ in 0..cfg.block_comments {
+            let a = self.author_dist.sample(&mut rng) as u32;
+            let p = self.page_dist.sample(&mut rng) as u32;
+            let ts = t_lo + rng.gen_range(0..slice.max(1));
+            out.push(Event::new(AuthorId(a), PageId(p), ts));
+        }
+        // Coordinated bursts assigned to this block, round-robin by global
+        // burst index. Each burst gets its own page; all clique members
+        // comment within 50 seconds.
+        let total_bursts = cfg.n_cliques * cfg.bursts_per_clique;
+        let mut g = (b % cfg.n_blocks) as u32;
+        while g < total_bursts {
+            let clique = g / cfg.bursts_per_clique;
+            let page = cfg.organic_pages + g;
+            let t0 = t_lo + rng.gen_range(0..(slice - 55).max(1));
+            for m in 0..cfg.clique_size {
+                let author = cfg.organic_authors + clique * cfg.clique_size + m;
+                let ts = t0 + rng.gen_range(0..50i64);
+                out.push(Event::new(AuthorId(author), PageId(page), ts));
+            }
+            g += cfg.n_blocks as u32;
+        }
+    }
+
+    /// Stream rank `r`'s share of the month — blocks `r, r+nranks, …` in
+    /// order, one block buffered at a time. The union over all ranks is the
+    /// same event multiset for every `nranks`.
+    pub fn rank_events(&self, rank: usize, nranks: usize) -> impl Iterator<Item = Event> + '_ {
+        assert!(nranks > 0 && rank < nranks, "bad rank/nranks");
+        let mut buf: Vec<Event> = Vec::new();
+        let mut at = 0usize;
+        let mut next_block = rank;
+        let n_blocks = self.cfg.n_blocks;
+        std::iter::from_fn(move || loop {
+            if at < buf.len() {
+                let e = buf[at];
+                at += 1;
+                return Some(e);
+            }
+            if next_block >= n_blocks {
+                return None;
+            }
+            self.block_into(next_block, &mut buf);
+            at = 0;
+            next_block += nranks;
+        })
+    }
+
+    /// Stream the whole month in block order — the resident-pipeline side of
+    /// the comparison (it still only buffers one block at a time; the
+    /// consumer decides what to materialize).
+    pub fn all_events(&self) -> impl Iterator<Item = Event> + '_ {
+        self.rank_events(0, 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn rng(seed: u64) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(seed)
@@ -241,5 +423,93 @@ mod tests {
     #[should_panic(expected = "total weight")]
     fn weighted_index_rejects_all_zero() {
         WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    fn small_month() -> DistMonth {
+        DistMonth::new(DistMonthConfig {
+            seed: 42,
+            n_blocks: 12,
+            block_comments: 300,
+            organic_authors: 500,
+            organic_pages: 200,
+            author_zipf: 0.8,
+            page_zipf: 0.9,
+            n_cliques: 2,
+            clique_size: 4,
+            bursts_per_clique: 6,
+        })
+    }
+
+    fn event_key(e: &Event) -> (u32, u32, i64) {
+        (e.author.0, e.page.0, e.ts)
+    }
+
+    #[test]
+    fn dist_month_counts_and_bounds() {
+        let m = small_month();
+        let events: Vec<Event> = m.all_events().collect();
+        assert_eq!(events.len() as u64, m.n_comments());
+        assert_eq!(m.n_comments(), 12 * 300 + 2 * 6 * 4);
+        for e in &events {
+            assert!(e.author.0 < m.total_authors());
+            assert!(e.page.0 < m.total_pages());
+            assert!((0..crate::MONTH_SECS).contains(&e.ts));
+        }
+        // The bursts really land: every clique author appears.
+        let organic = m.config().organic_authors;
+        for a in organic..m.total_authors() {
+            assert!(events.iter().any(|e| e.author.0 == a), "author {a} missing");
+        }
+    }
+
+    #[test]
+    fn dist_month_same_multiset_for_every_rank_count() {
+        let m = small_month();
+        let mut reference: Vec<_> = m.all_events().map(|e| event_key(&e)).collect();
+        reference.sort_unstable();
+        for nranks in [1usize, 2, 4, 5] {
+            let mut union: Vec<_> = (0..nranks)
+                .flat_map(|r| m.rank_events(r, nranks).collect::<Vec<_>>())
+                .map(|e| event_key(&e))
+                .collect();
+            union.sort_unstable();
+            assert_eq!(union, reference, "nranks {nranks} changed the multiset");
+        }
+    }
+
+    #[test]
+    fn dist_month_is_deterministic_per_seed() {
+        let a: Vec<_> = small_month().all_events().map(|e| event_key(&e)).collect();
+        let b: Vec<_> = small_month().all_events().map(|e| event_key(&e)).collect();
+        assert_eq!(a, b);
+        let mut cfg = small_month().config().clone();
+        cfg.seed = 43;
+        let c: Vec<_> = DistMonth::new(cfg)
+            .all_events()
+            .map(|e| event_key(&e))
+            .collect();
+        assert_ne!(a, c, "seed should matter");
+    }
+
+    #[test]
+    fn dist_month_bursts_sit_inside_the_coordination_window() {
+        let m = small_month();
+        // Group burst-page events by page; each burst spans < 60 seconds.
+        let organic_pages = m.config().organic_pages;
+        let mut per_page: std::collections::HashMap<u32, Vec<i64>> = Default::default();
+        for e in m.all_events() {
+            if e.page.0 >= organic_pages {
+                per_page.entry(e.page.0).or_default().push(e.ts);
+            }
+        }
+        assert_eq!(
+            per_page.len() as u32,
+            m.config().n_cliques * m.config().bursts_per_clique
+        );
+        for (page, ts) in per_page {
+            assert_eq!(ts.len() as u32, m.config().clique_size, "page {page}");
+            let span = ts.iter().max().unwrap() - ts.iter().min().unwrap();
+            assert!(span < 60, "page {page} burst spans {span}s");
+        }
     }
 }

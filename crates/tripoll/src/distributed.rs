@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use ygm::container::{DistBag, DistMap};
 use ygm::partition::owner_of;
-use ygm::{RankCtx, World};
+use ygm::{Aggregator, RankCtx, World};
 
 use crate::enumerate::Triangle;
 use crate::orient::OrientedGraph;
@@ -44,10 +44,22 @@ pub fn load_oriented(ctx: &RankCtx, oriented: &OrientedGraph, adjacency: &DistAd
     }
 }
 
+/// One wedge-check request: close wedges through apex `u` at the owner of
+/// `v`. The `Arc` makes staging a request one pointer bump — the out-list is
+/// shared, never copied per edge.
+type WedgeCheck = (u32, u32, u64, Arc<Vec<(u32, u64)>>);
+
 /// The TriPoll push superstep as a *composable* SPMD stage: for each owned
 /// apex `u` and oriented edge `(u, v)`, ship the wedge list `out(u)` to the
 /// owner of `v`, which intersects it against its local `out(v)` and emits
 /// every closed triangle into `found` exactly once (on the closing rank).
+///
+/// Wedge-check requests are batched through an [`Aggregator`] with the
+/// adaptive bytes-per-batch threshold rather than sent one active message
+/// per oriented edge, so the per-message overhead (boxed closure + channel
+/// send + termination-detection counters) is paid once per batch. Each
+/// request carries its `out(u)` as an `Arc` clone — one pointer bump per
+/// edge, the list itself is shipped once per batch destination.
 ///
 /// This is the building block larger SPMD programs (e.g.
 /// `coordination_core`'s distributed pipeline) embed between their own
@@ -58,39 +70,41 @@ pub fn load_oriented(ctx: &RankCtx, oriented: &OrientedGraph, adjacency: &DistAd
 pub fn survey_stage(ctx: &RankCtx, adjacency: &DistAdjacency, found: &DistBag<Triangle>) {
     let adj = adjacency.clone();
     let bag = found.clone();
-    adjacency.local_for_each(ctx, |&u, out_u| {
-        for &(v, w_uv) in out_u.iter() {
-            let out_u = Arc::clone(out_u);
-            let adj_inner = adj.clone();
-            let bag_inner = bag.clone();
-            ctx.async_exec(owner_of(&v, ctx.nranks()), move |inner| {
-                // Owner of v closes wedges: intersect out(u) with out(v).
-                let Some(out_v) = adj_inner.global_get(&v) else {
-                    return;
-                };
-                let mut ai = 0;
-                let mut bi = 0;
-                while ai < out_u.len() && bi < out_v.len() {
-                    let (x, w_ux) = out_u[ai];
-                    let (y, w_vy) = out_v[bi];
-                    if x == v {
+    let mut checks = Aggregator::adaptive(
+        ctx,
+        move |inner: &RankCtx, (u, v, w_uv, out_u): WedgeCheck| {
+            // Owner of v closes wedges: intersect out(u) with out(v).
+            let Some(out_v) = adj.global_get(&v) else {
+                return;
+            };
+            let mut ai = 0;
+            let mut bi = 0;
+            while ai < out_u.len() && bi < out_v.len() {
+                let (x, w_ux) = out_u[ai];
+                let (y, w_vy) = out_v[bi];
+                if x == v {
+                    ai += 1;
+                    continue;
+                }
+                match x.cmp(&y) {
+                    std::cmp::Ordering::Less => ai += 1,
+                    std::cmp::Ordering::Greater => bi += 1,
+                    std::cmp::Ordering::Equal => {
+                        let t = Triangle::new(u, v, x, w_uv, w_ux, w_vy);
+                        bag.local_insert(inner, t);
                         ai += 1;
-                        continue;
-                    }
-                    match x.cmp(&y) {
-                        std::cmp::Ordering::Less => ai += 1,
-                        std::cmp::Ordering::Greater => bi += 1,
-                        std::cmp::Ordering::Equal => {
-                            let t = Triangle::new(u, v, x, w_uv, w_ux, w_vy);
-                            bag_inner.local_insert(inner, t);
-                            ai += 1;
-                            bi += 1;
-                        }
+                        bi += 1;
                     }
                 }
-            });
+            }
+        },
+    );
+    adjacency.local_for_each(ctx, |&u, out_u| {
+        for &(v, w_uv) in out_u.iter() {
+            checks.push_keyed(ctx, &v, (u, v, w_uv, Arc::clone(out_u)));
         }
     });
+    checks.flush_all(ctx);
 }
 
 /// Result of a distributed survey.

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
+use crate::exchange::BufferPool;
 use crate::stats::WorldStats;
 
 /// An active message: a closure executed on the destination rank's thread.
@@ -38,6 +39,10 @@ pub(crate) struct Shared {
     /// Slots for matched collectives (all_gather etc.), keyed by sequence id.
     pub(crate) collectives: parking_lot::Mutex<std::collections::HashMap<u64, CollectiveSlots>>,
     pub(crate) stats: WorldStats,
+    /// World-shared recycling pool for packed-batch byte buffers: a buffer
+    /// shipped from any rank and drained on any other returns here for the
+    /// next sender, so steady-state shuffles allocate nothing.
+    pub(crate) pool: Arc<BufferPool>,
 }
 
 /// A fixed-size group of ranks that run SPMD functions.
@@ -75,6 +80,9 @@ impl World {
                 barrier_sense: AtomicBool::new(false),
                 collectives: parking_lot::Mutex::new(std::collections::HashMap::new()),
                 stats: WorldStats::new(nranks),
+                // Enough retained buffers for every rank to have one in
+                // flight to every other rank, with headroom for bursts.
+                pool: BufferPool::new((nranks * nranks).clamp(64, 1024)),
             }),
             senders: Arc::new(senders),
             receivers,
@@ -306,6 +314,12 @@ impl RankCtx {
     /// Max a `u64` across all ranks.
     pub fn all_reduce_max(&self, value: u64) -> u64 {
         self.all_reduce(value, |a, b| a.max(b))
+    }
+
+    /// The world-shared byte-buffer recycling pool used by
+    /// [`crate::exchange::PackedAggregator`] batches.
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.shared.pool
     }
 
     /// Snapshot of world-wide message statistics.

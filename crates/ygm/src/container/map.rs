@@ -58,6 +58,20 @@ where
         });
     }
 
+    /// Insert `k → v` directly into the calling rank's shard, bypassing the
+    /// message queue. The caller must already *be* the owner (checked in
+    /// debug builds) — the idiom for publishing locally-built state, e.g. a
+    /// CSR row set, without a self-send round trip. Immediate, no messaging.
+    pub fn local_insert(&self, ctx: &RankCtx, k: K, v: V) {
+        self.check(ctx);
+        debug_assert_eq!(
+            owner_of(&k, self.nranks),
+            ctx.rank(),
+            "local_insert on a key owned by another rank"
+        );
+        self.shards[ctx.rank()].0.lock().insert(k, v);
+    }
+
     /// Insert `k → v` only if `k` is absent.
     pub fn async_insert_if_absent(&self, ctx: &RankCtx, k: K, v: V) {
         self.check(ctx);

@@ -70,10 +70,12 @@
 pub mod batch;
 pub mod comm;
 pub mod container;
+pub mod exchange;
 pub mod partition;
 pub mod reduce;
 pub mod stats;
 
 pub use batch::Aggregator;
 pub use comm::{RankCtx, World};
+pub use exchange::{adaptive_batch_bytes, BufferPool, Packable, PackedAggregator, PackedBatch};
 pub use partition::{block_owner, block_range, owner_of};

@@ -10,9 +10,11 @@
 
 use proptest::prelude::*;
 
-use coordination::core::dist_pipeline::DistPipeline;
+use coordination::core::dist_pipeline::{event_source, DistPipeline};
+use coordination::core::ids::{AuthorId, Event, PageId};
 use coordination::core::pipeline::{Pipeline, PipelineConfig, PipelineOutput};
 use coordination::core::records::{write_ndjson, CommentRecord, Dataset};
+use coordination::core::Btm;
 use coordination::redditgen::ScenarioConfig;
 
 /// Full-output equality, floats compared by bit pattern.
@@ -132,6 +134,23 @@ fn distributed_text_ingest_matches_rayon_on_generated_month() {
     }
 }
 
+#[test]
+fn packed_exchange_survives_threshold_of_one() {
+    // A 1-byte flush threshold clamps every aggregator to one item per
+    // batch, so every push ships immediately — the degenerate stress case
+    // for the packed exchange's flush path. Output must not move.
+    let ds = month();
+    let config = PipelineConfig {
+        min_triangle_weight: 25,
+        ..Default::default()
+    };
+    let resident = Pipeline::new(config.clone()).run_dataset(&ds);
+    let dist = DistPipeline::new(config, 3)
+        .with_batch_bytes(1)
+        .run_dataset(&ds);
+    assert_equivalent(&resident, &dist);
+}
+
 /// Random event logs over small id spaces (heavy collision rate), as
 /// pushshift-style records so the dataset path interns real names.
 fn arb_records(
@@ -153,6 +172,18 @@ fn shuffled(mut records: Vec<CommentRecord>, seed: u64) -> Dataset {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     records.shuffle(&mut rng);
     Dataset::from_records(records)
+}
+
+/// Random dense-id event logs for the streamed-ingest path (no names, no
+/// exclusions — [`DistPipeline::run_events`]'s contract).
+fn arb_events(
+    max_authors: u32,
+    max_pages: u32,
+    max_events: usize,
+) -> impl Strategy<Value = Vec<Event>> {
+    let ev = (0..max_authors, 0..max_pages, 0i64..3_000)
+        .prop_map(|(a, p, t)| Event::new(AuthorId(a), PageId(p), t));
+    prop::collection::vec(ev, 0..max_events)
 }
 
 proptest! {
@@ -194,6 +225,36 @@ proptest! {
         };
         let resident = Pipeline::new(config.clone()).run_dataset(&ds);
         let dist = DistPipeline::new(config, nranks).run_dataset(&ds);
+        assert_equivalent(&resident, &dist);
+    }
+
+    /// Streamed ingest ≡ materialize-then-shuffle: feeding the pipeline from
+    /// a per-rank event *iterator* ([`DistPipeline::run_events`]) matches the
+    /// resident run over the materialized BTM, for arbitrary chunk sizes,
+    /// rank counts, and packed-exchange flush thresholds (down to a few
+    /// bytes, where ship boundaries land mid-stage everywhere).
+    #[test]
+    fn streaming_equals_materialized_for_any_flush_threshold(
+        events in arb_events(16, 12, 300),
+        nranks in 1usize..6,
+        chunk in 1usize..64,
+        batch_bytes in 1usize..512,
+    ) {
+        let (n_authors, n_pages) = (16, 12);
+        let btm = Btm::from_event_iter(n_authors, n_pages, events.iter().copied());
+        let config = PipelineConfig {
+            min_triangle_weight: 1,
+            ..Default::default()
+        };
+        let resident = Pipeline::new(config.clone()).run_btm(&btm);
+        // Rank r streams chunks r, r+nranks, … — the union over ranks is the
+        // whole log for every rank count, like a block-sharded generator.
+        let source = event_source(|rank, nranks| {
+            Box::new(events.chunks(chunk).skip(rank).step_by(nranks).flatten().copied())
+        });
+        let dist = DistPipeline::new(config, nranks)
+            .with_batch_bytes(batch_bytes)
+            .run_events(n_authors, &source);
         assert_equivalent(&resident, &dist);
     }
 }
