@@ -220,31 +220,10 @@ fn bench_distributed(reps: usize) -> ScenarioReport {
 /// In full mode the run asserts the crossover the streaming exchange exists
 /// for: `ranks_4` throughput at or above the resident row.
 fn bench_distributed_large(reps: usize, smoke: bool) -> ScenarioReport {
-    use redditgen::dist::{DistMonth, DistMonthConfig};
-    let cfg = if smoke {
-        // same shape, ~1/25 the events, so the CI row exists without the cost
-        DistMonthConfig {
-            n_blocks: 64,
-            block_comments: 1_200,
-            organic_authors: 20_000,
-            organic_pages: 10_000,
-            ..DistMonthConfig::jan2020_large()
-        }
-    } else {
-        DistMonthConfig::jan2020_large()
-    };
-    let month = DistMonth::new(cfg);
+    use redditgen::dist::DistMonth;
+    let month = DistMonth::new(dist_month_config(smoke));
     let comments = month.n_comments();
-    // Paper-faithful pruning at scale: CI edges below weight 10 are noise
-    // (the detection threshold the small scenarios also gate triangles on),
-    // and carrying them into the survey would just benchmark noise triangles.
-    // Both paths run the identical config, so the equivalence guard holds.
-    let config = PipelineConfig {
-        window: Window::zero_to_60s(),
-        edge_threshold: 10,
-        min_triangle_weight: 10,
-        ..Default::default()
-    };
+    let config = dist_month_pipeline_config();
     let pipe = Pipeline::new(config.clone());
     let run_resident = || {
         let btm = Btm::from_event_iter(
@@ -299,10 +278,115 @@ fn bench_distributed_large(reps: usize, smoke: bool) -> ScenarioReport {
             ranks_4.throughput
         );
     }
+    // The memory-bounded shuffle at 4 ranks: cap each rank's resident run
+    // stack per label and force the overflow through the spill path. The
+    // warm-up asserts what the budget exists for — spill traffic actually
+    // happened (`shuffle.spilled_bytes > 0`) AND the output is still
+    // bit-identical — before any timing. Full mode additionally bounds the
+    // overlap tax: the budgeted wall must stay within 1.25x of unbounded
+    // ranks_4. Smoke uses a proportionally tiny budget so the CI row spills
+    // at 1/25 scale.
+    let ranks_4_secs = stages.last().expect("ranks_4 row").seconds;
+    let budget = dist_shuffle_budget(smoke);
+    {
+        let dist = DistPipeline::new(config.clone(), 4).with_shuffle_budget(budget);
+        let spilled = obs::counter("shuffle.spilled_bytes");
+        let segments = obs::counter("shuffle.spill_segments");
+        obs::Obs::enable();
+        let before = (spilled.get(), segments.get());
+        let out = dist.run_events(month.total_authors(), &source);
+        let spilled_delta = spilled.get() - before.0;
+        let segment_delta = segments.get() - before.1;
+        obs::Obs::disable();
+        assert!(
+            spilled_delta > 0 && segment_delta > 0,
+            "budgeted run ({budget} B/label/rank) never spilled — the row would be \
+             benchmarking the unbounded path"
+        );
+        assert_eq!(
+            out.stats.triplets_validated, resident.stats.triplets_validated,
+            "budgeted shuffle diverged"
+        );
+        assert_eq!(out.survey.triangles.len(), resident.survey.triangles.len());
+        assert_eq!(
+            out.triplets, resident.triplets,
+            "budgeted triplet metrics diverged"
+        );
+        let mut secs = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(dist.run_events(month.total_authors(), &source));
+            secs = secs.min(t.elapsed().as_secs_f64());
+        }
+        if !smoke {
+            assert!(
+                secs <= 1.25 * ranks_4_secs,
+                "budgeted ranks_4 wall {secs:.3}s exceeds 1.25x unbounded ({ranks_4_secs:.3}s)"
+            );
+        }
+        stages.push(StageRow {
+            stage: "ranks_4_budget16M",
+            seconds: secs,
+            throughput: comments as f64 / secs.max(1e-9),
+        });
+    }
     ScenarioReport {
         name: "jan2020_large",
         comments,
         stages,
+    }
+}
+
+/// The per-label-per-rank shuffle budget (the unit `--shuffle-budget` takes)
+/// the budgeted large row and the distributed RSS probes share: a 16 MiB
+/// *label* budget split across the 4 ranks — 4 MiB of resident run bytes
+/// per rank — which the month's dominant label (page events, ~8 MB received
+/// per rank) overflows, so the spill path genuinely runs (the per-pair and
+/// per-edge labels pre-aggregate to well under a megabyte per rank at this
+/// scale; a 16 MiB per-rank cap would never spill anything and the row
+/// would silently benchmark the unbounded path — the warm-up assert below
+/// exists to catch exactly that). Measured in EXPERIMENTS.md's budget
+/// sweep: budgeted VmHWM sits reliably ~8 MB below the unbounded run with
+/// wall well inside the 1.25x bound. Smoke scales the cap down so the
+/// 1/25-size CI month still overflows it.
+fn dist_shuffle_budget(smoke: bool) -> usize {
+    if smoke {
+        64 << 10
+    } else {
+        (16 << 20) / 4
+    }
+}
+
+/// The DistMonth configuration shared by `bench_distributed_large` and the
+/// `dist-month` RSS probe child (the probe must replay exactly the run whose
+/// footprint the parent is comparing).
+fn dist_month_config(smoke: bool) -> redditgen::dist::DistMonthConfig {
+    use redditgen::dist::DistMonthConfig;
+    if smoke {
+        // same shape, ~1/25 the events, so the CI row exists without the cost
+        DistMonthConfig {
+            n_blocks: 64,
+            block_comments: 1_200,
+            organic_authors: 20_000,
+            organic_pages: 10_000,
+            ..DistMonthConfig::jan2020_large()
+        }
+    } else {
+        DistMonthConfig::jan2020_large()
+    }
+}
+
+/// Paper-faithful pruning at scale: CI edges below weight 10 are noise
+/// (the detection threshold the small scenarios also gate triangles on),
+/// and carrying them into the survey would just benchmark noise triangles.
+/// Every large-month path — resident, unbounded ranks, budgeted ranks, RSS
+/// probes — runs this identical config, so the equivalence guards hold.
+fn dist_month_pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        window: Window::zero_to_60s(),
+        edge_threshold: 10,
+        min_triangle_weight: 10,
+        ..Default::default()
     }
 }
 
@@ -336,6 +420,22 @@ fn rss_probe_child(mode: &str, input: &str) -> ! {
             let snap = Snapshot::open(std::path::Path::new(input)).expect("probe: open snapshot");
             probe_pipeline().run_snapshot(&snap).triplets.len()
         }
+        // The streamed rank-sharded month at 4 ranks; `input` is the shuffle
+        // budget in bytes ("0" = unbounded). `--smoke` on the child's command
+        // line selects the reduced month, mirroring the parent's mode.
+        "dist-month" => {
+            let smoke = std::env::args().any(|a| a == "--smoke");
+            let budget: usize = input.parse().expect("probe: parse shuffle budget");
+            let month = redditgen::dist::DistMonth::new(dist_month_config(smoke));
+            let source = event_source(|rank, nranks| Box::new(month.rank_events(rank, nranks)));
+            let mut dist = DistPipeline::new(dist_month_pipeline_config(), 4);
+            if budget > 0 {
+                dist = dist.with_shuffle_budget(budget);
+            }
+            dist.run_events(month.total_authors(), &source)
+                .triplets
+                .len()
+        }
         other => panic!("unknown --rss-probe mode {other:?}"),
     };
     std::hint::black_box(triplets);
@@ -360,6 +460,62 @@ fn spawn_rss_probe(mode: &str, input: &std::path::Path) -> u64 {
         .trim()
         .parse()
         .expect("probe: parse peak RSS")
+}
+
+/// Spawn a `dist-month` probe child: the streamed large month at 4 ranks,
+/// unbounded (`budget == 0`) or under a shuffle budget, in its own process
+/// so VmHWM isolates that one run.
+fn spawn_dist_rss_probe(smoke: bool, budget: usize) -> u64 {
+    let exe = std::env::current_exe().expect("probe: current_exe");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args([
+        "--rss-probe",
+        "dist-month",
+        "--probe-input",
+        &budget.to_string(),
+    ]);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let out = cmd.output().expect("probe: spawn dist child");
+    assert!(
+        out.status.success(),
+        "dist rss probe (budget {budget}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .trim()
+        .parse()
+        .expect("probe: parse peak RSS")
+}
+
+/// Peak RSS of the budgeted vs unbounded distributed month, each in its own
+/// child process. This is the acceptance check for the memory-bounded
+/// shuffle: at full scale the 16 MiB/label/rank budget must put the
+/// process's high-water mark strictly below the unbounded run's. Smoke mode
+/// emits the same keys (the CI regression gate requires every baseline key
+/// in every report) but skips the strict ordering assert — at 1/25 scale
+/// both footprints sit near the process baseline and the comparison is
+/// noise.
+fn dist_rss_comparison(smoke: bool) -> Vec<(String, u64)> {
+    let unbounded_kb = spawn_dist_rss_probe(smoke, 0);
+    let budget_kb = spawn_dist_rss_probe(smoke, dist_shuffle_budget(smoke));
+    if !smoke {
+        assert!(
+            budget_kb < unbounded_kb,
+            "budgeted distributed month peak RSS ({budget_kb} kB) not below unbounded ({unbounded_kb} kB)"
+        );
+    }
+    vec![
+        (
+            "jan2020_large/peak_rss_dist_unbounded_kb".to_string(),
+            unbounded_kb,
+        ),
+        (
+            "jan2020_large/peak_rss_dist_budget_kb".to_string(),
+            budget_kb,
+        ),
+    ]
 }
 
 /// Peak RSS of the full pipeline per input path, per scenario: the resident
@@ -547,6 +703,52 @@ fn ablation_triple(smoke: bool, reps: usize) -> Ablation {
         label: "triple_intersection_skewed",
         baseline_secs: linear_secs,
         kernel_secs: adaptive_secs,
+    }
+}
+
+/// LSD radix vs comparison sort on the shuffle's packed 16-byte keys — the
+/// measurement behind `ygm::sort_run`'s policy. The key distribution mirrors
+/// the pipeline's: page id in the top 32 bits over a small id space (so high
+/// digits are skewed), timestamp and author below. The honest result on this
+/// hardware: comparison sort wins (~2×) at every sealed-run size, so
+/// `sort_run` ships `sort_unstable` and the radix stays available as
+/// `ygm::radix_sort_run` for this ablation to keep pinning the crossover.
+fn ablation_shuffle_sort(smoke: bool, reps: usize) -> Ablation {
+    use rand::{Rng, SeedableRng};
+    let n = if smoke { 1 << 16 } else { 1 << 21 };
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let keys: Vec<u128> = (0..n)
+        .map(|_| {
+            let page = rng.gen_range(0u64..10_000) as u128;
+            let ts = rng.gen_range(0u64..1 << 22) as u128;
+            let author = rng.gen_range(0u64..200_000) as u128;
+            page << 96 | ts << 32 | author
+        })
+        .collect();
+    // correctness guard: identical order (u128 keys have no ties to break)
+    let mut radix = keys.clone();
+    ygm::radix_sort_run(&mut radix);
+    let mut cmp = keys.clone();
+    cmp.sort_unstable();
+    assert_eq!(radix, cmp, "radix order diverged from comparison sort");
+    let mut radix_secs = f64::INFINITY;
+    let mut cmp_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let mut buf = keys.clone();
+        let t = Instant::now();
+        ygm::radix_sort_run(&mut buf);
+        radix_secs = radix_secs.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&buf);
+        let mut buf = keys.clone();
+        let t = Instant::now();
+        buf.sort_unstable();
+        cmp_secs = cmp_secs.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&buf);
+    }
+    Ablation {
+        label: "shuffle_sort_radix_vs_cmp",
+        baseline_secs: cmp_secs,
+        kernel_secs: radix_secs,
     }
 }
 
@@ -849,6 +1051,7 @@ fn run(smoke: bool, threads: usize, out_path: &str, baseline: Option<&str>) {
     let (parallel_abl, scanner_abl) =
         ablation_ingest(&jan_scenario.records, smoke, threads, abl_reps);
     let obs_abl = ablation_obs(jan, abl_reps);
+    let sort_abl = ablation_shuffle_sort(smoke, abl_reps);
     let ablations = vec![
         kernel_abl,
         driver_abl,
@@ -856,6 +1059,7 @@ fn run(smoke: bool, threads: usize, out_path: &str, baseline: Option<&str>) {
         parallel_abl,
         scanner_abl,
         obs_abl,
+        sort_abl,
     ];
     for a in &ablations {
         println!(
@@ -869,6 +1073,7 @@ fn run(smoke: bool, threads: usize, out_path: &str, baseline: Option<&str>) {
 
     let mut rss = rss_comparison("jan2020_small", &jan_scenario.records);
     rss.extend(rss_comparison("oct2016_small", &oct_scenario.records));
+    rss.extend(dist_rss_comparison(smoke));
     for (k, v) in &rss {
         println!("  {k}: {v} kB");
     }

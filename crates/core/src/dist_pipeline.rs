@@ -20,14 +20,18 @@
 //! 2. **Exchange** — kept events are shuffled *once*, through a packed
 //!    byte-buffer aggregator ([`ygm::PackedAggregator`], adaptive
 //!    bytes-per-batch thresholds): `(page, ts, author)` to the *page* owner
-//!    (projection input). Receivers bulk-append each batch into flat
-//!    per-rank runs ([`ygm::container::DistBag::local_extend`], one lock per
-//!    batch) and owners sort the flat runs once after the barrier — the
-//!    PR 3 sorted-run discipline instead of hash-map-of-`Vec`s. The
-//!    post-barrier sort is what makes the shuffle order irrelevant — the
-//!    same order-invariance that makes [`crate::btm::Btm`]
-//!    chunk-count-independent. (The author→pages incidence `Btm` also
-//!    builds is *skipped* here and harvested on demand in stage 5.)
+//!    (projection input). Receivers absorb each batch into a bounded
+//!    **run stack** ([`ygm::runs::DistRuns`], one lock per batch): arriving
+//!    batches are sorted immediately (as order-preserving packed keys —
+//!    [`event_key`]) and merged incrementally *while later batches are in
+//!    flight* (ship drains opportunistically), spilling sorted segments to
+//!    the snapshot store past the `--shuffle-budget` cap. The owner-side
+//!    "sort" is then a streaming k-way merge over resident + spilled runs —
+//!    order-invariant exactly like the post-barrier sort it replaces (the
+//!    invariance that makes [`crate::btm::Btm`] chunk-count-independent),
+//!    but with receive memory bounded by the budget instead of the
+//!    partition size. (The author→pages incidence `Btm` also builds is
+//!    *skipped* here and harvested on demand in stage 5.)
 //! 3. **Projection** — page owners run the flat pair kernel
 //!    ([`crate::project::page_pairs_flat`]) over their neighborhoods (runs
 //!    of the flat page-sorted event array) and shuffle each packed pair
@@ -62,12 +66,13 @@
 //!    same floating-point expressions the resident path evaluates.
 //!
 //! **Equivalence contract** (pinned by `tests/distributed_equivalence.rs`
-//! and a CLI byte-identity test): for every input and every rank count,
-//! [`DistPipeline`] produces the same [`PipelineOutput`] as
-//! [`Pipeline`](crate::Pipeline) — same CI graph, same survey report
-//! (including the examined count, log-histogram and bit-identical `T`
-//! scores), same validated triplets in the same order. Only the stage
-//! timings differ.
+//! and a CLI byte-identity test): for every input, every rank count, every
+//! flush threshold and every shuffle budget — down to one item per batch
+//! and one batch per spill — [`DistPipeline`] produces the same
+//! [`PipelineOutput`] as [`Pipeline`](crate::Pipeline) — same CI graph,
+//! same survey report (including the examined count, log-histogram and
+//! bit-identical `T` scores), same validated triplets in the same order.
+//! Only the stage timings differ.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -78,7 +83,7 @@ use tripoll::survey::{t_score, SurveyReport, SurveyedTriangle};
 use tripoll::{survey_stage, DistAdjacency, Triangle};
 use ygm::container::DistBag;
 use ygm::reduce::{all_gather_concat, all_reduce_hist};
-use ygm::{owner_of, PackedAggregator, PackedBatch, RankCtx, World};
+use ygm::{owner_of, DistRuns, PackedAggregator, PackedBatch, RankCtx, World};
 
 use crate::cigraph::CiGraph;
 use crate::hypergraph::validate_triangle_parts;
@@ -86,7 +91,7 @@ use crate::ids::{AuthorId, Event, Interner, PageId, Timestamp};
 use crate::ingest::{parse_chunk, split_chunks};
 use crate::metrics::TripletMetrics;
 use crate::pipeline::{PipelineConfig, PipelineOutput, RunStats, StageTimings};
-use crate::project::{pack_pair, page_pairs_flat, run_length_pairs, sort_packed, unpack_pair};
+use crate::project::{pack_pair, page_pairs_flat, run_length_pairs, unpack_pair};
 use crate::records::{Dataset, ReadError};
 
 /// `log2`-bucket histograms pad to the full `u64` range so
@@ -94,6 +99,66 @@ use crate::records::{Dataset, ReadError};
 /// trimmed afterwards, reproducing the resident survey's resize-on-write
 /// length exactly (the resident histogram's last element is always nonzero).
 const HIST_BUCKETS: usize = 64;
+
+/// Pack a `(page, ts, author)` event into one order-preserving `u128` run
+/// key: `page·2⁹⁶ | (ts ⊕ 2⁶³)·2³² | author`. The timestamp sign-flip maps
+/// `i64` order onto unsigned order, so numeric key order is exactly the
+/// `(page, ts, author)` tuple order the page-grouping pass needs.
+#[inline]
+fn event_key(p: u32, ts: i64, a: u32) -> u128 {
+    ((p as u128) << 96) | ((((ts as u64) ^ (1 << 63)) as u128) << 32) | a as u128
+}
+
+/// Inverse of [`event_key`].
+#[inline]
+fn event_from_key(k: u128) -> (u32, i64, u32) {
+    let p = (k >> 96) as u32;
+    let ts = (((k >> 32) as u64) ^ (1 << 63)) as i64;
+    (p, ts, k as u32)
+}
+
+/// Pack an oriented `(src, dst, w)` edge into one order-preserving `u128`
+/// run key: numeric order equals `(src, dst)` lexicographic order (weights
+/// never tie-break — post-RLE there are no parallel edges).
+#[inline]
+fn edge_key(s: u32, d: u32, w: u64) -> u128 {
+    ((s as u128) << 96) | ((d as u128) << 64) | w as u128
+}
+
+/// Inverse of [`edge_key`].
+#[inline]
+fn edge_from_key(k: u128) -> (u32, u32, u64) {
+    ((k >> 96) as u32, (k >> 64) as u32, k as u64)
+}
+
+/// One-entry owner cache for `push`-ing long same-key streams without
+/// rehashing: the page loop ships every comment of a page to the same
+/// destination, the orientation loop ships consecutive same-source edges,
+/// and [`ygm::owner_of`] SipHashes on every `push_keyed` call regardless.
+/// Routing is identical by construction (same key type, same hash); the
+/// equivalence proptests pin it.
+struct CachedOwner {
+    key: u32,
+    dest: usize,
+}
+
+impl CachedOwner {
+    fn new() -> Self {
+        CachedOwner {
+            key: 0,
+            dest: usize::MAX, // forces a hash on first use
+        }
+    }
+
+    #[inline]
+    fn dest(&mut self, key: u32, nranks: usize) -> usize {
+        if self.dest == usize::MAX || self.key != key {
+            self.key = key;
+            self.dest = owner_of(&key, nranks);
+        }
+        self.dest
+    }
+}
 
 /// The three-step pipeline run as one SPMD program over `nranks` ygm ranks.
 ///
@@ -110,6 +175,11 @@ pub struct DistPipeline {
     /// default) uses [`ygm::adaptive_batch_bytes`] per item width; tests set
     /// tiny values to stress the flush path — the output must not move.
     pub batch_bytes: Option<usize>,
+    /// Per-label, per-rank cap on resident receive-side bytes. When a run
+    /// stack exceeds it, resident runs are merged and spilled to a sorted
+    /// on-disk segment ([`ygm::runs`]); `None` (the default) never spills.
+    /// The output must be bit-identical for every budget, down to one batch.
+    pub shuffle_budget: Option<usize>,
 }
 
 /// A per-rank event generator for [`DistPipeline::run_events`]: called as
@@ -184,6 +254,7 @@ impl DistPipeline {
             config,
             nranks,
             batch_bytes: None,
+            shuffle_budget: None,
         }
     }
 
@@ -193,6 +264,15 @@ impl DistPipeline {
     /// identical output.
     pub fn with_batch_bytes(mut self, bytes: usize) -> Self {
         self.batch_bytes = Some(bytes);
+        self
+    }
+
+    /// Same pipeline with a resident receive-memory cap per shuffle label
+    /// per rank (the CLI's `--shuffle-budget`): past it, sorted runs spill
+    /// to disk and the owner-side sort becomes a resident+spilled merge.
+    /// Any budget — down to one batch — must produce identical output.
+    pub fn with_shuffle_budget(mut self, bytes: usize) -> Self {
+        self.shuffle_budget = Some(bytes);
         self
     }
 
@@ -233,21 +313,29 @@ impl DistPipeline {
         let nranks = self.nranks;
         let cfg = &self.config;
         let batch_bytes = self.batch_bytes;
+        let budget = self.shuffle_budget;
         let input = &input;
 
-        // Distributed containers, one per shuffle point — all flat runs
-        // (sorted after the barrier), never maps of per-key `Vec`s.
-        let page_events: DistBag<(u32, i64, u32)> = DistBag::new(nranks);
-        let author_pages: DistBag<u64> = DistBag::new(nranks);
-        let pair_occurrences: DistBag<u64> = DistBag::new(nranks);
-        let oriented_edges: DistBag<(u32, u32, u64)> = DistBag::new(nranks);
+        // Distributed containers, one per shuffle point — all bounded run
+        // stacks (each arriving batch sorted and merged incrementally,
+        // spilling past the budget), never maps of per-key `Vec`s. Keys are
+        // the order-preserving packings declared at the top of the module.
+        let page_events: DistRuns<u128> = DistRuns::new(nranks, "page_events", budget);
+        let author_pages: DistRuns<u64> = DistRuns::new(nranks, "author_pages", budget);
+        let pair_occurrences: DistRuns<u64> = DistRuns::new(nranks, "pair_occurrences", budget);
+        let oriented_edges: DistRuns<u128> = DistRuns::new(nranks, "oriented_edges", budget);
+        // The merged on-demand harvest is published per rank into a plain
+        // bag so validation's quiescent cross-rank binary searches still
+        // have a random-access sorted shard to read.
+        let harvest_out: DistBag<u64> = DistBag::new(nranks);
         let adjacency: DistAdjacency = DistAdjacency::new(nranks);
         let found: DistBag<Triangle> = DistBag::new(nranks);
 
         let pe = &page_events;
         let ap = &author_pages;
-        let occ_bag = &pair_occurrences;
-        let edge_bag = &oriented_edges;
+        let occ_runs = &pair_occurrences;
+        let edge_runs = &oriented_edges;
+        let harvest = &harvest_out;
         let adj = &adjacency;
         let found_ref = &found;
 
@@ -259,8 +347,9 @@ impl DistPipeline {
                 input,
                 pe,
                 ap,
-                occ_bag,
-                edge_bag,
+                occ_runs,
+                edge_runs,
+                harvest,
                 adj,
                 found_ref,
             )
@@ -337,10 +426,11 @@ fn rank_main(
     cfg: &PipelineConfig,
     batch_bytes: Option<usize>,
     input: &DistInput<'_>,
-    page_events: &DistBag<(u32, i64, u32)>,
-    author_pages: &DistBag<u64>,
-    pair_occurrences: &DistBag<u64>,
-    oriented_edges: &DistBag<(u32, u32, u64)>,
+    page_events: &DistRuns<u128>,
+    author_pages: &DistRuns<u64>,
+    pair_occurrences: &DistRuns<u64>,
+    oriented_edges: &DistRuns<u128>,
+    harvest_out: &DistBag<u64>,
     adjacency: &DistAdjacency,
     found: &DistBag<Triangle>,
 ) -> RankOut {
@@ -370,10 +460,13 @@ fn rank_main(
     out.n_authors = n_authors;
 
     // ---- Stage 2: event exchange (author-hash / page-hash shuffles) -----
-    // The source is pulled one event at a time straight into the two packed
-    // aggregators, so ingest and exchange overlap and this rank's event
-    // partition never exists as an owned `Vec<Event>`. Receivers bulk-append
-    // whole batches into flat runs.
+    // The source is pulled one event at a time straight into the packed
+    // aggregator, so ingest and exchange overlap and this rank's event
+    // partition never exists as an owned `Vec<Event>`. Receivers absorb
+    // whole batches into bounded run stacks — each batch is sorted as it
+    // arrives and merged incrementally *while later batches are still in
+    // flight* (ship drains opportunistically), spilling sorted segments to
+    // disk past the shuffle budget.
     let exchange_span = obs::span("dist.exchange");
     let mut kept_local = 0u64;
     {
@@ -382,32 +475,37 @@ fn rank_main(
             "events_to_pages",
             (u32, i64, u32),
             move |inner: &RankCtx, batch: PackedBatch<(u32, i64, u32)>| {
-                pe.local_extend(inner, batch.iter());
+                pe.local_absorb(inner, batch.iter().map(|(p, ts, a)| event_key(p, ts, a)));
             }
         );
         // Hoisted emptiness check: `contains` hashes the author id even on an
         // empty set, and generated/snapshot inputs usually exclude nobody —
         // at paper scale that is millions of wasted SipHash rounds.
         let no_exclusions = excluded.is_empty();
+        // Inputs arrive page-clustered (dataset and snapshot events are
+        // page-major; generated blocks share a page), so one cached owner
+        // saves a SipHash per event in the common case.
+        let mut page_owner = CachedOwner::new();
         stream.for_each(ctx, |e| {
             if !no_exclusions && excluded.contains(&e.author.0) {
                 return;
             }
             kept_local += 1;
-            to_pages.push_keyed(ctx, &e.page.0, (e.page.0, e.ts, e.author.0));
+            let dest = page_owner.dest(e.page.0, ctx.nranks());
+            to_pages.push(ctx, dest, (e.page.0, e.ts, e.author.0));
         });
         to_pages.flush_all(ctx);
     }
     ctx.barrier();
     out.n_comments = ctx.all_reduce_sum(kept_local);
-    // Owners order their flat runs: one sort by (page, ts, author) makes
-    // every page's neighborhood a contiguous run in Algorithm 1's (ts,
-    // author) order. Identical contents to what `Btm` builds — without the
-    // per-key `Vec` scatter. (The author→pages incidence the validator needs
-    // is *not* built here: it is harvested on demand in stage 5, for the
-    // handful of authors the survey actually surfaces.)
-    let mut my_page_events = page_events.local_take(ctx);
-    my_page_events.sort_unstable();
+    // Owners finish their partitions: the run stack already holds sorted
+    // runs (resident and spilled), so the `(page, ts, author)` order the
+    // projection needs comes from a streaming merge cursor, not a
+    // partition-sized sort. Identical contents to what `Btm` builds —
+    // without ever holding the partition flat. (The author→pages incidence
+    // the validator needs is *not* built here: it is harvested on demand in
+    // stage 5, for the handful of authors the survey actually surfaces.)
+    let my_events = page_events.local_take(ctx);
     ctx.barrier();
     drop(exchange_span);
 
@@ -420,21 +518,28 @@ fn rank_main(
             "pair_occurrences",
             u64,
             move |inner: &RankCtx, batch: PackedBatch<u64>| {
-                occ.local_extend(inner, batch.iter());
+                occ.local_absorb(inner, batch.iter());
             }
         );
         let mut pairs: Vec<u64> = Vec::new();
         let mut authors_scratch: Vec<u32> = Vec::new();
         let mut comments: Vec<(Timestamp, AuthorId)> = Vec::new();
         let window = cfg.window;
-        let mut i = 0;
-        while i < my_page_events.len() {
-            let page = my_page_events[i].0;
+        // Page grouping over the streaming merge cursor: keys are
+        // `(page, ts, author)`-ordered, so each page's neighborhood arrives
+        // as one contiguous run — same slices as the flat-array loop, with
+        // only one page's comments resident at a time.
+        let mut events = my_events.cursor().peekable();
+        while let Some(&k) = events.peek() {
+            let page = (k >> 96) as u32;
             comments.clear();
-            while i < my_page_events.len() && my_page_events[i].0 == page {
-                let (_, ts, a) = my_page_events[i];
+            while let Some(&next) = events.peek() {
+                if (next >> 96) as u32 != page {
+                    break;
+                }
+                let (_, ts, a) = event_from_key(next);
                 comments.push((ts, AuthorId(a)));
-                i += 1;
+                events.next();
             }
             page_pairs_flat(&comments, &window, &mut pairs);
             authors_scratch.clear();
@@ -453,19 +558,19 @@ fn rank_main(
         }
         to_edges.flush_all(ctx);
     }
-    // `my_page_events` stays alive through the survey: stage 5 harvests the
-    // surveyed authors' page lists from it.
+    // `my_events` stays alive through the survey: stage 5 harvests the
+    // surveyed authors' page lists from a second cursor pass.
     ctx.barrier();
     // Replicate P' everywhere: the survey's T-score and validation both
     // index it by arbitrary author id.
     out.page_counts = all_reduce_hist(ctx, pprime_local);
 
-    // Each edge owner sorts and run-length-counts its disjoint slice of the
-    // pair multiset — this rank's sorted canonical run for CiGraph.
-    let mut occ = pair_occurrences.local_take(ctx);
-    sort_packed(&mut occ);
-    out.edge_run = run_length_pairs(&occ);
-    drop(occ);
+    // Each edge owner run-length-counts its disjoint slice of the pair
+    // multiset straight off the merge cursor (already globally sorted,
+    // duplicates adjacent) — this rank's sorted canonical run for CiGraph.
+    let occ_set = pair_occurrences.local_take(ctx);
+    out.edge_run = run_length_pairs(occ_set.cursor());
+    drop(occ_set);
     out.ci_edges = ctx.all_reduce_sum(out.edge_run.len() as u64);
     drop(project_span);
 
@@ -488,30 +593,38 @@ fn rank_main(
     out.ci_edges_after_threshold = ctx.all_reduce_sum(filtered);
     let deg = all_reduce_hist(ctx, deg_local);
     {
-        let bag = oriented_edges.clone();
+        let runs = oriented_edges.clone();
         let mut to_sources = packed_agg!(
             "oriented_edges",
             (u32, u32, u64),
             move |inner: &RankCtx, batch: PackedBatch<(u32, u32, u64)>| {
-                bag.local_extend(inner, batch.iter());
+                runs.local_absorb(inner, batch.iter().map(|(s, d, w)| edge_key(s, d, w)));
             }
         );
         let points_up = |u: u32, v: u32| (deg[u as usize], u) < (deg[v as usize], v);
+        // The edge run is (x, y)-sorted, so consecutive edges usually share
+        // a source after orientation — the cached owner skips the rehash.
+        let mut src_owner = CachedOwner::new();
         for &(x, y, w) in &out.edge_run {
             if w < threshold {
                 continue;
             }
             let (src, dst) = if points_up(x, y) { (x, y) } else { (y, x) };
-            to_sources.push_keyed(ctx, &src, (src, dst, w));
+            let dest = src_owner.dest(src, ctx.nranks());
+            to_sources.push(ctx, dest, (src, dst, w));
         }
         to_sources.flush_all(ctx);
     }
     ctx.barrier();
     // Build this rank's LocalCsr partition and publish its rows as the
-    // distributed adjacency tripoll's survey stage consumes. Every row's
-    // source hashed here, so the insert is owner-local — a direct shard
-    // write instead of a self-send message per vertex.
-    let csr = LocalCsr::from_edges(oriented_edges.local_take(ctx));
+    // distributed adjacency tripoll's survey stage consumes. The merge
+    // cursor yields the partition in (src, dst) order, so the CSR builds
+    // streaming — no flat edge vector. Every row's source hashed here, so
+    // the insert is owner-local — a direct shard write instead of a
+    // self-send message per vertex.
+    let edge_set = oriented_edges.local_take(ctx);
+    let csr = LocalCsr::from_sorted_edges(edge_set.cursor().map(edge_from_key));
+    drop(edge_set);
     obs::counter("dist.ghost_vertices").add(csr.ghosts().len() as u64);
     for (u, targets, weights) in csr.rows() {
         let list: Vec<(u32, u64)> = targets
@@ -592,23 +705,35 @@ fn rank_main(
                                                              batch: PackedBatch<
                 u64,
             >| {
-                ap.local_extend(inner, batch.iter());
+                ap.local_absorb(inner, batch.iter());
             });
         if !needed.is_empty() {
-            for &(p, _ts, a) in &my_page_events {
+            // Bots comment in bursts, so consecutive qualifying events often
+            // share an author — cache the owner like the page loop does.
+            let mut author_owner = CachedOwner::new();
+            for k in my_events.cursor() {
+                let (p, _ts, a) = event_from_key(k);
                 if needed.binary_search(&a).is_ok() {
-                    to_authors.push_keyed(ctx, &a, pack_pair(a, p));
+                    let dest = author_owner.dest(a, ctx.nranks());
+                    to_authors.push(ctx, dest, pack_pair(a, p));
                 }
             }
         }
         to_authors.flush_all(ctx);
     }
-    drop(my_page_events);
+    // Dropping the event run set deletes any spill segments behind it.
+    drop(my_events);
     ctx.barrier();
-    author_pages.with_shard_mut(ctx.rank(), |pairs| {
-        sort_packed(pairs);
-        pairs.dedup();
-    });
+    // Merge + dedup the harvested incidences (the cursor yields duplicates
+    // adjacent) and publish the rank's sorted run for cross-rank binary
+    // searches. The harvest is restricted to surveyed authors, so this
+    // materialization is tiny by construction.
+    {
+        let harvested = author_pages.local_take(ctx);
+        let mut merged: Vec<u64> = harvested.cursor().collect();
+        merged.dedup();
+        harvest_out.with_shard_mut(ctx.rank(), |shard| *shard = merged);
+    }
     ctx.barrier();
     // Scratch for the three authors' page runs, copied out of the sorted
     // packed shards under a binary search — no per-author list clones.
@@ -616,9 +741,9 @@ fn rank_main(
     let fetch_pages = |author: u32, into: &mut Vec<PageId>| {
         into.clear();
         let owner = owner_of(&author, ctx.nranks());
-        // Quiescent reads: the survey barrier drained every message, and
+        // Quiescent reads: the harvest barrier drained every message, and
         // validation sends none, so owner-shard page runs are stable.
-        author_pages.with_shard(owner, |shard| {
+        harvest_out.with_shard(owner, |shard| {
             let key = u64::from(author) << 32;
             let lo = shard.partition_point(|&p| p < key);
             let hi = lo + shard[lo..].partition_point(|&p| p >> 32 == u64::from(author));

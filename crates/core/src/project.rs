@@ -195,11 +195,13 @@ fn page_pairs_heavy(
     pairs.dedup();
 }
 
-/// Run-length-count a sorted occurrence buffer of packed canonical pairs into
-/// a sorted `(x, y, w)` edge run — the [`CiGraph::from_runs`] input format.
-pub(crate) fn run_length_pairs(occ: &[u64]) -> Vec<(u32, u32, u64)> {
+/// Run-length-count a sorted occurrence sequence of packed canonical pairs
+/// into a sorted `(x, y, w)` edge run — the [`CiGraph::from_runs`] input
+/// format. Takes any sorted iterator so streaming merge cursors count
+/// without materializing the occurrence multiset.
+pub(crate) fn run_length_pairs(occ: impl IntoIterator<Item = u64>) -> Vec<(u32, u32, u64)> {
     let mut run = Vec::new();
-    let mut it = occ.iter().copied();
+    let mut it = occ.into_iter();
     if let Some(mut cur) = it.next() {
         let mut w = 1u64;
         for p in it {
@@ -296,7 +298,7 @@ where
             }
             pair_occurrences.add(occ.len() as u64);
             sort_packed(&mut occ);
-            let run = run_length_pairs(&occ);
+            let run = run_length_pairs(occ.iter().copied());
             authors.sort_unstable();
             (run, run_length_counts(&authors))
         })

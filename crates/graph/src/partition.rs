@@ -36,12 +36,20 @@ impl LocalCsr {
     /// which both the projection and the snapshot CSR guarantee).
     pub fn from_edges(mut edges: Vec<(u32, u32, u64)>) -> Self {
         edges.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        Self::from_sorted_edges(edges)
+    }
+
+    /// Build from edges already in ascending `(source, target)` order — the
+    /// zero-copy entry point for streaming merge cursors, which yield the
+    /// partition sorted without ever materializing it.
+    pub fn from_sorted_edges(edges: impl IntoIterator<Item = (u32, u32, u64)>) -> Self {
         let mut vertices = Vec::new();
         let mut offsets = vec![0usize];
-        let mut targets = Vec::with_capacity(edges.len());
-        let mut weights = Vec::with_capacity(edges.len());
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
         for (s, d, w) in edges {
             if vertices.last() != Some(&s) {
+                debug_assert!(vertices.last().is_none_or(|&p| p < s), "unsorted edges");
                 vertices.push(s);
                 offsets.push(targets.len());
             }

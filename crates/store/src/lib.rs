@@ -13,6 +13,9 @@
 //!   implements `coordination_graph::GraphRef` by decoding neighbor lists
 //!   block-wise, so the galloping/adaptive intersection kernels run directly
 //!   over compressed bytes;
+//! * [`segment`] — sorted spill segments ([`SegmentWriter`] /
+//!   [`SegmentReader`]): delta-varint key runs the memory-bounded shuffle
+//!   (`ygm::runs`) evicts to disk and later k-way merges back, streaming;
 //! * [`varint`] — the LEB128 + zigzag framing every section shares;
 //! * [`mmap`] — read-only file mapping with an owned-buffer fallback;
 //! * [`err`] — the typed [`StoreError`]: corrupt or truncated input is
@@ -31,10 +34,12 @@
 pub mod csr;
 pub mod err;
 pub mod mmap;
+pub mod segment;
 pub mod snapshot;
 pub mod varint;
 
 pub use csr::CsrView;
 pub use err::StoreError;
+pub use segment::{SegmentReader, SegmentStats, SegmentWriter, SEG_BLOCK, SEG_MAGIC};
 pub use snapshot::{CiView, EventsView, NamesView, Snapshot, SnapshotMeta, SnapshotWriter};
 pub use snapshot::{MAGIC, VERSION};

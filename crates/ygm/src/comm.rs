@@ -122,6 +122,7 @@ impl World {
                         receiver,
                         sense: Cell::new(false),
                         coll_seq: Cell::new(0),
+                        draining: Cell::new(false),
                     };
                     let r = f(&ctx);
                     // Final implicit barrier: drain stragglers so no message is
@@ -163,6 +164,10 @@ pub struct RankCtx {
     sense: Cell<bool>,
     /// Per-rank collective sequence number; matched calls share a number.
     coll_seq: Cell<u64>,
+    /// Reentrancy guard for [`RankCtx::drain`]: handlers may themselves ship
+    /// batches (which opportunistically drain), and unbounded
+    /// drain-inside-drain recursion would blow the stack on message floods.
+    draining: Cell<bool>,
 }
 
 impl RankCtx {
@@ -204,6 +209,13 @@ impl RankCtx {
     /// of messages processed. Called automatically inside barriers; exposed so
     /// long local compute loops can make progress on incoming traffic.
     pub fn drain(&self) -> usize {
+        // A handler that sends (and thereby drains) while we are already
+        // draining must not recurse — the outer loop will pick up whatever it
+        // would have processed.
+        if self.draining.get() {
+            return 0;
+        }
+        self.draining.set(true);
         let mut n = 0;
         while let Ok(msg) = self.receiver.try_recv() {
             msg(self);
@@ -212,6 +224,7 @@ impl RankCtx {
             self.shared.processed.fetch_add(1, Ordering::SeqCst);
             n += 1;
         }
+        self.draining.set(false);
         n
     }
 

@@ -31,9 +31,18 @@
 //!
 //! Shuffle traffic is observable through [`obs`] counters: `ygm.bytes_sent`,
 //! `ygm.batches_sent`, `ygm.items_sent` world totals, the same three under
-//! `ygm.<label>.…` per aggregator label, and a `ygm.batch_items_log2_N`
+//! `ygm.<label>.…` per aggregator label, their receive-side mirrors
+//! `ygm.bytes_received` / `ygm.batches_received` / `ygm.items_received`
+//! (bumped on the owner as batches are applied), `ygm.pool_hits` /
+//! `ygm.pool_misses` for buffer recycling, and a `ygm.batch_items_log2_N`
 //! items-per-batch histogram — all of which land in the schema-versioned run
 //! report automatically.
+//!
+//! Shipping is also where send/receive **overlap** happens: after handing a
+//! batch to the channel, [`PackedAggregator`] ship calls [`RankCtx::drain`],
+//! so a rank mid-shuffle processes whatever has already arrived for it
+//! instead of letting its inbox (and the run stacks behind it) sit idle
+//! until the next barrier.
 
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -143,6 +152,8 @@ packable_tuple!(a: u32, b: u32, c: u64);
 pub struct BufferPool {
     free: Mutex<Vec<Vec<u8>>>,
     max_retained: usize,
+    hits: obs::Counter,
+    misses: obs::Counter,
 }
 
 impl BufferPool {
@@ -151,12 +162,19 @@ impl BufferPool {
         Arc::new(BufferPool {
             free: Mutex::new(Vec::new()),
             max_retained,
+            hits: obs::counter("ygm.pool_hits"),
+            misses: obs::counter("ygm.pool_misses"),
         })
     }
 
     /// Take a cleared buffer with at least `capacity` bytes reserved.
     pub fn acquire(&self, capacity: usize) -> Vec<u8> {
-        let mut buf = self.free.lock().pop().unwrap_or_default();
+        let recycled = self.free.lock().pop();
+        match &recycled {
+            Some(_) => self.hits.add(1),
+            None => self.misses.add(1),
+        }
+        let mut buf = recycled.unwrap_or_default();
         buf.clear();
         if buf.capacity() < capacity {
             buf.reserve(capacity - buf.len());
@@ -248,6 +266,11 @@ struct ExchangeCounters {
     label_bytes: obs::Counter,
     label_batches: obs::Counter,
     label_items: obs::Counter,
+    // Receive-side world totals, bumped on the owner rank as each batch is
+    // applied; handles are cloned into the ship closure.
+    bytes_received: obs::Counter,
+    batches_received: obs::Counter,
+    items_received: obs::Counter,
 }
 
 impl ExchangeCounters {
@@ -259,6 +282,9 @@ impl ExchangeCounters {
             label_bytes: obs::counter(&format!("ygm.{label}.bytes_sent")),
             label_batches: obs::counter(&format!("ygm.{label}.batches_sent")),
             label_items: obs::counter(&format!("ygm.{label}.items_sent")),
+            bytes_received: obs::counter("ygm.bytes_received"),
+            batches_received: obs::counter("ygm.batches_received"),
+            items_received: obs::counter("ygm.items_received"),
         }
     }
 }
@@ -351,10 +377,21 @@ where
         self.counters.label_batches.add(1);
         self.counters.label_items.add(items);
         let apply = self.apply.clone();
+        let recv_bytes = self.counters.bytes_received.clone();
+        let recv_batches = self.counters.batches_received.clone();
+        let recv_items = self.counters.items_received.clone();
         ctx.async_exec(dest, move |inner| {
+            recv_bytes.add(batch.len() as u64);
+            recv_batches.add(1);
+            recv_items.add(items);
             apply(inner, PackedBatch::new(&batch));
             inner.buffer_pool().release(batch);
         });
+        // Overlap: senders double as receivers. Draining here lets the owner
+        // side absorb in-flight batches *while* this rank is still producing,
+        // instead of deferring the whole receive volume to the next barrier.
+        // Inside a handler this is a guarded no-op, so cascades stay bounded.
+        ctx.drain();
     }
 
     /// Items shipped so far (excluding still-buffered ones).

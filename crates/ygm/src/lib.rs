@@ -73,9 +73,11 @@ pub mod container;
 pub mod exchange;
 pub mod partition;
 pub mod reduce;
+pub mod runs;
 pub mod stats;
 
 pub use batch::Aggregator;
 pub use comm::{RankCtx, World};
 pub use exchange::{adaptive_batch_bytes, BufferPool, Packable, PackedAggregator, PackedBatch};
 pub use partition::{block_owner, block_range, owner_of};
+pub use runs::{radix_sort_run, sort_run, DistRuns, MergeCursor, RunKey, RunSet, RunStack};

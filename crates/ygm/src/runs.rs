@@ -1,0 +1,705 @@
+//! Receive-side run stacks: incremental merge + out-of-core spill for
+//! memory-bounded shuffles.
+//!
+//! The barrier-shaped shuffle buffers a rank's whole partition, then sorts it
+//! once the exchange quiesces — which means peak receiver memory equals the
+//! partition size. This module replaces that buffer with a **run stack**:
+//!
+//! * each arriving [`crate::PackedBatch`] is sorted immediately on the
+//!   packed key encoding — see [`sort_run`] for the measured comparison-vs-
+//!   radix policy — and pushed as a *run*;
+//! * adjacent runs of comparable size are merged opportunistically
+//!   (pairwise merge-by-level, the classic logarithmic run-stack invariant),
+//!   so the stack holds O(log n) sorted runs instead of n batches;
+//! * when a label's resident bytes exceed its **shuffle budget**, every
+//!   resident run is k-way merged and streamed to disk as one sorted
+//!   delta-compressed [`coordination_store::segment`] — receiver memory is
+//!   again bounded by the budget, arbitrarily below the partition size;
+//! * the consumer's final "sort" is a streaming k-way [`MergeCursor`] over
+//!   resident runs + spilled segments: globally sorted order without ever
+//!   materializing the partition.
+//!
+//! Because batches are absorbed as they arrive (the ship path drains
+//! opportunistically — see [`crate::exchange`]), the sorting work overlaps
+//! the communication instead of serializing behind the barrier.
+//!
+//! Spill traffic is observable: `shuffle.spilled_bytes`,
+//! `shuffle.spill_segments` and `shuffle.merge_passes` counters land in the
+//! run report like every other [`obs`] metric.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use coordination_store::segment::{SegmentReader, SegmentWriter};
+use parking_lot::Mutex;
+
+use crate::comm::RankCtx;
+
+/// Target size of one sealed in-memory run. Runs around this size radix-sort
+/// in cache-friendly passes and keep the stack shallow; the effective seal
+/// threshold is the smaller of this and the label's spill budget.
+pub const RUN_TARGET_BYTES: usize = 4 << 20;
+
+/// Below this length comparison sort beats radix setup unconditionally
+/// (same crossover as the projection kernel's packed-pair sort).
+const RADIX_MIN: usize = 1 << 15;
+
+/// A shuffle key with a fixed-width packed integer encoding whose numeric
+/// order equals the item's sort order — the contract that lets run stacks
+/// radix-sort, delta-compress, and merge without knowing the item shape.
+///
+/// Consumers pick order-preserving bijections into `u64`/`u128` (e.g. a
+/// `(page, ts, author)` event packs as `page·2⁹⁶ | (ts ⊕ 2⁶³)·2³² | author`,
+/// the sign-flip keeping negative timestamps below positive ones).
+pub trait RunKey: Copy + Ord + Send + 'static {
+    /// Packed width in bytes (8 or 16) — the segment width on disk.
+    const WIDTH: usize;
+    /// The order-preserving integer encoding.
+    fn to_u128(self) -> u128;
+    /// Inverse of [`RunKey::to_u128`].
+    fn from_u128(v: u128) -> Self;
+}
+
+impl RunKey for u64 {
+    const WIDTH: usize = 8;
+    #[inline]
+    fn to_u128(self) -> u128 {
+        u128::from(self)
+    }
+    #[inline]
+    fn from_u128(v: u128) -> Self {
+        v as u64
+    }
+}
+
+impl RunKey for u128 {
+    const WIDTH: usize = 16;
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self
+    }
+    #[inline]
+    fn from_u128(v: u128) -> Self {
+        v
+    }
+}
+
+/// Sort a run of packed keys. The policy is measured, not assumed: the
+/// `shuffle_sort_radix_vs_cmp` bench ablation pits [`radix_sort_run`]
+/// against `sort_unstable` on realistic packed event keys, and on current
+/// hardware the comparison sort wins at every run size a stack seals
+/// (0.5–0.7× for radix at 2¹⁶–2²¹ keys — the 2¹⁶-entry count array of the
+/// 16-bit-digit LSD thrashes L2 between passes, and pdqsort on packed
+/// integers is branch-light). Runs are sorted here exactly once, so this
+/// one function is where that measurement is applied; re-run the ablation
+/// before changing it.
+pub fn sort_run<K: RunKey>(v: &mut [K]) {
+    v.sort_unstable();
+}
+
+/// LSD radix sort over 16-bit digits of the packed encoding, skipping
+/// digits that are zero for every element (dense ids rarely use the upper
+/// bits) — the PR 3 projection-kernel sort generalized to 16-byte keys.
+/// Kept as the ablation's subject and for hardware where scatter passes
+/// beat comparison sorts; [`sort_run`] is the policy entry point.
+pub fn radix_sort_run<K: RunKey>(v: &mut Vec<K>) {
+    if v.len() < RADIX_MIN {
+        v.sort_unstable();
+        return;
+    }
+    let max = v.iter().map(|k| k.to_u128()).max().unwrap_or(0);
+    let bits = 128 - max.leading_zeros() as usize;
+    let passes = bits.div_ceil(16).max(1);
+    let mut tmp = v.clone();
+    let mut counts = vec![0u32; 1 << 16];
+    for pass in 0..passes {
+        let shift = pass * 16;
+        counts.fill(0);
+        for &x in v.iter() {
+            counts[((x.to_u128() >> shift) & 0xFFFF) as usize] += 1;
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            let t = *c;
+            *c = sum;
+            sum += t;
+        }
+        for &x in v.iter() {
+            let d = ((x.to_u128() >> shift) & 0xFFFF) as usize;
+            tmp[counts[d] as usize] = x;
+            counts[d] += 1;
+        }
+        std::mem::swap(v, &mut tmp);
+    }
+}
+
+/// Held spill-counter handles, resolved once per container.
+#[derive(Clone)]
+struct SpillCounters {
+    spilled_bytes: obs::Counter,
+    spill_segments: obs::Counter,
+    merge_passes: obs::Counter,
+}
+
+impl SpillCounters {
+    fn new() -> Self {
+        SpillCounters {
+            spilled_bytes: obs::counter("shuffle.spilled_bytes"),
+            spill_segments: obs::counter("shuffle.spill_segments"),
+            merge_passes: obs::counter("shuffle.merge_passes"),
+        }
+    }
+}
+
+/// Distinguishes spill files across concurrently running worlds and tests
+/// within one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One label+rank's bounded stack of sorted runs.
+///
+/// Not a distributed container itself — [`DistRuns`] wraps one of these per
+/// rank behind the usual shard locks. Public for direct unit testing.
+pub struct RunStack<K: RunKey> {
+    /// Unsorted arrivals since the last seal.
+    active: Vec<K>,
+    /// Sealed sorted runs, oldest first; the merge-by-level invariant keeps
+    /// `runs[i].len() > 2 * runs[i+1].len()` roughly, so there are O(log n).
+    runs: Vec<Vec<K>>,
+    /// Seal the active buffer at this many keys.
+    seal_keys: usize,
+    /// Spill everything once resident keys exceed this (None = unbounded).
+    budget_keys: Option<usize>,
+    /// Sorted segments already evicted to disk, oldest first.
+    spills: Vec<PathBuf>,
+    /// For spill file names.
+    label: String,
+    rank: usize,
+    counters: SpillCounters,
+}
+
+impl<K: RunKey> RunStack<K> {
+    /// A stack for `label`/`rank` spilling past `budget_bytes` resident
+    /// bytes (`None` = never spill).
+    pub fn new(label: &str, rank: usize, budget_bytes: Option<usize>) -> Self {
+        Self::with_counters(label, rank, budget_bytes, SpillCounters::new())
+    }
+
+    fn with_counters(
+        label: &str,
+        rank: usize,
+        budget_bytes: Option<usize>,
+        counters: SpillCounters,
+    ) -> Self {
+        let seal_bytes = budget_bytes
+            .unwrap_or(RUN_TARGET_BYTES)
+            .min(RUN_TARGET_BYTES);
+        RunStack {
+            active: Vec::new(),
+            runs: Vec::new(),
+            seal_keys: (seal_bytes / K::WIDTH).max(1),
+            budget_keys: budget_bytes.map(|b| (b / K::WIDTH).max(1)),
+            spills: Vec::new(),
+            label: label.to_string(),
+            rank,
+            counters,
+        }
+    }
+
+    /// Absorb a batch of arrivals; seals (sorts + merges) when the active
+    /// buffer fills and spills when the budget is exceeded.
+    ///
+    /// The budget check runs *before* the seal: a seal's merge-by-level
+    /// allocates merged copies of resident runs, which is exactly the
+    /// transient the budget exists to avoid — an over-budget stack goes
+    /// straight to disk from its unmerged runs instead (the spill's k-way
+    /// merge produces the same sorted segment without the intermediate).
+    pub fn absorb<I: IntoIterator<Item = K>>(&mut self, items: I) {
+        self.active.extend(items);
+        if self.active.len() < self.seal_keys {
+            return;
+        }
+        match self.budget_keys {
+            Some(b) if self.resident_keys() > b => self.spill_all(),
+            _ => self.seal(),
+        }
+    }
+
+    /// Resident keys across the active buffer and sealed runs.
+    pub fn resident_keys(&self) -> usize {
+        self.active.len() + self.runs.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Sorted segments spilled so far.
+    pub fn spill_count(&self) -> usize {
+        self.spills.len()
+    }
+
+    fn seal(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        let mut run = std::mem::take(&mut self.active);
+        sort_run(&mut run);
+        self.runs.push(run);
+        // Merge-by-level: collapse the top of the stack while the
+        // second-from-top run is no more than twice the top — each key is
+        // merged O(log n) times total, and the stack stays logarithmic.
+        while self.runs.len() >= 2 {
+            let top = self.runs[self.runs.len() - 1].len();
+            let below = self.runs[self.runs.len() - 2].len();
+            if below > 2 * top {
+                break;
+            }
+            let hi = self.runs.pop().expect("len checked");
+            let lo = self.runs.pop().expect("len checked");
+            self.runs.push(merge_two(lo, hi));
+            self.counters.merge_passes.add(1);
+        }
+    }
+
+    /// Merge every resident run and stream it to disk as one sorted segment.
+    /// Write failures panic: spill files live in the local temp dir and a
+    /// rank that cannot write scratch space cannot make progress anyway.
+    ///
+    /// The active buffer is sorted and pushed as a run directly — no
+    /// merge-by-level, the disk merge subsumes it.
+    fn spill_all(&mut self) {
+        if !self.active.is_empty() {
+            let mut run = std::mem::take(&mut self.active);
+            sort_run(&mut run);
+            self.runs.push(run);
+        }
+        if self.runs.is_empty() {
+            return;
+        }
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "ygm-spill-{}-{}-{}-r{}.seg",
+            std::process::id(),
+            seq,
+            self.label,
+            self.rank
+        ));
+        let mut writer =
+            SegmentWriter::create(&path, K::WIDTH as u8).expect("create shuffle spill segment");
+        let runs = std::mem::take(&mut self.runs);
+        let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
+        let mut cursors: Vec<std::slice::Iter<'_, K>> = runs.iter().map(|r| r.iter()).collect();
+        for (i, c) in cursors.iter_mut().enumerate() {
+            if let Some(&k) = c.next() {
+                heap.push(Reverse((k, i)));
+            }
+        }
+        while let Some(Reverse((k, i))) = heap.pop() {
+            writer
+                .push(k.to_u128())
+                .expect("write shuffle spill segment");
+            if let Some(&nk) = cursors[i].next() {
+                heap.push(Reverse((nk, i)));
+            }
+        }
+        let stats = writer.finish().expect("finish shuffle spill segment");
+        self.counters.spilled_bytes.add(stats.payload_bytes);
+        self.counters.spill_segments.add(1);
+        self.spills.push(path);
+    }
+
+    /// Finish the stack: seal whatever is buffered and hand the runs +
+    /// spilled segments to a [`RunSet`] for merging.
+    pub fn take(&mut self) -> RunSet<K> {
+        self.seal();
+        RunSet {
+            runs: std::mem::take(&mut self.runs),
+            spills: std::mem::take(&mut self.spills),
+        }
+    }
+}
+
+fn merge_two<K: RunKey>(lo: Vec<K>, hi: Vec<K>) -> Vec<K> {
+    let mut out = Vec::with_capacity(lo.len() + hi.len());
+    let (mut a, mut b) = (lo.into_iter().peekable(), hi.into_iter().peekable());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    out.push(a.next().expect("peeked"));
+                } else {
+                    out.push(b.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(a);
+                return out;
+            }
+            (None, _) => {
+                out.extend(b);
+                return out;
+            }
+        }
+    }
+}
+
+/// A finished shuffle partition: sorted resident runs plus sorted spilled
+/// segments, consumed through streaming [`MergeCursor`]s. Cursors can be
+/// created repeatedly (consumers that need two passes re-merge rather than
+/// materialize). Dropping the set deletes its spill files.
+pub struct RunSet<K: RunKey> {
+    runs: Vec<Vec<K>>,
+    spills: Vec<PathBuf>,
+}
+
+impl<K: RunKey> Default for RunSet<K> {
+    fn default() -> Self {
+        RunSet {
+            runs: Vec::new(),
+            spills: Vec::new(),
+        }
+    }
+}
+
+impl<K: RunKey> RunSet<K> {
+    /// Keys resident in memory (excludes spilled segments).
+    pub fn resident_keys(&self) -> usize {
+        self.runs.iter().map(Vec::len).sum()
+    }
+
+    /// Spilled segments backing this set.
+    pub fn spill_count(&self) -> usize {
+        self.spills.len()
+    }
+
+    /// A fresh streaming cursor over the globally sorted key sequence.
+    /// Segment files were written by this process moments ago, so read
+    /// errors here are unrecoverable environment failures and panic.
+    pub fn cursor(&self) -> MergeCursor<'_, K> {
+        let mut sources: Vec<Source<'_, K>> = self
+            .runs
+            .iter()
+            .map(|r| Source::Resident { keys: r, at: 0 })
+            .collect();
+        for path in &self.spills {
+            let reader = SegmentReader::open(path).expect("reopen shuffle spill segment");
+            assert_eq!(
+                reader.width() as usize,
+                K::WIDTH,
+                "spill segment width mismatch"
+            );
+            sources.push(Source::Spilled {
+                reader,
+                block: Vec::new(),
+                at: 0,
+            });
+        }
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (i, s) in sources.iter_mut().enumerate() {
+            if let Some(k) = s.next_key() {
+                heap.push(Reverse((k, i)));
+            }
+        }
+        let lead = heap.pop().map(|Reverse(t)| t);
+        MergeCursor {
+            sources,
+            heap,
+            lead,
+        }
+    }
+
+    /// Drain the whole set into one sorted `Vec` — test/ablation convenience;
+    /// production consumers stream the cursor.
+    pub fn into_sorted_vec(self) -> Vec<K> {
+        self.cursor().collect()
+    }
+}
+
+impl<K: RunKey> Drop for RunSet<K> {
+    fn drop(&mut self) {
+        for path in &self.spills {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+enum Source<'a, K: RunKey> {
+    Resident {
+        keys: &'a [K],
+        at: usize,
+    },
+    Spilled {
+        reader: SegmentReader,
+        block: Vec<u128>,
+        at: usize,
+    },
+}
+
+impl<K: RunKey> Source<'_, K> {
+    fn next_key(&mut self) -> Option<K> {
+        match self {
+            Source::Resident { keys, at } => {
+                let k = keys.get(*at).copied();
+                *at += 1;
+                k
+            }
+            Source::Spilled { reader, block, at } => {
+                if *at == block.len() {
+                    let next = reader.next_block().expect("read shuffle spill segment");
+                    if next.is_empty() {
+                        return None;
+                    }
+                    block.clear();
+                    block.extend_from_slice(next);
+                    *at = 0;
+                }
+                let k = K::from_u128(block[*at]);
+                *at += 1;
+                Some(k)
+            }
+        }
+    }
+}
+
+/// Streaming k-way merge over a [`RunSet`]'s sources: yields every key in
+/// globally sorted order (duplicates included) holding one segment block per
+/// spilled source.
+///
+/// The current minimum lives in `lead`, outside the heap: while the leading
+/// source keeps winning (ties included — a multiset merge is key-order
+/// agnostic among equals), each yield is one comparison against the heap top
+/// instead of a pop + push, and once every other source drains the tail
+/// streams with no heap at all.
+pub struct MergeCursor<'a, K: RunKey> {
+    sources: Vec<Source<'a, K>>,
+    heap: BinaryHeap<Reverse<(K, usize)>>,
+    lead: Option<(K, usize)>,
+}
+
+impl<K: RunKey> Iterator for MergeCursor<'_, K> {
+    type Item = K;
+
+    fn next(&mut self) -> Option<K> {
+        let (k, i) = self.lead.take()?;
+        match self.sources[i].next_key() {
+            Some(nk) => match self.heap.peek() {
+                Some(&Reverse((hk, _))) if hk < nk => {
+                    let Reverse(top) = self.heap.pop().expect("peeked non-empty");
+                    self.heap.push(Reverse((nk, i)));
+                    self.lead = Some(top);
+                }
+                _ => self.lead = Some((nk, i)),
+            },
+            None => self.lead = self.heap.pop().map(|Reverse(t)| t),
+        }
+        Some(k)
+    }
+}
+
+/// The distributed face of the run stacks: one [`RunStack`] shard per rank,
+/// same locking discipline as [`crate::container::DistBag`]. Batch handlers
+/// call [`DistRuns::local_absorb`] (one lock per batch — sorting happens
+/// inside, while other batches are still in flight), and after the closing
+/// barrier each rank [`DistRuns::local_take`]s its shard and merges.
+pub struct DistRuns<K: RunKey> {
+    shards: Arc<Vec<Mutex<RunStack<K>>>>,
+    nranks: usize,
+}
+
+impl<K: RunKey> Clone for DistRuns<K> {
+    fn clone(&self) -> Self {
+        DistRuns {
+            shards: Arc::clone(&self.shards),
+            nranks: self.nranks,
+        }
+    }
+}
+
+impl<K: RunKey> DistRuns<K> {
+    /// A run-stack container for `label`, spilling each rank's shard past
+    /// `budget_bytes` resident bytes (`None` = unbounded, never spills).
+    pub fn new(nranks: usize, label: &str, budget_bytes: Option<usize>) -> Self {
+        let counters = SpillCounters::new();
+        DistRuns {
+            shards: Arc::new(
+                (0..nranks)
+                    .map(|r| {
+                        Mutex::new(RunStack::with_counters(
+                            label,
+                            r,
+                            budget_bytes,
+                            counters.clone(),
+                        ))
+                    })
+                    .collect(),
+            ),
+            nranks,
+        }
+    }
+
+    #[inline]
+    fn check(&self, ctx: &RankCtx) {
+        debug_assert_eq!(self.nranks, ctx.nranks(), "container/world size mismatch");
+    }
+
+    /// Absorb a batch into the calling rank's shard under one lock — the
+    /// batch-granular receiver for packed-batch applies.
+    pub fn local_absorb<I: IntoIterator<Item = K>>(&self, ctx: &RankCtx, items: I) {
+        self.check(ctx);
+        self.shards[ctx.rank()].lock().absorb(items);
+    }
+
+    /// Keys resident in memory on this rank (spilled keys excluded).
+    pub fn local_resident_keys(&self, ctx: &RankCtx) -> usize {
+        self.check(ctx);
+        self.shards[ctx.rank()].lock().resident_keys()
+    }
+
+    /// Take (move out) this rank's finished partition for merging, leaving
+    /// the shard empty. Quiescent regimes only (post-barrier).
+    pub fn local_take(&self, ctx: &RankCtx) -> RunSet<K> {
+        self.check(ctx);
+        self.shards[ctx.rank()].lock().take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PackedAggregator, PackedBatch, World};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn radix_sort_run_matches_sort_unstable_u64() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut v: Vec<u64> = (0..(RADIX_MIN * 2))
+            .map(|_| rng.gen::<u64>() >> (rng.gen::<u32>() % 40))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_run(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn radix_sort_run_matches_sort_unstable_u128() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut v: Vec<u128> = (0..(RADIX_MIN * 2))
+            .map(|_| u128::from(rng.gen::<u64>()) << (rng.gen::<u32>() % 64))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_run(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn radix_sort_run_small_and_empty() {
+        let mut v: Vec<u64> = vec![3, 1, 2];
+        radix_sort_run(&mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+        let mut v: Vec<u128> = Vec::new();
+        sort_run(&mut v);
+        assert!(v.is_empty());
+    }
+
+    fn stack_roundtrip(budget: Option<usize>, n: usize) {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut stack: RunStack<u64> = RunStack::new("test", 0, budget);
+        let mut expect: Vec<u64> = Vec::with_capacity(n);
+        let mut pushed = 0usize;
+        while pushed < n {
+            let batch: Vec<u64> = (0..rng.gen_range(1..200))
+                .map(|_| rng.gen::<u64>() % 10_000) // dense => duplicates
+                .collect();
+            pushed += batch.len();
+            expect.extend_from_slice(&batch);
+            stack.absorb(batch);
+        }
+        expect.sort_unstable();
+        let set = stack.take();
+        if let Some(b) = budget {
+            assert!(
+                set.resident_keys() * 8 <= b.max(8) * 2,
+                "resident {} keys over budget {}",
+                set.resident_keys(),
+                b
+            );
+            assert!(set.spill_count() > 0, "budget {b} never spilled");
+        }
+        let merged: Vec<u64> = set.cursor().collect();
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn unbounded_stack_roundtrips_sorted() {
+        stack_roundtrip(None, 5_000);
+    }
+
+    #[test]
+    fn budgeted_stack_spills_and_still_roundtrips() {
+        stack_roundtrip(Some(4 << 10), 20_000);
+    }
+
+    #[test]
+    fn budget_of_one_byte_spills_every_batch() {
+        stack_roundtrip(Some(1), 2_000);
+    }
+
+    #[test]
+    fn cursor_can_run_twice() {
+        let mut stack: RunStack<u128> = RunStack::new("twice", 0, Some(64));
+        stack.absorb((0..500u128).rev());
+        let set = stack.take();
+        let a: Vec<u128> = set.cursor().collect();
+        let b: Vec<u128> = set.cursor().collect();
+        assert_eq!(a, (0..500u128).collect::<Vec<_>>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drop_removes_spill_files() {
+        let mut stack: RunStack<u64> = RunStack::new("cleanup", 0, Some(8));
+        stack.absorb(0..1_000u64);
+        let set = stack.take();
+        assert!(set.spill_count() > 0);
+        let paths: Vec<PathBuf> = set.spills.clone();
+        assert!(paths.iter().all(|p| p.exists()));
+        drop(set);
+        assert!(paths.iter().all(|p| !p.exists()));
+    }
+
+    #[test]
+    fn dist_runs_under_packed_shuffle_match_bag_semantics() {
+        const N: u64 = 30_000;
+        for budget in [None, Some(1usize << 12), Some(1)] {
+            let runs: DistRuns<u64> = DistRuns::new(4, "test_shuffle", budget);
+            let out = {
+                let runs = runs.clone();
+                World::run(4, move |ctx| {
+                    let r = runs.clone();
+                    let mut agg = PackedAggregator::with_batch_bytes(
+                        ctx,
+                        "test",
+                        512,
+                        move |inner: &RankCtx, batch: PackedBatch<u64>| {
+                            r.local_absorb(inner, batch.iter());
+                        },
+                    );
+                    for i in 0..N {
+                        agg.push_keyed(ctx, &i, i);
+                    }
+                    agg.flush_all(ctx);
+                    ctx.barrier();
+                    runs.local_take(ctx).into_sorted_vec()
+                })
+            };
+            let mut all: Vec<u64> = out.into_iter().flatten().collect();
+            // each key shipped once per rank => 4 sorted copies of 0..N
+            assert_eq!(all.len(), N as usize * 4);
+            all.sort_unstable();
+            let expect: Vec<u64> = (0..N).flat_map(|i| std::iter::repeat_n(i, 4)).collect();
+            assert_eq!(all, expect);
+        }
+    }
+}

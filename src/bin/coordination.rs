@@ -59,7 +59,7 @@ fn usage() -> ExitCode {
          generate  --preset jan2020|oct2016 [--scale F=0.3] --out FILE\n\
          stats     --input FILE\n\
          pipeline  --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=10] [--t-score F=0]\n\
-         \x20          [--distributed [--ranks N=4]]\n\
+         \x20          [--distributed [--ranks N=4] [--shuffle-budget BYTES]]\n\
          project   --input FILE [--d1 S=0] [--d2 S=60] --out GRAPH.tsv\n\
          survey    --graph GRAPH.tsv [--cutoff N=10] [--t-score F=0] [--top N]\n\
          hunt      --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--dot-dir DIR]\n\
@@ -90,6 +90,9 @@ fn usage() -> ExitCode {
          \n\
          Global: --ranks N sets the rank count for distributed runs (only\n\
          valid with `pipeline --distributed`; errors elsewhere).\n\
+         --shuffle-budget BYTES caps each rank's resident shuffle run stack\n\
+         per label; overflow spills sorted segments to disk and the output\n\
+         is bit-identical to an unbounded run (distributed pipeline only).\n\
          --threads N runs the command inside an N-thread rayon pool\n\
          (default: rayon's own sizing); ingest parses input chunks on the\n\
          same pool. --skip-bad-lines counts and skips malformed input lines\n\
@@ -551,6 +554,14 @@ fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
     };
     let distributed = flags.has("distributed");
     let ranks: usize = flags.num("ranks", 4)?;
+    let shuffle_budget: usize = flags.num("shuffle-budget", 0)?;
+    let make_dist = |config: PipelineConfig| {
+        let mut p = DistPipeline::new(config, ranks);
+        if shuffle_budget > 0 {
+            p = p.with_shuffle_budget(shuffle_budget);
+        }
+        p
+    };
 
     // Run, and keep a name table for printing (the snapshot path reads names
     // straight off the mapping; no Dataset is materialized).
@@ -558,7 +569,7 @@ fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
         if let Some(path) = flags.get("from-snapshot") {
             let snap = open_snapshot(path)?;
             let out = if distributed {
-                DistPipeline::new(config, ranks).run_snapshot(&snap)
+                make_dist(config).run_snapshot(&snap)
             } else {
                 Pipeline::new(config).run_snapshot(&snap)
             };
@@ -567,7 +578,7 @@ fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
         } else {
             let ds = load_dataset(flags)?;
             let out = if distributed {
-                DistPipeline::new(config, ranks).run_dataset(&ds)
+                make_dist(config).run_dataset(&ds)
             } else {
                 Pipeline::new(config).run_dataset(&ds)
             };
@@ -890,6 +901,23 @@ fn main() -> ExitCode {
             Ok(n) if n > 0 => {}
             _ => {
                 eprintln!("error: --ranks: need a positive rank count, got {v:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Same story for `--shuffle-budget`: a memory cap on the distributed
+    // shuffle's receive side, meaningless anywhere else.
+    if let Some(v) = flags.get("shuffle-budget") {
+        if cmd != "pipeline" || !flags.has("distributed") {
+            eprintln!(
+                "error: --shuffle-budget only applies to distributed runs; use `pipeline --distributed --shuffle-budget BYTES`"
+            );
+            return ExitCode::from(2);
+        }
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => {}
+            _ => {
+                eprintln!("error: --shuffle-budget: need a positive byte count, got {v:?}");
                 return ExitCode::from(2);
             }
         }

@@ -151,6 +151,57 @@ fn packed_exchange_survives_threshold_of_one() {
     assert_equivalent(&resident, &dist);
 }
 
+#[test]
+fn budget_of_one_batch_stress() {
+    // The double-degenerate shuffle: a 1-byte flush threshold ships every
+    // item as its own batch, AND a 1-byte shuffle budget forces the receive
+    // side to spill its run stack to disk after absorbing at most one more
+    // batch. Every shuffle label on every rank runs almost entirely
+    // out-of-core, and the output still must be bit-identical to the
+    // resident rayon pipeline. Run by name in CI.
+    let mut records = Vec::new();
+    for page in 0..40 {
+        for (i, bot) in ["bot_a", "bot_b", "bot_c"].iter().enumerate() {
+            records.push(CommentRecord::new(
+                *bot,
+                format!("p{page}"),
+                page as i64 * 10_000 + i as i64 * 5,
+            ));
+        }
+        records.push(CommentRecord::new(
+            format!("user{page}"),
+            format!("p{page}"),
+            page as i64 * 10_000 + 30,
+        ));
+    }
+    let ds = Dataset::from_records(records);
+    let config = PipelineConfig {
+        min_triangle_weight: 1,
+        ..Default::default()
+    };
+    let resident = Pipeline::new(config.clone()).run_dataset(&ds);
+    let spilled = obs::counter("shuffle.spilled_bytes");
+    let segments = obs::counter("shuffle.spill_segments");
+    obs::Obs::enable();
+    let before = (spilled.get(), segments.get());
+    let dist = DistPipeline::new(config, 3)
+        .with_batch_bytes(1)
+        .with_shuffle_budget(1)
+        .run_dataset(&ds);
+    let after = (spilled.get(), segments.get());
+    obs::Obs::disable();
+    assert!(
+        after.0 > before.0 && after.1 > before.1,
+        "budgeted run did not spill (bytes {} -> {}, segments {} -> {})",
+        before.0,
+        after.0,
+        before.1,
+        after.1
+    );
+    assert!(!resident.triplets.is_empty(), "scenario found no triplets");
+    assert_equivalent(&resident, &dist);
+}
+
 /// Random event logs over small id spaces (heavy collision rate), as
 /// pushshift-style records so the dataset path interns real names.
 fn arb_records(
@@ -189,12 +240,15 @@ fn arb_events(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Exact equivalence for arbitrary rank counts and event interleavings.
+    /// Exact equivalence for arbitrary rank counts, event interleavings, and
+    /// shuffle budgets — `None` never spills, tiny budgets spill run stacks
+    /// to disk mid-shuffle, and neither may move the output.
     #[test]
     fn distributed_equals_rayon_for_any_rank_count(
         records in arb_records(16, 12, 250),
         seed in 0u64..u64::MAX,
         nranks in 1usize..9,
+        budget in (0usize..4096).prop_map(|b| (b > 0).then_some(b)),
     ) {
         let ds = shuffled(records, seed);
         let config = PipelineConfig {
@@ -202,7 +256,11 @@ proptest! {
             ..Default::default()
         };
         let resident = Pipeline::new(config.clone()).run_dataset(&ds);
-        let dist = DistPipeline::new(config, nranks).run_dataset(&ds);
+        let mut pipeline = DistPipeline::new(config, nranks);
+        if let Some(bytes) = budget {
+            pipeline = pipeline.with_shuffle_budget(bytes);
+        }
+        let dist = pipeline.run_dataset(&ds);
         assert_equivalent(&resident, &dist);
     }
 
@@ -239,6 +297,7 @@ proptest! {
         nranks in 1usize..6,
         chunk in 1usize..64,
         batch_bytes in 1usize..512,
+        budget in (0usize..2048).prop_map(|b| (b > 0).then_some(b)),
     ) {
         let (n_authors, n_pages) = (16, 12);
         let btm = Btm::from_event_iter(n_authors, n_pages, events.iter().copied());
@@ -252,9 +311,11 @@ proptest! {
         let source = event_source(|rank, nranks| {
             Box::new(events.chunks(chunk).skip(rank).step_by(nranks).flatten().copied())
         });
-        let dist = DistPipeline::new(config, nranks)
-            .with_batch_bytes(batch_bytes)
-            .run_events(n_authors, &source);
+        let mut pipeline = DistPipeline::new(config, nranks).with_batch_bytes(batch_bytes);
+        if let Some(bytes) = budget {
+            pipeline = pipeline.with_shuffle_budget(bytes);
+        }
+        let dist = pipeline.run_events(n_authors, &source);
         assert_equivalent(&resident, &dist);
     }
 }
