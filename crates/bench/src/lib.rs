@@ -78,6 +78,8 @@ pub fn run_hunt_config(ds: &Dataset) -> PipelineOutput {
 }
 
 /// Label triplets against ground truth: `(triplet metric set, is_coordinated)`.
+/// A triplet is positive when all three authors resolve (through any churn
+/// aliases) into one coordinated, non-`Helpful` family.
 pub fn label_triplets<'a>(
     out: &'a PipelineOutput,
     ds: &Dataset,
@@ -86,13 +88,8 @@ pub fn label_triplets<'a>(
     out.triplets
         .iter()
         .map(|m| {
-            let names: Vec<&str> = m.authors.iter().map(|a| ds.authors.name(a.0)).collect();
-            let fam0 = truth.family_of(names[0]);
-            let same = fam0.is_some()
-                && names.iter().all(|n| {
-                    truth.family_of(n).map(|f| f.name.as_str()) == fam0.map(|f| f.name.as_str())
-                });
-            (m, same)
+            let names = m.authors.map(|a| ds.authors.name(a.0));
+            (m, truth.same_coordinated_family(names))
         })
         .collect()
 }

@@ -23,7 +23,7 @@
 //!    (projection input). Receivers absorb each batch into a bounded
 //!    **run stack** ([`ygm::runs::DistRuns`], one lock per batch): arriving
 //!    batches are sorted immediately (as order-preserving packed keys —
-//!    [`event_key`]) and merged incrementally *while later batches are in
+//!    `event_key`) and merged incrementally *while later batches are in
 //!    flight* (ship drains opportunistically), spilling sorted segments to
 //!    the snapshot store past the `--shuffle-budget` cap. The owner-side
 //!    "sort" is then a streaming k-way merge over resident + spilled runs —

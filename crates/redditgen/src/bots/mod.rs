@@ -7,8 +7,12 @@
 //! [`CommentRecord`]: coordination_core::records::CommentRecord
 
 pub mod camouflage;
+pub mod churn;
 pub mod gpt2;
 pub mod helpful;
+pub mod jitter;
+pub mod mimicry;
 pub mod reply_trigger;
 pub mod reshare;
 pub mod slow_burn;
+pub mod slow_drip;

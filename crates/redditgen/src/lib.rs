@@ -18,6 +18,12 @@
 //!   triplet dwarfs everything else (the (4460, 5516, 13355) outlier);
 //! * [`bots::helpful`] — AutoModerator and `[deleted]`, which the paper
 //!   excludes before projection;
+//! * evasion injectors — adversaries the paper never faced: [`bots::jitter`]
+//!   (bursts straddling the (δ1, δ2) edge), [`bots::slow_drip`] (staying
+//!   below the min-weight cutoff), [`bots::churn`] (handle rotation, scored
+//!   through the ground-truth alias map), [`bots::mimicry`] (diurnal-shaped
+//!   activity on the organic time curve), and [`bots::camouflage`] (decoy
+//!   comments diluting the normalized scores);
 //! * [`scenario`] — month presets mirroring the January 2020 and October 2016
 //!   analyses, at a configurable scale;
 //! * [`truth`] — ground-truth labels, enabling the precision/recall reporting

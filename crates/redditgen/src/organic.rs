@@ -78,6 +78,16 @@ impl Default for OrganicConfig {
     }
 }
 
+/// The diurnal acceptance probability at timestamp `ts` for a cycle anchored
+/// at `t0`: activity peaks mid-cycle and troughs at "night", never dropping
+/// below 0.1. Shared by organic traffic and by any injector that mimics it
+/// (see [`crate::bots::mimicry`]) — an adversary shaping its activity on this
+/// exact curve is indistinguishable from humans by rhythm alone.
+pub fn diurnal_accept(ts: i64, t0: i64) -> f64 {
+    let phase = ((ts - t0) % 86_400) as f64 / 86_400.0 * std::f64::consts::TAU;
+    0.5 * (1.0 + phase.sin()) * 0.9 + 0.1
+}
+
 /// Generate one organic month. Returned records are in generation order
 /// (callers sort the merged scenario by time).
 pub fn generate<R: Rng + ?Sized>(cfg: &OrganicConfig, rng: &mut R) -> Vec<CommentRecord> {
@@ -143,10 +153,7 @@ pub fn generate<R: Rng + ?Sized>(cfg: &OrganicConfig, rng: &mut R) -> Vec<Commen
         if ts >= cfg.t0 + cfg.span {
             continue; // page went cold past month end; resample
         }
-        // Diurnal acceptance: activity peaks mid-cycle, troughs at "night".
-        let phase = ((ts - cfg.t0) % 86_400) as f64 / 86_400.0 * std::f64::consts::TAU;
-        let accept = 0.5 * (1.0 + phase.sin()) * 0.9 + 0.1;
-        if rng.gen::<f64>() > accept {
+        if rng.gen::<f64>() > diurnal_accept(ts, cfg.t0) {
             continue;
         }
         // page ids carry the subreddit (as pushshift's `subreddit` field

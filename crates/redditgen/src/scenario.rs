@@ -11,6 +11,12 @@
 //!   GPT-2 (it did not exist) and no smiley trio — which is why the paper's
 //!   Figure 6 lacks the second artifact visible in Figure 4.
 //!
+//! Four adversarial presets (`adv_jitter`, `adv_slow_drip`, `adv_churn`,
+//! `adv_mimicry`) each plant exactly one evasion family in a mid-size organic
+//! month; the quality bench sweeps every score metric over them to quantify
+//! which paper metric survives which evasion. [`ScenarioConfig::preset`]
+//! resolves all six by name.
+//!
 //! The `scale` knob multiplies entity counts so benches can sweep sizes; the
 //! default `1.0` runs the whole pipeline in seconds on a laptop while keeping
 //! every structural relationship (who wins, what dominates, where the outliers
@@ -20,11 +26,15 @@ use coordination_core::records::{CommentRecord, Dataset};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::bots::churn::{self, ChurnConfig};
 use crate::bots::gpt2::{self, Gpt2Config};
 use crate::bots::helpful::{self, HelpfulConfig};
+use crate::bots::jitter::{self, JitterConfig};
+use crate::bots::mimicry::{self, MimicryConfig};
 use crate::bots::reply_trigger::{self, ReplyTriggerConfig};
 use crate::bots::reshare::{self, ReshareConfig};
 use crate::bots::slow_burn::{self, SlowBurnConfig};
+use crate::bots::slow_drip::{self, SlowDripConfig};
 use crate::organic::OrganicConfig;
 use crate::truth::{BotFamily, BotKind, GroundTruth};
 
@@ -46,6 +56,15 @@ pub struct ScenarioConfig {
     /// Optional slow-burn network (minute-scale responses; only long windows
     /// catch it — the window-study payoff).
     pub slow_burn: Option<SlowBurnConfig>,
+    /// Optional window-straddling clique (evasion; `adv_jitter` preset).
+    pub jitter: Option<JitterConfig>,
+    /// Optional below-the-cutoff drip network (evasion; `adv_slow_drip`).
+    pub slow_drip: Option<SlowDripConfig>,
+    /// Optional handle-rotating network (evasion; `adv_churn`). Its rotated
+    /// handles are registered as ground-truth aliases.
+    pub churn: Option<ChurnConfig>,
+    /// Optional diurnal-mimicking network (evasion; `adv_mimicry`).
+    pub mimicry: Option<MimicryConfig>,
     /// Optional platform-role accounts.
     pub helpful: Option<HelpfulConfig>,
 }
@@ -84,6 +103,10 @@ impl ScenarioConfig {
             )],
             reply_trigger: Some(ReplyTriggerConfig::default()),
             slow_burn: None,
+            jitter: None,
+            slow_drip: None,
+            churn: None,
+            mimicry: None,
             helpful: Some(HelpfulConfig::default()),
         }
     }
@@ -134,9 +157,98 @@ impl ScenarioConfig {
             // the (0, 60s) hunt, surfaced by the 10-minute window (§2.2's
             // argument for window targeting)
             slow_burn: Some(SlowBurnConfig::default()),
+            jitter: None,
+            slow_drip: None,
+            churn: None,
+            mimicry: None,
             helpful: Some(HelpfulConfig::default()),
         }
     }
+
+    /// The organic baseline shared by the adversarial presets: a mid-size
+    /// month with community structure, big enough that the evader has a real
+    /// haystack to hide in.
+    fn adversarial_base(name: &str, seed: u64, scale: f64) -> Self {
+        ScenarioConfig {
+            name: name.to_string(),
+            seed,
+            organic: OrganicConfig {
+                n_users: scaled(3_000, scale, 50),
+                n_pages: scaled(2_500, scale, 40),
+                n_comments: scaled(40_000, scale, 500),
+                n_subreddits: scaled(30, scale, 5),
+                affinity: 0.8,
+                ..Default::default()
+            },
+            gpt2: None,
+            reshare: Vec::new(),
+            reply_trigger: None,
+            slow_burn: None,
+            jitter: None,
+            slow_drip: None,
+            churn: None,
+            mimicry: None,
+            helpful: Some(HelpfulConfig::default()),
+        }
+    }
+
+    /// Evasion preset: a clique whose bursts straddle the (δ1, δ2) edge.
+    pub fn adv_jitter(scale: f64) -> Self {
+        ScenarioConfig {
+            jitter: Some(JitterConfig::default()),
+            ..Self::adversarial_base("adv_jitter", 0x00AD_0001, scale)
+        }
+    }
+
+    /// Evasion preset: coordination rationed below the min-weight cutoff.
+    pub fn adv_slow_drip(scale: f64) -> Self {
+        ScenarioConfig {
+            slow_drip: Some(SlowDripConfig::default()),
+            ..Self::adversarial_base("adv_slow_drip", 0x00AD_0002, scale)
+        }
+    }
+
+    /// Evasion preset: the network rotates handles mid-month (ground truth
+    /// tracks the rotation via aliases).
+    pub fn adv_churn(scale: f64) -> Self {
+        ScenarioConfig {
+            churn: Some(ChurnConfig::default()),
+            ..Self::adversarial_base("adv_churn", 0x00AD_0003, scale)
+        }
+    }
+
+    /// Evasion preset: diurnal-shaped bot activity on the organic time curve.
+    pub fn adv_mimicry(scale: f64) -> Self {
+        ScenarioConfig {
+            mimicry: Some(MimicryConfig::default()),
+            ..Self::adversarial_base("adv_mimicry", 0x00AD_0004, scale)
+        }
+    }
+
+    /// Look up a preset by name (`jan2020`, `oct2016`, or one of the
+    /// `adv_*` evasion scenarios). `None` for unknown names.
+    pub fn preset(name: &str, scale: f64) -> Option<Self> {
+        match name {
+            "jan2020" => Some(Self::jan2020(scale)),
+            "oct2016" => Some(Self::oct2016(scale)),
+            "adv_jitter" => Some(Self::adv_jitter(scale)),
+            "adv_slow_drip" => Some(Self::adv_slow_drip(scale)),
+            "adv_churn" => Some(Self::adv_churn(scale)),
+            "adv_mimicry" => Some(Self::adv_mimicry(scale)),
+            _ => None,
+        }
+    }
+
+    /// Every preset name accepted by [`ScenarioConfig::preset`], paper
+    /// scenarios first.
+    pub const PRESETS: [&'static str; 6] = [
+        "jan2020",
+        "oct2016",
+        "adv_jitter",
+        "adv_slow_drip",
+        "adv_churn",
+        "adv_mimicry",
+    ];
 
     /// Generate the scenario.
     pub fn build(&self) -> Scenario {
@@ -168,6 +280,45 @@ impl ScenarioConfig {
                 name: "slow_burn".to_string(),
                 members: inj.members,
                 kind: BotKind::SlowBurn,
+            });
+            records.extend(inj.records);
+        }
+        if let Some(cfg) = &self.jitter {
+            let inj = jitter::generate(cfg, &mut rng);
+            truth.add_family(BotFamily {
+                name: "jitter".to_string(),
+                members: inj.members,
+                kind: BotKind::JitteredClique,
+            });
+            records.extend(inj.records);
+        }
+        if let Some(cfg) = &self.slow_drip {
+            let inj = slow_drip::generate(cfg, &mut rng);
+            truth.add_family(BotFamily {
+                name: "slow_drip".to_string(),
+                members: inj.members,
+                kind: BotKind::SlowDrip,
+            });
+            records.extend(inj.records);
+        }
+        if let Some(cfg) = &self.churn {
+            let inj = churn::generate(cfg, &mut rng);
+            truth.add_family(BotFamily {
+                name: "churn".to_string(),
+                members: inj.members,
+                kind: BotKind::Churn,
+            });
+            for (alias, canonical) in &inj.aliases {
+                truth.add_alias(alias.clone(), canonical);
+            }
+            records.extend(inj.records);
+        }
+        if let Some(cfg) = &self.mimicry {
+            let inj = mimicry::generate(cfg, &mut rng);
+            truth.add_family(BotFamily {
+                name: "mimicry".to_string(),
+                members: inj.members,
+                kind: BotKind::Mimicry,
             });
             records.extend(inj.records);
         }
@@ -310,6 +461,52 @@ mod tests {
         // reshare activity is scale-independent up to participation noise
         let (b_small, b_large) = (bots(&small) as f64, bots(&large) as f64);
         assert!((b_small - b_large).abs() / b_large < 0.2);
+    }
+
+    #[test]
+    fn every_preset_resolves_and_builds() {
+        for name in ScenarioConfig::PRESETS {
+            let cfg = ScenarioConfig::preset(name, 0.05).expect("known preset");
+            assert_eq!(cfg.name, name);
+            let s = cfg.build();
+            assert!(!s.is_empty(), "{name} generated nothing");
+        }
+        assert!(ScenarioConfig::preset("nope", 1.0).is_none());
+    }
+
+    #[test]
+    fn adversarial_presets_plant_their_family() {
+        let cases = [
+            ("adv_jitter", "jitter", "jitter_bot_0"),
+            ("adv_slow_drip", "slow_drip", "drip_bot_0"),
+            ("adv_churn", "churn", "churn_bot_0"),
+            ("adv_mimicry", "mimicry", "mimic_bot_0"),
+        ];
+        for (preset, family, member) in cases {
+            let s = ScenarioConfig::preset(preset, 0.05).unwrap().build();
+            let fam = s.truth.family_of(member).unwrap_or_else(|| {
+                panic!("{preset}: {member} missing from truth");
+            });
+            assert_eq!(fam.name, family);
+            // exactly one coordinated family + platform roles
+            assert_eq!(s.truth.families().len(), 2, "{preset}");
+            assert!(s.records.iter().any(|r| r.author.starts_with("user")));
+        }
+    }
+
+    #[test]
+    fn churn_scenario_truth_resolves_rotated_handles() {
+        let s = ScenarioConfig::adv_churn(0.05).build();
+        let authors: std::collections::HashSet<&str> =
+            s.records.iter().map(|r| r.author.as_str()).collect();
+        assert!(authors.contains("churn_bot_0"));
+        assert!(authors.contains("churn_bot_0_v2"));
+        assert_eq!(s.truth.family_of("churn_bot_0_v2").unwrap().name, "churn");
+        assert!(s.truth.same_coordinated_family([
+            "churn_bot_0_v2",
+            "churn_bot_1",
+            "churn_bot_2_v2"
+        ]));
     }
 
     #[test]

@@ -20,6 +20,14 @@ pub enum BotKind {
     ReplyTrigger,
     /// Platform-role accounts (excluded pre-projection).
     Helpful,
+    /// Burst delays straddling the (δ1, δ2) window edge (evasion).
+    JitteredClique,
+    /// Coordination spread too thin for the per-window weight cutoff (evasion).
+    SlowDrip,
+    /// Handle rotation mid-month; aliases map back to one family (evasion).
+    Churn,
+    /// Diurnal-shaped bot activity imitating the organic curve (evasion).
+    Mimicry,
 }
 
 /// One coordinated family.
@@ -38,6 +46,12 @@ pub struct BotFamily {
 pub struct GroundTruth {
     families: Vec<BotFamily>,
     member_to_family: HashMap<String, usize>,
+    /// Rotated handle → canonical member name. A churned botnet writes under
+    /// several handles over the month; detection quality must credit a flagged
+    /// rotated handle to the same family (and the same logical account) as its
+    /// canonical name, or churn would turn every true positive into a false
+    /// one.
+    aliases: HashMap<String, String>,
 }
 
 impl GroundTruth {
@@ -50,10 +64,31 @@ impl GroundTruth {
     pub fn add_family(&mut self, family: BotFamily) {
         let idx = self.families.len();
         for m in &family.members {
+            assert!(
+                !self.aliases.contains_key(m),
+                "account {m} is already an alias"
+            );
             let prev = self.member_to_family.insert(m.clone(), idx);
             assert!(prev.is_none(), "account {m} belongs to two families");
         }
         self.families.push(family);
+    }
+
+    /// Register `alias` as a rotated handle of the already-registered member
+    /// `canonical`. Lookups and evaluation resolve through the alias, so the
+    /// two handles score as one account in one family.
+    pub fn add_alias(&mut self, alias: impl Into<String>, canonical: &str) {
+        let alias = alias.into();
+        assert!(
+            self.member_to_family.contains_key(canonical),
+            "canonical account {canonical} is not a registered member"
+        );
+        assert!(
+            !self.member_to_family.contains_key(&alias),
+            "alias {alias} is already a member"
+        );
+        let prev = self.aliases.insert(alias.clone(), canonical.to_string());
+        assert!(prev.is_none(), "alias {alias} registered twice");
     }
 
     /// All families.
@@ -61,14 +96,47 @@ impl GroundTruth {
         &self.families
     }
 
-    /// The family containing `name`, if any.
-    pub fn family_of(&self, name: &str) -> Option<&BotFamily> {
-        self.member_to_family.get(name).map(|&i| &self.families[i])
+    /// All registered handle aliases as `(alias, canonical)` pairs, sorted by
+    /// alias so output built from them is deterministic.
+    pub fn aliases(&self) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = self
+            .aliases
+            .iter()
+            .map(|(a, c)| (a.as_str(), c.as_str()))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
-    /// Whether `name` is any kind of bot.
+    /// Resolve a handle to its canonical member name (identity for
+    /// non-aliased names).
+    pub fn resolve<'a>(&'a self, name: &'a str) -> &'a str {
+        self.aliases.get(name).map(String::as_str).unwrap_or(name)
+    }
+
+    /// The family containing `name` (alias-resolved), if any.
+    pub fn family_of(&self, name: &str) -> Option<&BotFamily> {
+        self.member_to_family
+            .get(self.resolve(name))
+            .map(|&i| &self.families[i])
+    }
+
+    /// Whether `name` (alias-resolved) is any kind of bot.
     pub fn is_bot(&self, name: &str) -> bool {
-        self.member_to_family.contains_key(name)
+        self.member_to_family.contains_key(self.resolve(name))
+    }
+
+    /// Whether all three (alias-resolved) authors belong to one coordinated
+    /// (non-`Helpful`) family — the true-positive criterion for a flagged
+    /// triplet.
+    pub fn same_coordinated_family(&self, t: [&str; 3]) -> bool {
+        let fams = t.map(|n| self.member_to_family.get(self.resolve(n)));
+        match fams {
+            [Some(a), Some(b), Some(c)] if a == b && b == c => {
+                self.families[*a].kind != BotKind::Helpful
+            }
+            _ => false,
+        }
     }
 
     /// Total coordinated accounts, excluding `Helpful` (which the pipeline
@@ -92,20 +160,15 @@ impl GroundTruth {
         let mut flagged_members: HashSet<&str> = HashSet::new();
         for t in flagged {
             flagged_total += 1;
-            let fams: Vec<Option<&usize>> =
-                t.iter().map(|n| self.member_to_family.get(*n)).collect();
-            let same_family = match (fams[0], fams[1], fams[2]) {
-                (Some(a), Some(b), Some(c)) if a == b && b == c => {
-                    self.families[*a].kind != BotKind::Helpful
-                }
-                _ => false,
-            };
-            if same_family {
+            if self.same_coordinated_family(t) {
                 true_positives += 1;
-                let fam = *fams[0].expect("checked above");
+                let canon = self.resolve(t[0]);
+                let fam = self.member_to_family[canon];
                 detected_families.insert(fam);
                 for n in t {
-                    flagged_members.insert(n);
+                    // alias-resolved: pre- and post-rotation handles of a
+                    // churned account count as one member for recall
+                    flagged_members.insert(self.resolve(n));
                 }
             }
         }
@@ -244,5 +307,63 @@ mod tests {
         let eval = gt.evaluate(std::iter::empty());
         assert_eq!(eval.precision, 1.0);
         assert_eq!(eval.family_recall, 0.0);
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_canonical_family() {
+        let mut gt = truth();
+        gt.add_alias("g0_v2", "g0");
+        gt.add_alias("g1_v2", "g1");
+        assert!(gt.is_bot("g0_v2"));
+        assert_eq!(gt.family_of("g0_v2").unwrap().name, "gpt2");
+        assert_eq!(gt.resolve("g1_v2"), "g1");
+        assert_eq!(gt.resolve("alice"), "alice");
+        // rotated handles don't inflate the account census
+        assert_eq!(gt.n_coordinated_accounts(), 9);
+    }
+
+    #[test]
+    fn evaluation_credits_rotated_handles_as_one_family() {
+        let mut gt = truth();
+        gt.add_alias("g0_v2", "g0");
+        gt.add_alias("g1_v2", "g1");
+        gt.add_alias("g2_v2", "g2");
+        let eval = gt.evaluate([
+            ["g0_v2", "g1_v2", "g2_v2"], // all rotated, same family → TP
+            ["g0", "g1_v2", "g2"],       // mixed eras, same family → TP
+        ]);
+        assert_eq!(eval.true_positives, 2);
+        assert_eq!(eval.precision, 1.0);
+        // g0/g0_v2 etc. collapse to 3 distinct logical accounts
+        assert_eq!(eval.members_flagged, 3);
+    }
+
+    #[test]
+    fn same_coordinated_family_rejects_cross_family_and_organic() {
+        let mut gt = truth();
+        gt.add_alias("s0_v2", "s0");
+        assert!(gt.same_coordinated_family(["s0_v2", "s1", "s2"]));
+        assert!(!gt.same_coordinated_family(["s0_v2", "g0", "g1"]));
+        assert!(!gt.same_coordinated_family(["s0", "s1", "alice"]));
+        assert!(!gt.same_coordinated_family(["AutoModerator", "AutoModerator", "AutoModerator"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registered member")]
+    fn alias_of_unknown_canonical_panics() {
+        let mut gt = truth();
+        gt.add_alias("x_v2", "nobody");
+    }
+
+    #[test]
+    #[should_panic(expected = "already an alias")]
+    fn member_reusing_an_alias_name_panics() {
+        let mut gt = truth();
+        gt.add_alias("g0_v2", "g0");
+        gt.add_family(BotFamily {
+            name: "clash".into(),
+            members: vec!["g0_v2".into()],
+            kind: BotKind::Churn,
+        });
     }
 }

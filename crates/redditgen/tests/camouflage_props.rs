@@ -1,0 +1,146 @@
+//! Property tests for the camouflage evasion (`bots::camouflage`): across
+//! arbitrary share–reshare networks and decoy volumes, decoys must never
+//! move the raw weights the paper's cutoffs read (`min w'`, `w_xyz`) beyond
+//! collision noise, while the normalized scores (`C`, and `T` where decoys
+//! touch the CI graph at all) only ever degrade as `decoy_ratio` grows —
+//! the invariant the injector's module docs claim and the quality bench
+//! depends on when it quantifies per-metric evasion.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use coordination_core::pipeline::{Pipeline, PipelineConfig};
+use coordination_core::records::Dataset;
+use coordination_core::{TripletMetrics, Window};
+use redditgen::bots::camouflage::{add_decoys, CamouflageConfig};
+use redditgen::bots::reshare::{self, ReshareConfig};
+
+/// Decoy volumes swept per case, ascending. Ratio 0 is the clean baseline.
+const RATIOS: [f64; 4] = [0.0, 1.0, 2.0, 4.0];
+
+/// Big page pool: decoys almost never collide on a page, so they inflate
+/// `p_x` / `P'_x` without adding shared pages (the same regime the unit
+/// tests and the paper's normalization argument assume).
+const ORGANIC_PAGES: usize = 4_000;
+
+/// Run the full pipeline on `records` and pull out the metrics of the
+/// triplet formed by the first three network members.
+fn bot_triplet(records: Vec<coordination_core::records::CommentRecord>) -> TripletMetrics {
+    let ds = Dataset::from_records(records);
+    let out = Pipeline::new(PipelineConfig {
+        window: Window::zero_to_60s(),
+        min_triangle_weight: 3,
+        ..Default::default()
+    })
+    .run_dataset(&ds);
+    let mut ids = [
+        ds.authors.get("stream_bot_0").expect("bot 0 exists"),
+        ds.authors.get("stream_bot_1").expect("bot 1 exists"),
+        ds.authors.get("stream_bot_2").expect("bot 2 exists"),
+    ];
+    ids.sort_unstable();
+    *out.triplets
+        .iter()
+        .find(|m| m.authors.map(|a| a.0) == ids)
+        .expect("the bot triplet survives the survey at every decoy ratio")
+}
+
+/// Metrics of the first-three-bots triplet at each ratio in [`RATIOS`].
+fn sweep(seed: u64, cfg: &ReshareConfig) -> Vec<TripletMetrics> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inj = reshare::generate(cfg, &mut rng);
+    let pages: Vec<String> = (0..ORGANIC_PAGES).map(|i| format!("t3_org{i}")).collect();
+    RATIOS
+        .iter()
+        .map(|&ratio| {
+            // fresh decoy RNG per ratio so each sweep point is independent
+            let mut drng = ChaCha8Rng::seed_from_u64(seed ^ 0xD0E5);
+            let mut records = inj.records.clone();
+            records.extend(add_decoys(
+                &CamouflageConfig {
+                    decoy_ratio: ratio,
+                    organic_pages: pages.clone(),
+                },
+                &inj.members,
+                &inj.records,
+                &mut drng,
+            ));
+            bot_triplet(records)
+        })
+        .collect()
+}
+
+fn arb_network() -> impl Strategy<Value = (u64, ReshareConfig)> {
+    (0u64..1 << 48, 3usize..7, 30usize..70).prop_map(|(seed, n_members, n_triggers)| {
+        (
+            seed,
+            ReshareConfig {
+                n_members,
+                n_triggers,
+                // high participation so the first three members reliably
+                // form a surveyed triangle at every generated size
+                participation: 0.95,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Decoys never move the raw weights: `min w'` stays within collision
+    /// noise of the clean run at every ratio, and `w_xyz` can only pick up
+    /// the rare page collision (never lose weight).
+    #[test]
+    fn decoys_never_change_raw_weights((seed, cfg) in arb_network()) {
+        let ms = sweep(seed, &cfg);
+        let clean = &ms[0];
+        for m in &ms[1..] {
+            prop_assert!(
+                m.min_ci_weight <= clean.min_ci_weight + 2
+                    && m.min_ci_weight + 2 >= clean.min_ci_weight,
+                "min w' moved beyond noise: {} -> {}",
+                clean.min_ci_weight,
+                m.min_ci_weight
+            );
+            prop_assert!(
+                m.hyper_weight >= clean.hyper_weight
+                    && m.hyper_weight <= clean.hyper_weight + 2,
+                "w_xyz moved beyond collision noise: {} -> {}",
+                clean.hyper_weight,
+                m.hyper_weight
+            );
+        }
+    }
+
+    /// The normalized scores only degrade as the decoy volume grows: `C`
+    /// strictly per step (every step adds decoy pages to every `p_x`), `T`
+    /// weakly (decoys touch `P'_x` only on the rare synchronized collision),
+    /// and at the top ratio `C` has collapsed well below the clean run.
+    #[test]
+    fn normalized_scores_degrade_monotonically((seed, cfg) in arb_network()) {
+        let ms = sweep(seed, &cfg);
+        for step in ms.windows(2) {
+            prop_assert!(
+                step[1].c < step[0].c,
+                "C failed to dilute: {:.4} -> {:.4}",
+                step[0].c,
+                step[1].c
+            );
+            prop_assert!(
+                step[1].t <= step[0].t * 1.02 + 1e-9,
+                "T grew: {:.4} -> {:.4}",
+                step[0].t,
+                step[1].t
+            );
+        }
+        prop_assert!(
+            ms[3].c < ms[0].c * 0.5,
+            "4x decoys should halve C: {:.4} -> {:.4}",
+            ms[0].c,
+            ms[3].c
+        );
+    }
+}

@@ -56,7 +56,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: coordination <generate|stats|project|survey|hunt|validate|groups|refine|pipeline|stream|snapshot|report-validate> [flags]\n\
          \n\
-         generate  --preset jan2020|oct2016 [--scale F=0.3] --out FILE\n\
+         generate  --preset jan2020|oct2016|adv_* [--scale F=0.3] --out FILE\n\
          stats     --input FILE\n\
          pipeline  --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=10] [--t-score F=0]\n\
          \x20          [--distributed [--ranks N=4] [--shuffle-budget BYTES]]\n\
@@ -66,12 +66,12 @@ fn usage() -> ExitCode {
          validate  --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=10] [--t-score F=0] [--windowed]\n\
          groups    --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25]\n\
          refine    --input FILE [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--rounds N=3]\n\
-         stream    --input FILE | --preset jan2020|oct2016 [--scale F=0.3]\n\
+         stream    --input FILE | --preset jan2020|oct2016|adv_* [--scale F=0.3]\n\
          \x20          [--d1 S=0] [--d2 S=60] [--cutoff N=25] [--t-score F=0]\n\
          \x20          [--horizon S] [--checkpoint N] [--speedup F] [--snapshot-out GRAPH.tsv]\n\
          snapshot write   --input FILE --out FILE.snap [--with-ci [--d1 S=0] [--d2 S=60]]\n\
          snapshot inspect --snapshot FILE.snap\n\
-         report-validate --report FILE [--kind batch|stream]\n\
+         report-validate --report FILE [--kind batch|stream|quality]\n\
          \n\
          `project` persists the expensive step-1 graph; `survey` re-queries it\n\
          at any cutoff without reprojecting. `pipeline` runs ingest →\n\
@@ -85,7 +85,12 @@ fn usage() -> ExitCode {
          --from-snapshot FILE.snap in place of --input and run over the\n\
          memory-mapped columns (survey needs a --with-ci snapshot).\n\
          `report-validate` checks a --report file for the documented schema\n\
-         version, stage spans, and counters (exit 2 on any gap).\n\
+         version, stage spans, and counters (exit 2 on any gap); --kind\n\
+         quality validates a BENCH_quality.json detection-quality report.\n\
+         `generate --preset adv_*` emits the adversarial evasion scenarios\n\
+         (adv_jitter|adv_slow_drip|adv_churn|adv_mimicry); churn truth\n\
+         sidecars carry Alias rows mapping rotated handles to canonical\n\
+         members.\n\
          Input is pushshift-style NDJSON.\n\
          \n\
          Global: --ranks N sets the rank count for distributed runs (only\n\
@@ -239,23 +244,32 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     let preset = flags.get("preset").ok_or("--preset is required")?;
     let scale: f64 = flags.num("scale", 0.3)?;
     let out = flags.get("out").ok_or("--out is required")?;
-    let cfg = match preset {
-        "jan2020" => ScenarioConfig::jan2020(scale),
-        "oct2016" => ScenarioConfig::oct2016(scale),
-        other => return Err(format!("unknown preset {other:?}")),
-    };
+    let cfg = ScenarioConfig::preset(preset, scale).ok_or_else(|| {
+        format!(
+            "unknown preset {preset:?} (known: {})",
+            ScenarioConfig::PRESETS.join("|")
+        )
+    })?;
     let scenario = cfg.build();
     let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     write_ndjson(std::io::BufWriter::new(file), &scenario.records)
         .map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("wrote {} comments to {out}", scenario.len());
-    // ground truth sidecar so downstream evaluation is possible
+    // ground truth sidecar so downstream evaluation is possible; alias rows
+    // map rotated handles (churn evasion) back to their canonical member
     let truth_path = format!("{out}.truth.tsv");
     let mut truth = String::from("family\tkind\tmember\n");
     for fam in scenario.truth.families() {
         for m in &fam.members {
             truth.push_str(&format!("{}\t{:?}\t{}\n", fam.name, fam.kind, m));
         }
+    }
+    for (alias, canonical) in scenario.truth.aliases() {
+        let fam = scenario
+            .truth
+            .family_of(canonical)
+            .expect("alias resolves to a family");
+        truth.push_str(&format!("{}\tAlias\t{alias}={canonical}\n", fam.name));
     }
     std::fs::write(&truth_path, truth).map_err(|e| format!("write {truth_path}: {e}"))?;
     eprintln!("wrote ground truth to {truth_path}");
@@ -693,11 +707,12 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
         }
         (None, Some(preset)) => {
             let scale: f64 = flags.num("scale", 0.3)?;
-            let cfg = match preset {
-                "jan2020" => ScenarioConfig::jan2020(scale),
-                "oct2016" => ScenarioConfig::oct2016(scale),
-                other => return Err(format!("unknown preset {other:?}")),
-            };
+            let cfg = ScenarioConfig::preset(preset, scale).ok_or_else(|| {
+                format!(
+                    "unknown preset {preset:?} (known: {})",
+                    ScenarioConfig::PRESETS.join("|")
+                )
+            })?;
             let scenario = cfg.build();
             let records = source::scenario_records(&scenario);
             (records, Some(scenario.truth))
@@ -827,12 +842,23 @@ fn cmd_snapshot_inspect(flags: &Flags) -> Result<(), String> {
 fn cmd_report_validate(flags: &Flags) -> Result<(), String> {
     let path = flags.get("report").ok_or("--report is required")?;
     let kind = flags.get("kind").unwrap_or("batch");
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    // quality reports have their own schema and validator (the detection-
+    // quality bench's BENCH_quality.json), separate from the obs run reports
+    if kind == "quality" {
+        analysis::evalmetrics::validate_quality(&json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{path}: ok (quality report, schema validated)");
+        return Ok(());
+    }
     let (spans, counters) = match kind {
         "batch" => (BATCH_SPANS, BATCH_COUNTERS),
         "stream" => (STREAM_SPANS, STREAM_COUNTERS),
-        other => return Err(format!("unknown --kind {other:?} (want batch|stream)")),
+        other => {
+            return Err(format!(
+                "unknown --kind {other:?} (want batch|stream|quality)"
+            ))
+        }
     };
-    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     obs::report::validate(&json, spans, counters).map_err(|e| format!("{path}: {e}"))?;
     eprintln!(
         "{path}: ok ({kind}: {} stage spans, {} counters present)",
